@@ -1,0 +1,98 @@
+// Command txcache-bench regenerates the paper's evaluation (§8): every
+// figure and table, printed as the same rows/series the paper reports.
+//
+// Usage:
+//
+//	txcache-bench -exp all                     # everything (several minutes)
+//	txcache-bench -exp fig5a -measure 5s       # one experiment, longer runs
+//	txcache-bench -exp fig8 -scale test        # quick, reduced dataset
+//
+// Absolute numbers depend on the machine; the shapes — who wins, by what
+// factor, where the curves flatten — are what reproduce the paper. See
+// EXPERIMENTS.md for the mapping of scaled parameters to the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"txcache/internal/bench"
+	"txcache/internal/rubis"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, all")
+	clients := flag.Int("clients", 2*runtime.GOMAXPROCS(0), "closed-loop client population")
+	warm := flag.Duration("warm", 2*time.Second, "warmup per point")
+	measure := flag.Duration("measure", 3*time.Second, "measurement per point")
+	scale := flag.String("scale", "inmem", "dataset scale: test, inmem, disk")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	o := bench.Opts{
+		Clients: *clients,
+		Warm:    *warm,
+		Measure: *measure,
+		Seed:    *seed,
+		Out:     os.Stdout,
+	}
+	switch *scale {
+	case "test":
+		o.Scale = rubis.TestScale
+	case "inmem":
+		o.Scale = rubis.InMemoryScale
+	case "disk":
+		o.Scale = rubis.DiskBoundScale
+	default:
+		log.Fatalf("txcache-bench: unknown scale %q", *scale)
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("\n=== %s ===\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("txcache-bench: %s: %v", name, err)
+		}
+		fmt.Printf("--- %s done in %v ---\n", name, time.Since(start).Round(time.Second))
+	}
+
+	experiments := map[string]func() error{
+		"baseline": func() error { _, err := bench.Baseline(o); return err },
+		"fig5a":    func() error { _, err := bench.Figure5a(o); return err },
+		"fig5b": func() error {
+			ob := o
+			if *scale == "inmem" {
+				ob.Scale = rubis.DiskBoundScale
+			}
+			_, err := bench.Figure5b(ob)
+			return err
+		},
+		"fig6a": func() error { _, err := bench.Figure6(o, false); return err },
+		"fig6b": func() error {
+			ob := o
+			if *scale == "inmem" {
+				ob.Scale = rubis.Scale{}
+			}
+			_, err := bench.Figure6(ob, true)
+			return err
+		},
+		"fig7": func() error { _, err := bench.Figure7(o, 2<<20); return err },
+		"fig8": func() error { _, err := bench.Figure8(o); return err },
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"baseline", "fig5a", "fig6a", "fig5b", "fig6b", "fig7", "fig8"} {
+			run(name, experiments[name])
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		log.Fatalf("txcache-bench: unknown experiment %q", *exp)
+	}
+	run(*exp, fn)
+}

@@ -1,0 +1,115 @@
+// Command txcache-dbd runs the database daemon: the multiversion relational
+// engine with TxCache's modifications (paper §5) served over TCP. It
+// executes DDL from a schema file or pre-loads the RUBiS dataset, fans the
+// invalidation stream out to the configured cache nodes, and vacuums
+// periodically.
+//
+// Usage:
+//
+//	txcache-dbd -listen :7700 -caches cache1:7500,cache2:7500 -load-rubis inmem
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"txcache/internal/cacheserver"
+	"txcache/internal/db"
+	"txcache/internal/db/dbnet"
+	"txcache/internal/invalidation"
+	"txcache/internal/rubis"
+)
+
+func main() {
+	listen := flag.String("listen", ":7700", "address to listen on")
+	caches := flag.String("caches", "", "comma-separated cache node addresses for the invalidation stream")
+	schema := flag.String("schema", "", "file of semicolon-separated CREATE statements to run at startup")
+	loadRubis := flag.String("load-rubis", "", "pre-load the RUBiS dataset: test, inmem, or disk")
+	vacuumEvery := flag.Duration("vacuum-interval", 2*time.Second, "vacuum period")
+	diskPages := flag.Int("disk-pages", 0, "bound the buffer cache to this many pages (0 = in-memory)")
+	diskPenalty := flag.Duration("disk-penalty", 400*time.Microsecond, "simulated disk latency per buffer-cache miss")
+	flag.Parse()
+
+	bus := invalidation.NewBus(false)
+	opts := db.Options{Bus: bus}
+	if *diskPages > 0 {
+		opts.Pool = &db.PoolConfig{CapacityPages: *diskPages, MissPenalty: *diskPenalty}
+	}
+	engine := db.New(opts)
+
+	// Invalidation fan-out to cache nodes: the paper's reliable
+	// application-level multicast, realized as one ordered TCP push stream
+	// per node.
+	for _, addr := range strings.Split(*caches, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		cl, err := cacheserver.Dial(addr, 1)
+		if err != nil {
+			log.Fatalf("txcache-dbd: dial cache %s: %v", addr, err)
+		}
+		sub := bus.Subscribe()
+		go func(addr string) {
+			for m := range sub.C {
+				if err := cl.PushInvalidation(m); err != nil {
+					log.Printf("txcache-dbd: invalidation push to %s failed: %v", addr, err)
+				}
+			}
+		}(addr)
+	}
+
+	if *schema != "" {
+		text, err := os.ReadFile(*schema)
+		if err != nil {
+			log.Fatalf("txcache-dbd: %v", err)
+		}
+		for _, stmt := range strings.Split(string(text), ";") {
+			if strings.TrimSpace(stmt) == "" {
+				continue
+			}
+			if err := engine.DDL(stmt); err != nil {
+				log.Fatalf("txcache-dbd: schema: %v", err)
+			}
+		}
+		log.Printf("txcache-dbd: schema loaded from %s", *schema)
+	}
+	if *loadRubis != "" {
+		var sc rubis.Scale
+		switch *loadRubis {
+		case "test":
+			sc = rubis.TestScale
+		case "inmem":
+			sc = rubis.InMemoryScale
+		case "disk":
+			sc = rubis.DiskBoundScale
+		default:
+			log.Fatalf("txcache-dbd: unknown RUBiS scale %q", *loadRubis)
+		}
+		start := time.Now()
+		if _, err := rubis.Load(engine, sc, 1); err != nil {
+			log.Fatalf("txcache-dbd: load: %v", err)
+		}
+		log.Printf("txcache-dbd: RUBiS %s dataset loaded in %v (last commit %d)",
+			*loadRubis, time.Since(start).Round(time.Millisecond), engine.LastCommit())
+	}
+
+	go func() {
+		for range time.Tick(*vacuumEvery) {
+			if n := engine.Vacuum(); n > 0 {
+				log.Printf("txcache-dbd: vacuumed %d versions", n)
+			}
+		}
+	}()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("txcache-dbd: %v", err)
+	}
+	log.Printf("txcache-dbd: serving on %s", l.Addr())
+	log.Fatal((&dbnet.Server{Engine: engine}).Serve(l))
+}

@@ -1,0 +1,250 @@
+// Package bench builds complete in-process TxCache deployments and drives
+// the RUBiS workload against them, regenerating every figure and table of
+// the paper's evaluation (§8). Experiments run in real time against the
+// real engine; staleness limits are scaled by TimeScale because our scaled
+// dataset sees the paper's per-object update rates compressed into
+// seconds-long runs (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"txcache/internal/cacheserver"
+	"txcache/internal/clock"
+	"txcache/internal/core"
+	"txcache/internal/db"
+	"txcache/internal/invalidation"
+	"txcache/internal/pincushion"
+	"txcache/internal/rubis"
+)
+
+// TimeScale maps paper-seconds to bench-seconds: the paper's hour-long runs
+// against a full-size dataset become seconds-long runs against a 1/50-size
+// dataset, so one paper-second of staleness corresponds to TimeScale bench
+// seconds. All staleness knobs below are in PAPER seconds.
+const TimeScale = 0.1
+
+// scaled converts paper-seconds to a bench duration.
+func scaled(paperSeconds float64) time.Duration {
+	return time.Duration(paperSeconds * TimeScale * float64(time.Second))
+}
+
+// Mode selects the cache behavior under test (Figure 5's three lines).
+type Mode int
+
+// Modes.
+const (
+	// ModeBaseline runs RUBiS directly on the database, no cache.
+	ModeBaseline Mode = iota
+	// ModeTxCache is the full system.
+	ModeTxCache
+	// ModeNoConsistency keeps the invalidation machinery but reads any
+	// sufficiently fresh version, ignoring consistency (§8.3).
+	ModeNoConsistency
+)
+
+func (m Mode) String() string {
+	return [...]string{"baseline", "txcache", "no-consistency"}[m]
+}
+
+// SiteConfig describes one deployment under test.
+type SiteConfig struct {
+	Mode Mode
+	// Scale sizes the dataset; defaults to rubis.InMemoryScale.
+	Scale rubis.Scale
+	// CacheBytes is the total cache capacity across nodes; <= 0 unlimited.
+	CacheBytes int64
+	// CacheNodes is the number of cache servers (default 2).
+	CacheNodes int
+	// StalenessPaperSec is the BEGIN-RO staleness limit in paper seconds
+	// (default 30, the paper's standard setting).
+	StalenessPaperSec float64
+	// Pool, when set, bounds the database buffer cache to model the
+	// disk-bound configuration.
+	Pool *db.PoolConfig
+	// DisableValidityTracking turns off the database's TxCache support (to
+	// measure its overhead against stock behavior).
+	DisableValidityTracking bool
+	// EagerVisibilityCheck reverts to stock scan ordering (visibility
+	// before predicate), the ablation of §5.2's delayed-visibility-check
+	// design choice: masks widen, validity intervals shrink, hit rate
+	// drops.
+	EagerVisibilityCheck bool
+	Seed                 int64
+}
+
+// Site is a complete running deployment.
+type Site struct {
+	Cfg    SiteConfig
+	Engine *db.Engine
+	Bus    *invalidation.Bus
+	Nodes  []*cacheserver.Server
+	PC     *pincushion.Pincushion
+	Client *core.Client
+	App    *rubis.App
+
+	subs []*invalidation.Subscription
+	stop chan struct{}
+}
+
+// BuildSite constructs and loads a deployment.
+func BuildSite(cfg SiteConfig) (*Site, error) {
+	if cfg.Scale.Users == 0 {
+		cfg.Scale = rubis.InMemoryScale
+	}
+	if cfg.CacheNodes <= 0 {
+		cfg.CacheNodes = 2
+	}
+	if cfg.StalenessPaperSec == 0 {
+		cfg.StalenessPaperSec = 30
+	}
+	clk := clock.Real{}
+	bus := invalidation.NewBus(false)
+	engine := db.New(db.Options{
+		Clock: clk, Bus: bus, Pool: cfg.Pool,
+		DisableValidityTracking: cfg.DisableValidityTracking,
+		EagerVisibilityCheck:    cfg.EagerVisibilityCheck,
+	})
+	pc := pincushion.New(pincushion.Config{
+		Clock: clk,
+		DB:    engine,
+		// Retain pins for twice the staleness window (paper-scaled).
+		Retention: 2 * scaled(cfg.StalenessPaperSec+1),
+	})
+
+	s := &Site{Cfg: cfg, Engine: engine, Bus: bus, PC: pc, stop: make(chan struct{})}
+
+	nodes := map[string]cacheserver.Node{}
+	if cfg.Mode != ModeBaseline {
+		per := cfg.CacheBytes
+		if per > 0 {
+			per /= int64(cfg.CacheNodes)
+		}
+		for i := 0; i < cfg.CacheNodes; i++ {
+			n := cacheserver.New(cacheserver.Config{
+				CapacityBytes: per,
+				MaxStaleness:  2 * scaled(cfg.StalenessPaperSec+1),
+				Clock:         clk,
+			})
+			sub := bus.Subscribe()
+			go n.ConsumeStream(sub)
+			s.subs = append(s.subs, sub)
+			s.Nodes = append(s.Nodes, n)
+			nodes[fmt.Sprintf("cache%d", i)] = n
+		}
+	}
+
+	ds, err := rubis.Load(engine, cfg.Scale, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	// Seed each node's consistency horizon so still-valid entries are
+	// servable from the start (nodes subscribed before load, so they have
+	// replayed the stream; this is belt and braces for empty streams).
+	for _, n := range s.Nodes {
+		n.SetHorizon(engine.LastCommit(), clk.Now())
+	}
+
+	s.Client = core.NewClient(core.Config{
+		DB:                core.EngineDB{Engine: engine},
+		Nodes:             nodes,
+		Pincushion:        pc,
+		Clock:             clk,
+		FreshPinThreshold: scaled(5), // the paper's 5-second pin policy
+		NoConsistency:     cfg.Mode == ModeNoConsistency,
+	})
+	s.App = rubis.NewApp(s.Client, ds)
+
+	// Background maintenance: pincushion sweeper and engine vacuum, the
+	// asynchronous janitors of §5.1/§5.4.
+	go func() {
+		t := time.NewTicker(scaled(2))
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				pc.Sweep()
+				engine.Vacuum()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s, nil
+}
+
+// Close stops background maintenance.
+func (s *Site) Close() {
+	close(s.stop)
+	for _, sub := range s.subs {
+		sub.Close()
+	}
+}
+
+// CacheStats sums the stats across cache nodes.
+func (s *Site) CacheStats() cacheserver.Stats {
+	var total cacheserver.Stats
+	for _, n := range s.Nodes {
+		st := n.Stats()
+		total.Lookups += st.Lookups
+		total.Hits += st.Hits
+		total.MissCompulsory += st.MissCompulsory
+		total.MissConsistency += st.MissConsistency
+		total.MissStaleness += st.MissStaleness
+		total.MissCapacity += st.MissCapacity
+		total.Puts += st.Puts
+		total.Invalidations += st.Invalidations
+		total.Invalidated += st.Invalidated
+		total.EvictedCapacity += st.EvictedCapacity
+		total.EvictedStale += st.EvictedStale
+		total.BytesUsed += st.BytesUsed
+		total.Versions += st.Versions
+		total.Keys += st.Keys
+	}
+	return total
+}
+
+// ResetStats clears cache-node and library counters (after warmup).
+func (s *Site) ResetStats() {
+	for _, n := range s.Nodes {
+		n.ResetStats()
+	}
+}
+
+// RunResult is one measured point.
+type RunResult struct {
+	Mode       Mode
+	CacheBytes int64
+	Staleness  float64 // paper seconds
+	Throughput float64 // requests/second
+	HitRate    float64 // library-observed cache hit rate
+	Emu        rubis.EmulatorResult
+	Cache      cacheserver.Stats
+}
+
+// Run warms the site, resets counters, and measures for the given duration.
+func (s *Site) Run(clients int, warm, measure time.Duration, seed int64) RunResult {
+	staleness := scaled(s.Cfg.StalenessPaperSec)
+	rubis.RunEmulator(s.App, rubis.EmulatorConfig{
+		Clients: clients, Staleness: staleness, Duration: warm, Seed: seed,
+	})
+	s.ResetStats()
+	res := rubis.RunEmulator(s.App, rubis.EmulatorConfig{
+		Clients: clients, Staleness: staleness, Duration: measure, Seed: seed + 1,
+	})
+	cs := s.CacheStats()
+	hr := 0.0
+	if l := cs.Lookups; l > 0 {
+		hr = float64(cs.Hits) / float64(l)
+	}
+	return RunResult{
+		Mode:       s.Cfg.Mode,
+		CacheBytes: s.Cfg.CacheBytes,
+		Staleness:  s.Cfg.StalenessPaperSec,
+		Throughput: res.Throughput(),
+		HitRate:    hr,
+		Emu:        res,
+		Cache:      cs,
+	}
+}

@@ -1,0 +1,220 @@
+// Package btree implements an in-memory B+tree mapping byte-string keys to
+// posting lists of row IDs. It is the index structure for the database
+// substrate: non-unique secondary indexes store one posting per row version
+// whose key matches, and range scans walk the linked leaf level in order.
+//
+// The tree is not safe for concurrent mutation; the database serializes
+// writers per table. Concurrent readers with no writer are safe.
+package btree
+
+import "bytes"
+
+// degree is the maximum number of keys per node. Chosen so nodes stay within
+// a couple of cache lines of pointers; correctness does not depend on it.
+const degree = 32
+
+// Tree is a B+tree from []byte keys to []uint64 posting lists.
+// The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	size int // number of distinct keys
+}
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	children []*node    // internal nodes: len(children) == len(keys)+1
+	posts    [][]uint64 // leaves: parallel to keys
+	next     *node      // leaves: right sibling
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of distinct keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the posting list for key, or nil. The returned slice must not
+// be modified.
+func (t *Tree) Get(key []byte) []uint64 {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := search(n.keys, key)
+	if !ok {
+		return nil
+	}
+	return n.posts[i]
+}
+
+// Insert adds id to key's posting list. Duplicate (key, id) pairs are
+// coalesced; inserting an existing pair is a no-op.
+func (t *Tree) Insert(key []byte, id uint64) {
+	if t.root.full() {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if t.insert(t.root, key, id) {
+		t.size++
+	}
+}
+
+// insert descends into a non-full node. Reports whether a new distinct key
+// was created.
+func (t *Tree) insert(n *node, key []byte, id uint64) bool {
+	for !n.leaf {
+		i := childIndex(n.keys, key)
+		if n.children[i].full() {
+			n.splitChild(i)
+			// The split may have shifted the target child.
+			i = childIndex(n.keys, key)
+		}
+		n = n.children[i]
+	}
+	i, ok := search(n.keys, key)
+	if ok {
+		for _, p := range n.posts[i] {
+			if p == id {
+				return false
+			}
+		}
+		wasEmpty := len(n.posts[i]) == 0 // key logically deleted earlier
+		n.posts[i] = append(n.posts[i], id)
+		return wasEmpty
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	k := make([]byte, len(key))
+	copy(k, key)
+	n.keys[i] = k
+	n.posts = append(n.posts, nil)
+	copy(n.posts[i+1:], n.posts[i:])
+	n.posts[i] = []uint64{id}
+	return true
+}
+
+// Delete removes id from key's posting list. When the list becomes empty the
+// key is removed logically (empty posting lists are skipped by scans); node
+// merging is not performed, which is acceptable for our churn profile where
+// vacuumed keys are frequently reinserted.
+func (t *Tree) Delete(key []byte, id uint64) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := search(n.keys, key)
+	if !ok {
+		return false
+	}
+	ps := n.posts[i]
+	for j, p := range ps {
+		if p == id {
+			ps[j] = ps[len(ps)-1]
+			n.posts[i] = ps[:len(ps)-1]
+			if len(n.posts[i]) == 0 {
+				t.size--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// AscendRange calls fn for each key in [lo, hi) in ascending order, with its
+// posting list. A nil hi means "to the end". fn returning false stops the
+// scan. Keys with empty posting lists are skipped.
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key []byte, posts []uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, lo)]
+	}
+	i, _ := search(n.keys, lo)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return
+			}
+			if len(n.posts[i]) == 0 {
+				continue
+			}
+			if !fn(n.keys[i], n.posts[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Ascend calls fn for every key in ascending order.
+func (t *Tree) Ascend(fn func(key []byte, posts []uint64) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+func (n *node) full() bool { return len(n.keys) >= degree }
+
+// splitChild splits the full child at index i, hoisting its median key (for
+// internal children) or the first key of the right half (for leaves).
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	var sep []byte
+	right := &node{leaf: child.leaf}
+	if child.leaf {
+		mid := len(child.keys) / 2
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.posts = append(right.posts, child.posts[mid:]...)
+		child.keys = child.keys[:mid:mid]
+		child.posts = child.posts[:mid:mid]
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		mid := len(child.keys) / 2
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// search returns the index of the first key >= target, and whether it is an
+// exact match.
+func search(keys [][]byte, target []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && bytes.Equal(keys[lo], target)
+}
+
+// childIndex returns which child subtree of an internal node contains key.
+// Internal separator keys route keys >= sep to the right child, matching the
+// leaf-split convention above.
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

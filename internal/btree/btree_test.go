@@ -1,0 +1,243 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree should be empty")
+	}
+	if got := tr.Get([]byte("x")); got != nil {
+		t.Fatalf("Get on empty tree = %v", got)
+	}
+	calls := 0
+	tr.Ascend(func([]byte, []uint64) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatal("Ascend on empty tree should not call fn")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("b"), 2)
+	tr.Insert([]byte("a"), 1)
+	tr.Insert([]byte("c"), 3)
+	tr.Insert([]byte("a"), 10)
+	tr.Insert([]byte("a"), 1) // duplicate pair: no-op
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	got := tr.Get([]byte("a"))
+	want := map[uint64]bool{1: true, 10: true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Fatalf("Get(a) = %v", got)
+	}
+}
+
+func TestKeyAliasing(t *testing.T) {
+	tr := New()
+	key := []byte("mutate-me")
+	tr.Insert(key, 1)
+	key[0] = 'X' // caller reuses its buffer
+	if tr.Get([]byte("mutate-me")) == nil {
+		t.Fatal("tree must copy keys on insert")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("k"), 1)
+	tr.Insert([]byte("k"), 2)
+	if !tr.Delete([]byte("k"), 1) {
+		t.Fatal("Delete existing pair should return true")
+	}
+	if tr.Delete([]byte("k"), 99) {
+		t.Fatal("Delete missing id should return false")
+	}
+	if tr.Delete([]byte("nope"), 1) {
+		t.Fatal("Delete missing key should return false")
+	}
+	if got := tr.Get([]byte("k")); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Get after delete = %v", got)
+	}
+	tr.Delete([]byte("k"), 2)
+	if tr.Len() != 0 {
+		t.Fatalf("Len after deleting all = %d", tr.Len())
+	}
+	// Emptied keys must be invisible to scans.
+	tr.Ascend(func(k []byte, _ []uint64) bool {
+		t.Fatalf("scan visited emptied key %q", k)
+		return false
+	})
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("k%03d", i)), uint64(i))
+	}
+	var got []string
+	tr.AscendRange([]byte("k010"), []byte("k020"), func(k []byte, _ []uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != "k010" || got[9] != "k019" {
+		t.Fatalf("range scan got %v", got)
+	}
+	// Early stop.
+	n := 0
+	tr.Ascend(func([]byte, []uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Unbounded hi.
+	n = 0
+	tr.AscendRange([]byte("k090"), nil, func([]byte, []uint64) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("open-ended range visited %d, want 10", n)
+	}
+}
+
+// TestAgainstReference drives random operations against a map-based oracle.
+func TestAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	ref := map[string]map[uint64]bool{}
+	for op := 0; op < 50000; op++ {
+		key := fmt.Sprintf("key-%04d", rng.Intn(3000))
+		id := uint64(rng.Intn(5))
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Insert([]byte(key), id)
+			if ref[key] == nil {
+				ref[key] = map[uint64]bool{}
+			}
+			ref[key][id] = true
+		case 2:
+			got := tr.Delete([]byte(key), id)
+			want := ref[key][id]
+			if got != want {
+				t.Fatalf("op %d: Delete(%q,%d) = %v, want %v", op, key, id, got, want)
+			}
+			if want {
+				delete(ref[key], id)
+				if len(ref[key]) == 0 {
+					delete(ref, key)
+				}
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	// Point lookups.
+	for key, ids := range ref {
+		got := tr.Get([]byte(key))
+		if len(got) != len(ids) {
+			t.Fatalf("Get(%q) = %v, want %d ids", key, got, len(ids))
+		}
+		for _, id := range got {
+			if !ids[id] {
+				t.Fatalf("Get(%q) returned unexpected id %d", key, id)
+			}
+		}
+	}
+	// Full scan order and content.
+	var wantKeys []string
+	for k := range ref {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	i := 0
+	tr.Ascend(func(k []byte, posts []uint64) bool {
+		if i >= len(wantKeys) || string(k) != wantKeys[i] {
+			t.Fatalf("scan position %d: got %q, want %q", i, k, wantKeys[i])
+		}
+		if len(posts) != len(ref[string(k)]) {
+			t.Fatalf("scan %q: %d posts, want %d", k, len(posts), len(ref[string(k)]))
+		}
+		i++
+		return true
+	})
+	if i != len(wantKeys) {
+		t.Fatalf("scan visited %d keys, want %d", i, len(wantKeys))
+	}
+	// Random range scans against sorted reference.
+	for trial := 0; trial < 200; trial++ {
+		lo := fmt.Sprintf("key-%04d", rng.Intn(3000))
+		hi := fmt.Sprintf("key-%04d", rng.Intn(3000))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var got []string
+		tr.AscendRange([]byte(lo), []byte(hi), func(k []byte, _ []uint64) bool {
+			got = append(got, string(k))
+			return true
+		})
+		start := sort.SearchStrings(wantKeys, lo)
+		end := sort.SearchStrings(wantKeys, hi)
+		want := wantKeys[start:end]
+		if len(got) != len(want) {
+			t.Fatalf("range [%q,%q): got %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("range [%q,%q) position %d: got %q want %q", lo, hi, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	tr := New()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.Insert([]byte(fmt.Sprintf("%08d", i)), uint64(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	prev := []byte(nil)
+	count := 0
+	tr.Ascend(func(k []byte, posts []uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order at %q", k)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, 1<<16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%08d", i*2654435761%1000000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i&(1<<16-1)], uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert([]byte(fmt.Sprintf("%08d", i)), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get([]byte(fmt.Sprintf("%08d", i%100000)))
+	}
+}

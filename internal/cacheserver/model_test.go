@@ -1,0 +1,196 @@
+package cacheserver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+)
+
+// model_test.go checks the cache node against a brute-force oracle: a flat
+// list of (key, interval, tags) facts driven through random puts,
+// invalidations, and lookups. The oracle recomputes every entry's effective
+// validity from the full invalidation history, so any divergence in
+// truncation, ordering, or effective-bound logic shows up.
+
+type modelVersion struct {
+	key   string
+	lo    interval.Timestamp
+	hi    interval.Timestamp // Infinity while still valid
+	still bool
+	tags  []invalidation.Tag
+}
+
+type model struct {
+	versions  []*modelVersion
+	lastInval interval.Timestamp
+	msgs      []invalidation.Message // full history (the model never forgets)
+}
+
+func (m *model) put(key string, lo interval.Timestamp, hi interval.Timestamp, still bool, genSnap interval.Timestamp, tags []invalidation.Tag) {
+	for _, v := range m.versions {
+		if v.key == key && v.lo == lo {
+			return // duplicate suppression
+		}
+	}
+	nv := &modelVersion{key: key, lo: lo, hi: hi, still: still, tags: tags}
+	if still && len(tags) > 0 {
+		// Retroactive replay: an invalidation processed before this insert
+		// but after its generating snapshot truncates it.
+		for _, msg := range m.msgs {
+			if msg.TS <= genSnap {
+				continue
+			}
+			if matches(msg, tags) {
+				nv.still = false
+				nv.hi = msg.TS
+				break
+			}
+		}
+	}
+	if nv.lo >= nv.hi {
+		return
+	}
+	m.versions = append(m.versions, nv)
+}
+
+func matches(msg invalidation.Message, tags []invalidation.Tag) bool {
+	for _, mt := range msg.Tags {
+		for _, vt := range tags {
+			if mt.Wildcard && mt.Table == vt.Table {
+				return true
+			}
+			if vt.Wildcard && vt.Table == mt.Table {
+				return true
+			}
+			if mt == vt {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *model) invalidate(msg invalidation.Message) {
+	if msg.TS <= m.lastInval {
+		return
+	}
+	m.msgs = append(m.msgs, msg)
+	for _, v := range m.versions {
+		if !v.still {
+			continue
+		}
+		if matches(msg, v.tags) {
+			v.still = false
+			v.hi = msg.TS
+		}
+	}
+	m.lastInval = msg.TS
+}
+
+// lookup returns the newest version whose effective interval intersects
+// [lo, hi], mirroring the server's contract.
+func (m *model) lookup(key string, lo, hi interval.Timestamp) (*modelVersion, bool) {
+	var best *modelVersion
+	for _, v := range m.versions {
+		if v.key != key {
+			continue
+		}
+		effHi := v.hi
+		if v.still {
+			effHi = m.lastInval + 1
+		}
+		iv := interval.Interval{Lo: v.lo, Hi: effHi}
+		if !iv.OverlapsRange(lo, hi) {
+			continue
+		}
+		if best == nil || v.lo > best.lo {
+			best = v
+		}
+	}
+	return best, best != nil
+}
+
+func TestServerMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := New(Config{}) // unlimited capacity: the model has no eviction
+	m := &model{}
+
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	tables := []string{"t1", "t2", "t3"}
+	ts := interval.Timestamp(1)
+
+	randTags := func() []invalidation.Tag {
+		var tags []invalidation.Tag
+		n := rng.Intn(3) + 1
+		for i := 0; i < n; i++ {
+			table := tables[rng.Intn(len(tables))]
+			if rng.Intn(5) == 0 {
+				tags = append(tags, invalidation.WildcardTag(table))
+			} else {
+				tags = append(tags, invalidation.KeyTag(table, "k", fmt.Sprint(rng.Intn(4))))
+			}
+		}
+		return tags
+	}
+
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // put
+			key := keys[rng.Intn(len(keys))]
+			if rng.Intn(2) == 0 {
+				// Still-valid entry created at some recent commit.
+				lo := ts - interval.Timestamp(rng.Intn(3))
+				if lo < 1 {
+					lo = 1
+				}
+				tags := randTags()
+				s.Put(key, []byte("v"), interval.Interval{Lo: lo, Hi: interval.Infinity}, true, lo, tags)
+				m.put(key, lo, interval.Infinity, true, lo, tags)
+			} else {
+				// Historical closed version.
+				lo := interval.Timestamp(rng.Intn(int(ts)) + 1)
+				hi := lo + interval.Timestamp(rng.Intn(5)+1)
+				s.Put(key, []byte("v"), interval.Interval{Lo: lo, Hi: hi}, false, 0, nil)
+				m.put(key, lo, hi, false, 0, nil)
+			}
+		case 3, 4: // invalidation (a committed update transaction)
+			ts++
+			msg := invalidation.Message{TS: ts, Tags: randTags()}
+			s.ApplyInvalidation(msg)
+			m.invalidate(msg)
+		default: // lookup
+			key := keys[rng.Intn(len(keys))]
+			lo := interval.Timestamp(rng.Intn(int(ts)) + 1)
+			hi := lo + interval.Timestamp(rng.Intn(6))
+			got := s.Lookup(key, lo, hi, 0, interval.Infinity)
+			want, found := m.lookup(key, lo, hi)
+			if got.Found != found {
+				t.Fatalf("op %d: lookup(%q,[%d,%d]) found=%v, model=%v (lastInval %d)",
+					op, key, lo, hi, got.Found, found, m.lastInval)
+			}
+			if found {
+				if got.Validity.Lo != want.lo {
+					t.Fatalf("op %d: lookup(%q,[%d,%d]) returned version lo=%d, model wants lo=%d",
+						op, key, lo, hi, got.Validity.Lo, want.lo)
+				}
+				wantHi := want.hi
+				if want.still {
+					wantHi = m.lastInval + 1
+				}
+				if got.Validity.Hi != wantHi {
+					t.Fatalf("op %d: effective hi=%d, model wants %d (still=%v)",
+						op, got.Validity.Hi, wantHi, want.still)
+				}
+			}
+		}
+	}
+	// Final sanity: every still-valid server answer must also be
+	// still-valid in the model.
+	st := s.Stats()
+	if st.Lookups == 0 || st.Puts == 0 || st.Invalidations == 0 {
+		t.Fatalf("vacuous run: %+v", st)
+	}
+}

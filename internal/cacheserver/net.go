@@ -1,0 +1,315 @@
+package cacheserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+	"txcache/internal/wire"
+)
+
+// Node is the interface the TxCache library uses to talk to one cache
+// server; *Server implements it directly (in-process deployments, tests)
+// and *Client implements it over TCP.
+type Node interface {
+	Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult
+	Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.Tag)
+	Stats() Stats
+	ResetStats()
+}
+
+var (
+	_ Node = (*Server)(nil)
+	_ Node = (*Client)(nil)
+)
+
+// Protocol opcodes.
+const (
+	opLookup     byte = 1
+	opLookupResp byte = 2
+	opPut        byte = 3
+	opAck        byte = 4
+	opStats      byte = 5
+	opStatsResp  byte = 6
+	opInval      byte = 7
+	opResetStats byte = 8
+	opErr        byte = 9
+)
+
+// Serve accepts request connections on l until l is closed. A connection
+// carrying invalidation messages (opInval) is the stream from the database;
+// any connection may mix request types.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if resp != nil {
+			if err := wire.WriteFrame(conn, resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handle processes one request frame, returning the response frame (nil for
+// fire-and-forget invalidation pushes).
+func (s *Server) handle(req []byte) []byte {
+	d := wire.NewDecoder(req)
+	switch op := d.Op(); op {
+	case opLookup:
+		key := d.Str()
+		lo := interval.Timestamp(d.U64())
+		hi := interval.Timestamp(d.U64())
+		origLo := interval.Timestamp(d.U64())
+		origHi := interval.Timestamp(d.U64())
+		if d.Err() != nil {
+			return errFrame(d.Err())
+		}
+		r := s.Lookup(key, lo, hi, origLo, origHi)
+		e := wire.NewBuffer(opLookupResp)
+		e.Bool(r.Found).U8(byte(r.Miss))
+		e.U64(uint64(r.Validity.Lo)).U64(uint64(r.Validity.Hi)).Bool(r.Still)
+		e.U32(uint32(len(r.Tags)))
+		for _, t := range r.Tags {
+			e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
+		}
+		e.Blob(r.Data)
+		return e.Bytes()
+	case opPut:
+		key := d.Str()
+		lo := interval.Timestamp(d.U64())
+		hi := interval.Timestamp(d.U64())
+		still := d.Bool()
+		genSnap := interval.Timestamp(d.U64())
+		n := d.U32()
+		tags := make([]invalidation.Tag, 0, n)
+		for i := uint32(0); i < n; i++ {
+			tags = append(tags, invalidation.Tag{Table: d.Str(), Key: d.Str(), Wildcard: d.Bool()})
+		}
+		data := d.Blob()
+		if d.Err() != nil {
+			return errFrame(d.Err())
+		}
+		// Copy data out of the request buffer before it is reused.
+		s.Put(key, append([]byte(nil), data...), interval.Interval{Lo: lo, Hi: hi}, still, genSnap, tags)
+		return wire.NewBuffer(opAck).Bytes()
+	case opStats:
+		if d.Bool() { // reset flag
+			s.ResetStats()
+			return wire.NewBuffer(opAck).Bytes()
+		}
+		st := s.Stats()
+		e := wire.NewBuffer(opStatsResp)
+		e.U64(st.Lookups).U64(st.Hits)
+		e.U64(st.MissCompulsory).U64(st.MissConsistency).U64(st.MissStaleness).U64(st.MissCapacity)
+		e.U64(st.Puts).U64(st.Invalidations).U64(st.Invalidated)
+		e.U64(st.EvictedCapacity).U64(st.EvictedStale)
+		e.I64(st.BytesUsed).I64(int64(st.Versions)).I64(int64(st.Keys))
+		return e.Bytes()
+	case opInval:
+		m, err := invalidation.DecodeMessage(d)
+		if err != nil {
+			return errFrame(err)
+		}
+		s.ApplyInvalidation(m)
+		return nil // stream pushes are not acknowledged
+	default:
+		return errFrame(fmt.Errorf("cacheserver: unknown opcode %d", op))
+	}
+}
+
+func errFrame(err error) []byte {
+	return wire.NewBuffer(opErr).Str(err.Error()).Bytes()
+}
+
+// Client is a TCP client for a cache node, usable concurrently: requests
+// are multiplexed over a small pool of connections.
+type Client struct {
+	addr string
+	pool chan net.Conn
+}
+
+// DefaultPoolSize is the number of TCP connections a Client keeps per node.
+const DefaultPoolSize = 4
+
+// Dial connects to a cache node.
+func Dial(addr string, poolSize int) (*Client, error) {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	c := &Client{addr: addr, pool: make(chan net.Conn, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.pool <- conn
+	}
+	return c, nil
+}
+
+// Close tears down the connection pool.
+func (c *Client) Close() {
+	for {
+		select {
+		case conn := <-c.pool:
+			conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// roundTrip sends one frame and reads one response frame on a pooled
+// connection. Broken connections are redialed once.
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	conn := <-c.pool
+	resp, err := func() ([]byte, error) {
+		if err := wire.WriteFrame(conn, req); err != nil {
+			return nil, err
+		}
+		return wire.ReadFrame(conn)
+	}()
+	if err != nil {
+		conn.Close()
+		conn, err2 := net.Dial("tcp", c.addr)
+		if err2 != nil {
+			// Put a dead placeholder back so the pool does not drain; the
+			// next user will redial again.
+			go func() {
+				if nc, e := net.Dial("tcp", c.addr); e == nil {
+					c.pool <- nc
+				} else {
+					c.pool <- deadConn{}
+				}
+			}()
+			return nil, err
+		}
+		c.pool <- conn
+		return nil, err
+	}
+	c.pool <- conn
+	if len(resp) > 0 && resp[0] == opErr {
+		d := wire.NewDecoder(resp)
+		d.Op()
+		return nil, errors.New(d.Str())
+	}
+	return resp, nil
+}
+
+// Lookup implements Node over TCP. Network errors degrade to a compulsory
+// miss: the cache is an optimization, never required for correctness.
+func (c *Client) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
+	e := wire.NewBuffer(opLookup)
+	e.Str(key).U64(uint64(lo)).U64(uint64(hi)).U64(uint64(origLo)).U64(uint64(origHi))
+	resp, err := c.roundTrip(e.Bytes())
+	if err != nil {
+		return LookupResult{Miss: MissCompulsory}
+	}
+	d := wire.NewDecoder(resp)
+	if d.Op() != opLookupResp {
+		return LookupResult{Miss: MissCompulsory}
+	}
+	var r LookupResult
+	r.Found = d.Bool()
+	r.Miss = MissKind(d.U8())
+	r.Validity.Lo = interval.Timestamp(d.U64())
+	r.Validity.Hi = interval.Timestamp(d.U64())
+	r.Still = d.Bool()
+	if n := d.U32(); n > 0 && d.Err() == nil {
+		r.Tags = make([]invalidation.Tag, 0, n)
+		for i := uint32(0); i < n; i++ {
+			r.Tags = append(r.Tags, invalidation.Tag{Table: d.Str(), Key: d.Str(), Wildcard: d.Bool()})
+		}
+	}
+	r.Data = append([]byte(nil), d.Blob()...)
+	if d.Err() != nil {
+		return LookupResult{Miss: MissCompulsory}
+	}
+	return r
+}
+
+// Put implements Node over TCP. Errors are ignored (best-effort insert).
+func (c *Client) Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.Tag) {
+	e := wire.NewBuffer(opPut)
+	e.Str(key).U64(uint64(iv.Lo)).U64(uint64(iv.Hi)).Bool(still).U64(uint64(genSnap))
+	e.U32(uint32(len(tags)))
+	for _, t := range tags {
+		e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
+	}
+	e.Blob(data)
+	c.roundTrip(e.Bytes()) //nolint:errcheck // best effort
+}
+
+// Stats implements Node over TCP.
+func (c *Client) Stats() Stats {
+	resp, err := c.roundTrip(wire.NewBuffer(opStats).Bool(false).Bytes())
+	if err != nil {
+		return Stats{}
+	}
+	d := wire.NewDecoder(resp)
+	if d.Op() != opStatsResp {
+		return Stats{}
+	}
+	var st Stats
+	st.Lookups = d.U64()
+	st.Hits = d.U64()
+	st.MissCompulsory = d.U64()
+	st.MissConsistency = d.U64()
+	st.MissStaleness = d.U64()
+	st.MissCapacity = d.U64()
+	st.Puts = d.U64()
+	st.Invalidations = d.U64()
+	st.Invalidated = d.U64()
+	st.EvictedCapacity = d.U64()
+	st.EvictedStale = d.U64()
+	st.BytesUsed = d.I64()
+	st.Versions = int(d.I64())
+	st.Keys = int(d.I64())
+	return st
+}
+
+// ResetStats implements Node over TCP.
+func (c *Client) ResetStats() {
+	c.roundTrip(wire.NewBuffer(opStats).Bool(true).Bytes()) //nolint:errcheck
+}
+
+// PushInvalidation delivers one stream message to the node (used by the
+// database daemon's stream fan-out).
+func (c *Client) PushInvalidation(m invalidation.Message) error {
+	conn := <-c.pool
+	defer func() { c.pool <- conn }()
+	return wire.WriteFrame(conn, m.Encode(opInval))
+}
+
+// deadConn is a placeholder for a connection that could not be redialed.
+type deadConn struct{}
+
+func (deadConn) Read([]byte) (int, error)         { return 0, errors.New("cacheserver: dead connection") }
+func (deadConn) Write([]byte) (int, error)        { return 0, errors.New("cacheserver: dead connection") }
+func (deadConn) Close() error                     { return nil }
+func (deadConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (deadConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (deadConn) SetDeadline(time.Time) error      { return nil }
+func (deadConn) SetReadDeadline(time.Time) error  { return nil }
+func (deadConn) SetWriteDeadline(time.Time) error { return nil }
+
+var _ net.Conn = deadConn{}

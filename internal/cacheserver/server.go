@@ -1,0 +1,557 @@
+// Package cacheserver implements the versioned cache node (paper §4): a
+// hash table whose entries carry validity intervals, support lookups by
+// timestamp bounds, and are kept current by the database's ordered
+// invalidation stream using dual-granularity invalidation tags.
+package cacheserver
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+
+	"txcache/internal/clock"
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+)
+
+// MissKind classifies a cache miss, following the CPU-cache-inspired
+// taxonomy of paper §8.3 (Figure 8).
+type MissKind int
+
+// Miss kinds. Unlike the paper's server, ours can distinguish staleness
+// from capacity misses; reports may merge them to match Figure 8.
+const (
+	MissNone MissKind = iota // it was a hit
+	// MissCompulsory: the key was never stored in this cache.
+	MissCompulsory
+	// MissConsistency: a sufficiently fresh version exists, but none
+	// overlaps the transaction's pin-set bounds.
+	MissConsistency
+	// MissStaleness: versions exist but all have been invalidated beyond
+	// the freshness window.
+	MissStaleness
+	// MissCapacity: a usable version was evicted to free memory.
+	MissCapacity
+)
+
+func (k MissKind) String() string {
+	return [...]string{"hit", "compulsory", "consistency", "staleness", "capacity"}[k]
+}
+
+// perVersionOverhead approximates the bookkeeping bytes charged per cached
+// version on top of key and payload.
+const perVersionOverhead = 128
+
+// version is one cached value version.
+type version struct {
+	key   string
+	iv    interval.Interval
+	still bool // still-valid: subscribed to invalidations
+	tags  []invalidation.Tag
+	data  []byte
+	size  int64
+	lru   *list.Element
+	// hiWall is the wall time at which the version was invalidated
+	// (zero while still valid or unknown).
+	hiWall time.Time
+}
+
+// effHi is the version's effective exclusive upper bound for lookups:
+// still-valid entries are bounded by the last invalidation processed,
+// eliminating the insert/invalidate race (paper §4.2).
+func (v *version) effHi(lastInval interval.Timestamp) interval.Timestamp {
+	if v.still {
+		return lastInval + 1
+	}
+	return v.iv.Hi
+}
+
+// entry is the per-key state. It survives eviction of all its versions so
+// the server can classify later misses.
+type entry struct {
+	key       string
+	versions  []*version // sorted by iv.Lo ascending
+	everPut   bool
+	capacityE bool // a version was evicted for capacity since the last put
+}
+
+// Config configures a cache node.
+type Config struct {
+	// CapacityBytes bounds memory charged to cached versions; <= 0 means
+	// unlimited.
+	CapacityBytes int64
+	// MaxStaleness lets the server eagerly drop versions invalidated more
+	// than this long ago ("too stale to be useful", §4.1); 0 disables.
+	MaxStaleness time.Duration
+	// HistoryLen bounds the retained invalidation-message ring used to
+	// order late still-valid inserts against already-processed
+	// invalidations. Defaults to 4096 messages.
+	HistoryLen int
+	// Clock supplies wall time; defaults to the real clock.
+	Clock clock.Clock
+}
+
+// Server is one cache node. All methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+	clk clock.Clock
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lruList *list.List // *version; front = most recently used
+	used    int64
+
+	// Invalidation state.
+	lastInval     interval.Timestamp
+	lastInvalWall time.Time
+	exact         map[string]map[*version]struct{} // key tag -> still-valid versions
+	tableDeps     map[string]map[*version]struct{} // table -> all still-valid versions with any tag on it
+	wildDeps      map[string]map[*version]struct{} // table -> still-valid versions with a wildcard tag on it
+	msgCount      uint64
+
+	// hist retains recent stream messages so a still-valid insert that
+	// arrives after a matching invalidation was already processed can be
+	// truncated retroactively (the other half of §4.2's ordering argument:
+	// entries and invalidations carry the same timestamps, so the node can
+	// order a late insert against messages it has already seen). histFloor
+	// is the newest timestamp dropped from the ring: inserts generated at
+	// snapshots older than it cannot be checked and are closed
+	// conservatively.
+	hist      []invalidation.Message
+	histFloor interval.Timestamp
+
+	stats Stats
+}
+
+// Stats are cumulative cache-node counters.
+type Stats struct {
+	Lookups         uint64
+	Hits            uint64
+	MissCompulsory  uint64
+	MissConsistency uint64
+	MissStaleness   uint64
+	MissCapacity    uint64
+	Puts            uint64
+	Invalidations   uint64 // stream messages processed
+	Invalidated     uint64 // versions whose intervals were truncated
+	EvictedCapacity uint64
+	EvictedStale    uint64
+	BytesUsed       int64
+	Versions        int
+	Keys            int
+}
+
+// Misses returns the total miss count.
+func (s Stats) Misses() uint64 {
+	return s.MissCompulsory + s.MissConsistency + s.MissStaleness + s.MissCapacity
+}
+
+// HitRate returns hits / lookups, or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// New creates a cache node.
+func New(cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.HistoryLen <= 0 {
+		cfg.HistoryLen = 4096
+	}
+	return &Server{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		entries:   make(map[string]*entry),
+		lruList:   list.New(),
+		exact:     make(map[string]map[*version]struct{}),
+		tableDeps: make(map[string]map[*version]struct{}),
+		wildDeps:  make(map[string]map[*version]struct{}),
+	}
+}
+
+// LookupResult is the reply to a Lookup.
+type LookupResult struct {
+	Found bool
+	Data  []byte
+	// Validity is the effective validity interval of the returned version:
+	// still-valid entries are reported with Hi = lastInval+1, the newest
+	// timestamp this node knows to be consistent.
+	Validity interval.Interval
+	// Still reports whether the version is still valid (unbounded upstream).
+	Still bool
+	// Tags are the version's invalidation tags, returned for still-valid
+	// hits so nested cacheable calls can attach the dependencies to their
+	// enclosing functions (paper §6.3). Nil for invalidated versions,
+	// whose bounded validity already says everything.
+	Tags []invalidation.Tag
+	Miss MissKind // when !Found
+}
+
+// Lookup finds the most recent version of key whose effective validity
+// interval intersects the inclusive timestamp range [lo, hi] — the bounds
+// of the requesting transaction's pin set. origLo/origHi are the bounds of
+// the transaction's pin set at BEGIN time (its unconstrained freshness
+// window), used only to classify consistency misses.
+func (s *Server) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Lookups++
+
+	ent := s.entries[key]
+	if ent == nil || !ent.everPut {
+		s.stats.MissCompulsory++
+		return LookupResult{Miss: MissCompulsory}
+	}
+	var best *version
+	usableFresh := false
+	for i := len(ent.versions) - 1; i >= 0; i-- {
+		v := ent.versions[i]
+		effIv := interval.Interval{Lo: v.iv.Lo, Hi: v.effHi(s.lastInval)}
+		if effIv.OverlapsRange(lo, hi) {
+			best = v
+			break
+		}
+		if effIv.OverlapsRange(origLo, origHi) {
+			usableFresh = true
+		}
+	}
+	if best == nil {
+		switch {
+		case usableFresh:
+			s.stats.MissConsistency++
+			return LookupResult{Miss: MissConsistency}
+		case ent.capacityE:
+			s.stats.MissCapacity++
+			return LookupResult{Miss: MissCapacity}
+		default:
+			s.stats.MissStaleness++
+			return LookupResult{Miss: MissStaleness}
+		}
+	}
+	s.lruList.MoveToFront(best.lru)
+	s.stats.Hits++
+	r := LookupResult{
+		Found:    true,
+		Data:     best.data,
+		Validity: interval.Interval{Lo: best.iv.Lo, Hi: best.effHi(s.lastInval)},
+		Still:    best.still,
+	}
+	if best.still {
+		r.Tags = append([]invalidation.Tag(nil), best.tags...)
+	}
+	return r
+}
+
+// Put stores a version of key valid over iv. If still is set, the entry
+// reflects the database state as of the generating snapshot genSnap (the
+// snapshot the computing transaction ran at) and will be invalidated when
+// a committed transaction touches any of its tags. Put never fails; under
+// memory pressure it evicts least-recently-used versions.
+//
+// A still-valid insert may arrive after the node has already processed an
+// invalidation that affects it (the flip side of §4.2's ordering race).
+// The node replays its retained message history over (genSnap, lastInval]:
+// a matching message truncates the entry retroactively; if the history no
+// longer reaches back to genSnap, the entry is conservatively closed at
+// genSnap+1 — correct for past readers, merely less reusable.
+func (s *Server) Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.Tag) {
+	if iv.Empty() && !still {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+
+	ent := s.entries[key]
+	if ent == nil {
+		ent = &entry{key: key}
+		s.entries[key] = ent
+	}
+	ent.everPut = true
+	ent.capacityE = false
+
+	// Duplicate suppression: another application server may have raced us
+	// computing the same value. Versions of one key have disjoint true
+	// validity intervals, so an equal Lo means the same version.
+	pos := sort.Search(len(ent.versions), func(i int) bool { return ent.versions[i].iv.Lo >= iv.Lo })
+	if pos < len(ent.versions) && ent.versions[pos].iv.Lo == iv.Lo {
+		return
+	}
+
+	v := &version{
+		key:   key,
+		iv:    iv,
+		still: still,
+		tags:  tags,
+		data:  data,
+		size:  int64(len(key)+len(data)) + perVersionOverhead,
+	}
+	if still {
+		v.iv.Hi = interval.Infinity
+		switch {
+		case len(tags) == 0:
+			// A pure function of its arguments: no database dependencies,
+			// nothing can ever invalidate it.
+		case genSnap < s.histFloor:
+			// History cannot prove no invalidation hit it in
+			// (genSnap, lastInval]; close it at the last timestamp the
+			// generating transaction proved it valid.
+			v.still = false
+			v.iv.Hi = genSnap + 1
+		default:
+			// History is sorted by timestamp: replay only (genSnap, ...].
+			start := sort.Search(len(s.hist), func(i int) bool { return s.hist[i].TS > genSnap })
+			for _, m := range s.hist[start:] {
+				if messageMatches(m, tags) {
+					v.still = false
+					v.iv.Hi = m.TS
+					v.hiWall = m.WallTime
+					break
+				}
+			}
+		}
+		if v.iv.Empty() {
+			return
+		}
+		if v.still {
+			s.registerTags(v)
+		}
+	}
+	ent.versions = append(ent.versions, nil)
+	copy(ent.versions[pos+1:], ent.versions[pos:])
+	ent.versions[pos] = v
+	v.lru = s.lruList.PushFront(v)
+	s.used += v.size
+
+	for s.cfg.CapacityBytes > 0 && s.used > s.cfg.CapacityBytes && s.lruList.Len() > 1 {
+		back := s.lruList.Back()
+		if back == v.lru {
+			break // never evict the version we just inserted
+		}
+		s.evict(back.Value.(*version), true)
+	}
+}
+
+// evict removes a version; capacity marks the reason.
+func (s *Server) evict(v *version, capacity bool) {
+	ent := s.entries[v.key]
+	for i, cand := range ent.versions {
+		if cand == v {
+			ent.versions = append(ent.versions[:i], ent.versions[i+1:]...)
+			break
+		}
+	}
+	if capacity {
+		ent.capacityE = true
+		s.stats.EvictedCapacity++
+	} else {
+		s.stats.EvictedStale++
+	}
+	s.lruList.Remove(v.lru)
+	s.used -= v.size
+	if v.still {
+		s.unregisterTags(v)
+	}
+}
+
+func (s *Server) registerTags(v *version) {
+	for _, t := range v.tags {
+		if t.Wildcard {
+			addDep(s.wildDeps, t.Table, v)
+		} else {
+			k := t.String()
+			set := s.exact[k]
+			if set == nil {
+				set = make(map[*version]struct{})
+				s.exact[k] = set
+			}
+			set[v] = struct{}{}
+		}
+		addDep(s.tableDeps, t.Table, v)
+	}
+}
+
+func (s *Server) unregisterTags(v *version) {
+	for _, t := range v.tags {
+		if t.Wildcard {
+			delDep(s.wildDeps, t.Table, v)
+		} else {
+			k := t.String()
+			if set := s.exact[k]; set != nil {
+				delete(set, v)
+				if len(set) == 0 {
+					delete(s.exact, k)
+				}
+			}
+		}
+		delDep(s.tableDeps, t.Table, v)
+	}
+}
+
+// messageMatches reports whether any tag of the message matches any of the
+// entry's dependency tags, honoring wildcards in both directions.
+func messageMatches(m invalidation.Message, tags []invalidation.Tag) bool {
+	for _, mt := range m.Tags {
+		for _, vt := range tags {
+			if mt.Wildcard && mt.Table == vt.Table {
+				return true
+			}
+			if vt.Wildcard && vt.Table == mt.Table {
+				return true
+			}
+			if mt == vt {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func addDep(m map[string]map[*version]struct{}, k string, v *version) {
+	set := m[k]
+	if set == nil {
+		set = make(map[*version]struct{})
+		m[k] = set
+	}
+	set[v] = struct{}{}
+}
+
+func delDep(m map[string]map[*version]struct{}, k string, v *version) {
+	if set := m[k]; set != nil {
+		delete(set, v)
+		if len(set) == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// ApplyInvalidation processes one invalidation-stream message. Messages
+// must be applied in timestamp order; stale or duplicate messages are
+// ignored. For every affected still-valid version, the validity interval is
+// truncated at the message's timestamp — atomically for all tags of the
+// message, because the whole message is applied under one lock (paper §4.2).
+func (s *Server) ApplyInvalidation(m invalidation.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.TS <= s.lastInval {
+		return
+	}
+	s.stats.Invalidations++
+	affected := make(map[*version]struct{})
+	for _, t := range m.Tags {
+		if t.Wildcard {
+			for v := range s.tableDeps[t.Table] {
+				affected[v] = struct{}{}
+			}
+			continue
+		}
+		for v := range s.exact[t.String()] {
+			affected[v] = struct{}{}
+		}
+		// A cached value that depends on a scan of the table is affected by
+		// any change to the table (dual granularity).
+		for v := range s.wildDeps[t.Table] {
+			affected[v] = struct{}{}
+		}
+	}
+	for v := range affected {
+		v.iv.Hi = m.TS
+		v.still = false
+		v.hiWall = m.WallTime
+		s.unregisterTags(v)
+		s.stats.Invalidated++
+	}
+	s.lastInval = m.TS
+	s.lastInvalWall = m.WallTime
+
+	// Retain the message for late still-valid inserts. Compaction is
+	// deferred until the slice doubles so its cost amortizes to O(1).
+	s.hist = append(s.hist, m)
+	if len(s.hist) > 2*s.cfg.HistoryLen {
+		drop := len(s.hist) - s.cfg.HistoryLen
+		s.histFloor = s.hist[drop-1].TS
+		s.hist = append(s.hist[:0:0], s.hist[drop:]...)
+	}
+
+	// Periodic eager staleness sweep (§4.1).
+	s.msgCount++
+	if s.cfg.MaxStaleness > 0 && s.msgCount%64 == 0 {
+		s.sweepStaleLocked()
+	}
+}
+
+// sweepStaleLocked drops versions invalidated longer than MaxStaleness ago.
+func (s *Server) sweepStaleLocked() {
+	cutoff := s.clk.Now().Add(-s.cfg.MaxStaleness)
+	var victims []*version
+	for e := s.lruList.Back(); e != nil; e = e.Prev() {
+		v := e.Value.(*version)
+		if !v.still && !v.hiWall.IsZero() && v.hiWall.Before(cutoff) {
+			victims = append(victims, v)
+		}
+	}
+	for _, v := range victims {
+		s.evict(v, false)
+	}
+}
+
+// SweepStale runs the eager staleness sweep immediately.
+func (s *Server) SweepStale() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepStaleLocked()
+}
+
+// SetHorizon advances the node's consistency horizon (the timestamp of the
+// last known invalidation) without a stream message. It is used to
+// bootstrap a node that joins after history it will never replay: until the
+// horizon is seeded from the database's current commit timestamp, the node
+// refuses to serve still-valid entries (their effective validity intervals
+// are empty), which is safe but useless. Regressions are ignored.
+func (s *Server) SetHorizon(ts interval.Timestamp, wall time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts > s.lastInval {
+		s.lastInval = ts
+		s.lastInvalWall = wall
+	}
+}
+
+// LastInvalidation returns the timestamp of the newest stream message
+// processed.
+func (s *Server) LastInvalidation() interval.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastInval
+}
+
+// Stats returns a snapshot of counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.BytesUsed = s.used
+	st.Versions = s.lruList.Len()
+	st.Keys = len(s.entries)
+	return st
+}
+
+// ResetStats zeroes the counters (memory usage gauges are recomputed).
+func (s *Server) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// ConsumeStream applies messages from sub until it closes. Run it in a
+// goroutine per cache node.
+func (s *Server) ConsumeStream(sub *invalidation.Subscription) {
+	for m := range sub.C {
+		s.ApplyInvalidation(m)
+	}
+}

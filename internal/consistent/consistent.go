@@ -1,0 +1,114 @@
+// Package consistent implements a consistent-hashing ring with virtual
+// nodes. The TxCache library uses it to map cache keys to cache servers
+// (paper §4): every application node maintains the complete server list, so
+// a key maps to its responsible node with no lookup round trip, and adding
+// or removing a node only remaps a 1/n fraction of keys.
+package consistent
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the number of virtual nodes per server. 128 keeps the
+// load spread within a few percent for small clusters.
+const DefaultReplicas = 256
+
+// Ring is a consistent-hashing ring. It is safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point // sorted by hash
+	nodes    map[string]bool
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// New returns an empty ring with replicas virtual nodes per server;
+// replicas <= 0 selects DefaultReplicas.
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a mixes similar short strings (node#0, node#1, ...) poorly in the
+	// high bits; finish with a splitmix64 avalanche for a uniform ring.
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hashKey(fmt.Sprintf("%s#%d", node, i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Get returns the node responsible for key, or "" if the ring is empty.
+func (r *Ring) Get(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the current node set in unspecified order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}

@@ -1,0 +1,98 @@
+package consistent
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if got := r.Get("anything"); got != "" {
+		t.Fatalf("empty ring Get = %q", got)
+	}
+	if r.Len() != 0 {
+		t.Fatal("empty ring Len != 0")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	r := New(0)
+	r.Add("cache1")
+	for i := 0; i < 100; i++ {
+		if got := r.Get(fmt.Sprintf("key%d", i)); got != "cache1" {
+			t.Fatalf("Get = %q, want cache1", got)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r1, r2 := New(0), New(0)
+	for _, n := range []string{"a", "b", "c"} {
+		r1.Add(n)
+		r2.Add(n)
+	}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key%d", i)
+		if r1.Get(k) != r2.Get(k) {
+			t.Fatalf("rings disagree on %q", k)
+		}
+	}
+}
+
+func TestIdempotentAddRemove(t *testing.T) {
+	r := New(0)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate add", r.Len())
+	}
+	r.Remove("missing") // no-op
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after remove", r.Len())
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := New(0)
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Get(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s has share %.2f, want roughly 0.25", n, share)
+		}
+	}
+}
+
+// TestMinimalRemapping verifies the defining property of consistent hashing:
+// removing one of n nodes remaps only that node's keys.
+func TestMinimalRemapping(t *testing.T) {
+	r := New(0)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		r.Add(n)
+	}
+	const keys = 5000
+	before := make([]string, keys)
+	for i := 0; i < keys; i++ {
+		before[i] = r.Get(fmt.Sprintf("key-%d", i))
+	}
+	r.Remove("n3")
+	for i := 0; i < keys; i++ {
+		after := r.Get(fmt.Sprintf("key-%d", i))
+		if before[i] != "n3" && after != before[i] {
+			t.Fatalf("key-%d moved from %s to %s though n3 was removed", i, before[i], after)
+		}
+		if after == "n3" {
+			t.Fatalf("key-%d still maps to removed node", i)
+		}
+	}
+}

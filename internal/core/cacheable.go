@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"txcache/internal/cacheserver"
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+	"txcache/internal/sql"
+)
+
+// Cacheable is a cacheable function over values of type T: a pure function
+// of its arguments and the database state (paper §2.1). The wrapper returned
+// by MakeCacheable memoizes it through the cache cluster.
+type Cacheable[T any] func(tx *Tx, args ...sql.Value) (T, error)
+
+// MakeCacheable wraps fn (paper Figure 2): the wrapper first consults the
+// cache for the result of a prior call with the same arguments consistent
+// with the transaction's pin set; on a miss it runs fn, accumulating the
+// validity intervals and invalidation tags of every query fn makes, and
+// installs the result. name must uniquely identify the function across the
+// application (it is the cache-key prefix). T must be gob-encodable.
+func MakeCacheable[T any](c *Client, name string, fn Cacheable[T]) Cacheable[T] {
+	return func(tx *Tx, args ...sql.Value) (T, error) {
+		var zero T
+		if tx == nil || tx.done {
+			return zero, ErrTxDone
+		}
+		// Read/write transactions bypass the cache entirely so TxCache
+		// introduces no new anomalies (paper §2.2). Caching is also skipped
+		// when no cache nodes are configured (the no-cache baseline).
+		if tx.rw || !tx.c.CacheEnabled() {
+			return fn(tx, args...)
+		}
+
+		key := cacheKey(name, args)
+		node := tx.c.node(key)
+
+		if data, ok := tx.lookup(node, key); ok {
+			var out T
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err == nil {
+				return out, nil
+			}
+			// Undecodable cached bytes (e.g. the type changed across a
+			// deploy): fall through and recompute.
+		}
+
+		// Miss: execute the implementation under a fresh frame.
+		f := newFrame()
+		tx.frames = append(tx.frames, f)
+		out, err := fn(tx, args...)
+		tx.frames = tx.frames[:len(tx.frames)-1]
+		if err != nil {
+			return zero, err
+		}
+
+		// Install the result tagged with the accumulated validity interval
+		// and dependency set.
+		var buf bytes.Buffer
+		if encErr := gob.NewEncoder(&buf).Encode(&out); encErr == nil {
+			tx.put(node, key, buf.Bytes(), f)
+		}
+		return out, nil
+	}
+}
+
+// cacheKey serializes the function name and arguments into the cache key.
+// Argument encoding is the self-delimiting ordenc form, so distinct
+// argument vectors can never collide — the class of bug the paper's §2.1
+// found in MediaWiki's hand-chosen keys.
+func cacheKey(name string, args []sql.Value) string {
+	b := make([]byte, 0, len(name)+16*len(args)+1)
+	b = append(b, name...)
+	b = append(b, 0)
+	for _, a := range args {
+		b = sql.EncodeKey(b, a)
+	}
+	return string(b)
+}
+
+// lookup consults the cache and, on a hit, narrows the pin set. It rejects
+// (degrading to a miss) any value whose acceptance would empty the pin set.
+func (tx *Tx) lookup(node cacheserver.Node, key string) ([]byte, bool) {
+	lo, hi, ok := tx.bounds()
+	if !ok {
+		tx.c.stats.MissNoPins.Add(1)
+		return nil, false
+	}
+	r := node.Lookup(key, lo, hi, tx.origLo, interval.Infinity)
+	if !r.Found {
+		switch r.Miss {
+		case cacheserver.MissCompulsory:
+			tx.c.stats.MissCompulsory.Add(1)
+		case cacheserver.MissConsistency:
+			tx.c.stats.MissConsistency.Add(1)
+		case cacheserver.MissCapacity:
+			tx.c.stats.MissCapacity.Add(1)
+		default:
+			tx.c.stats.MissStaleness.Add(1)
+		}
+		return nil, false
+	}
+	if !tx.c.noCon {
+		// Defensive invariant-2 check: the returned interval must leave at
+		// least one serialization point. The paper's proof guarantees this
+		// when the generating snapshot is still pinned and fresh; under
+		// pin-expiry races we reject the value rather than violate
+		// consistency.
+		any := false
+		for _, p := range tx.pinSet {
+			if r.Validity.Contains(p.TS) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			tx.c.stats.MissDefensive.Add(1)
+			return nil, false
+		}
+	}
+	tx.c.stats.CacheHits.Add(1)
+	tx.observe(r.Validity, r.Tags)
+	return r.Data, true
+}
+
+// put installs a computed result. Still-valid results (unbounded validity)
+// carry their tag set so the invalidation stream can truncate them; bounded
+// results are immutable history and need no tags. The generating snapshot
+// (the timestamp the transaction's queries ran at) lets the node order the
+// insert against invalidations it has already processed.
+func (tx *Tx) put(node cacheserver.Node, key string, data []byte, f *frame) {
+	if f.validity.Empty() {
+		return // conservative tracking produced nothing usable
+	}
+	still := f.validity.Unbounded()
+	var tags []invalidation.Tag
+	if still {
+		tags = make([]invalidation.Tag, 0, len(f.tags))
+		for _, t := range f.tags {
+			tags = append(tags, t)
+		}
+	}
+	tx.c.stats.CachePuts.Add(1)
+	node.Put(key, data, f.validity, still, tx.dbSnap, tags)
+}
+
+// String renders a human-readable description of the transaction state for
+// debugging ("pins [3 7 9] ★" style).
+func (tx *Tx) String() string {
+	mode := "RO"
+	if tx.rw {
+		mode = "RW"
+	}
+	s := fmt.Sprintf("Tx{%s pins=[", mode)
+	for i, p := range tx.pinSet {
+		if i > 0 {
+			s += " "
+		}
+		s += p.TS.String()
+	}
+	s += "]"
+	if tx.star {
+		s += " ★"
+	}
+	if tx.dbSnap != 0 {
+		s += fmt.Sprintf(" @%s", tx.dbSnap)
+	}
+	return s + "}"
+}

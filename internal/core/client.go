@@ -1,0 +1,162 @@
+// Package core implements the TxCache application-side library (paper §6):
+// transaction management with lazy timestamp selection over a pin set,
+// cacheable-function memoization, validity-interval and tag accumulation
+// across nested calls, and the staleness-bounded consistency protocol.
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"txcache/internal/cacheserver"
+	"txcache/internal/clock"
+	"txcache/internal/consistent"
+	"txcache/internal/db"
+	"txcache/internal/interval"
+	"txcache/internal/pincushion"
+	"txcache/internal/sql"
+)
+
+// DBTx is the database transaction handle the library drives; *db.Tx
+// implements it, as does the network client's transaction.
+type DBTx interface {
+	Query(src string, args ...sql.Value) (*db.Result, error)
+	Exec(src string, args ...sql.Value) (int, error)
+	Commit() (interval.Timestamp, error)
+	Abort()
+	Snapshot() interval.Timestamp
+}
+
+// DB is the database the library talks to; *db.Engine implements it
+// in-process (modulo return-type wrapping, see EngineDB), and the dbnet
+// client implements it over TCP.
+type DB interface {
+	Begin(readOnly bool, snap interval.Timestamp) (DBTx, error)
+	PinLatest() (interval.Timestamp, time.Time)
+	Unpin(ts interval.Timestamp)
+}
+
+// EngineDB adapts *db.Engine to the DB interface.
+type EngineDB struct{ *db.Engine }
+
+// Begin starts an engine transaction.
+func (e EngineDB) Begin(readOnly bool, snap interval.Timestamp) (DBTx, error) {
+	return e.Engine.Begin(readOnly, snap)
+}
+
+// Config configures a Client.
+type Config struct {
+	// DB is the backing database (required).
+	DB DB
+	// Nodes maps cache node names to connections. Keys are ring positions;
+	// an empty map disables caching (the no-cache baseline).
+	Nodes map[string]cacheserver.Node
+	// Pincushion tracks pinned snapshots (required unless Nodes is empty
+	// and all transactions are read/write).
+	Pincushion pincushion.Service
+	// Clock supplies wall time; defaults to the real clock.
+	Clock clock.Clock
+	// FreshPinThreshold is the pin-creation policy knob of §6.2: when the
+	// newest fresh pin is older than this and ★ is available, the library
+	// runs in the present and pins a new snapshot. Defaults to 5s.
+	FreshPinThreshold time.Duration
+	// NoConsistency reproduces the paper's §8.3 comparator: cache reads
+	// accept any version within the staleness window and never constrain
+	// the pin set, abandoning transactional consistency.
+	NoConsistency bool
+}
+
+// Client is the per-application-server TxCache library instance. It is safe
+// for concurrent use; each goroutine runs its own transactions.
+type Client struct {
+	db    DB
+	pc    pincushion.Service
+	clk   clock.Clock
+	ring  *consistent.Ring
+	nodes map[string]cacheserver.Node
+	fresh time.Duration
+	noCon bool
+
+	stats ClientStats
+}
+
+// ClientStats aggregates library-side counters across transactions.
+type ClientStats struct {
+	ROBegun   atomic.Uint64
+	RWBegun   atomic.Uint64
+	Committed atomic.Uint64
+	Aborted   atomic.Uint64
+
+	CacheHits       atomic.Uint64
+	MissCompulsory  atomic.Uint64
+	MissConsistency atomic.Uint64
+	MissStaleness   atomic.Uint64
+	MissCapacity    atomic.Uint64
+	// MissNoPins counts lookups skipped because the transaction had no
+	// pinned snapshots to bound (no fresh pins existed and ★ cannot match
+	// cached data); these surface as staleness in Figure 8 terms.
+	MissNoPins atomic.Uint64
+	// MissDefensive counts hits rejected because accepting them would have
+	// emptied the pin set (a freshness race the paper's invariant-2 proof
+	// assumes away; we degrade to a miss instead).
+	MissDefensive atomic.Uint64
+
+	DBQueries  atomic.Uint64
+	CachePuts  atomic.Uint64
+	PinsPlaced atomic.Uint64
+}
+
+// Hits returns total cache hits.
+func (s *ClientStats) Hits() uint64 { return s.CacheHits.Load() }
+
+// Misses returns total cache misses of all kinds.
+func (s *ClientStats) Misses() uint64 {
+	return s.MissCompulsory.Load() + s.MissConsistency.Load() + s.MissStaleness.Load() +
+		s.MissCapacity.Load() + s.MissNoPins.Load() + s.MissDefensive.Load()
+}
+
+// HitRate returns hits / (hits + misses), 0 when idle.
+func (s *ClientStats) HitRate() float64 {
+	h, m := s.Hits(), s.Misses()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// NewClient builds a library instance.
+func NewClient(cfg Config) *Client {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.FreshPinThreshold <= 0 {
+		cfg.FreshPinThreshold = 5 * time.Second
+	}
+	c := &Client{
+		db:    cfg.DB,
+		pc:    cfg.Pincushion,
+		clk:   cfg.Clock,
+		ring:  consistent.New(0),
+		nodes: cfg.Nodes,
+		fresh: cfg.FreshPinThreshold,
+		noCon: cfg.NoConsistency,
+	}
+	for name := range cfg.Nodes {
+		c.ring.Add(name)
+	}
+	return c
+}
+
+// Stats exposes the library counters.
+func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// CacheEnabled reports whether any cache nodes are configured.
+func (c *Client) CacheEnabled() bool { return len(c.nodes) > 0 }
+
+// node returns the cache node responsible for key under consistent hashing.
+func (c *Client) node(key string) cacheserver.Node {
+	if len(c.nodes) == 0 {
+		return nil
+	}
+	return c.nodes[c.ring.Get(key)]
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"txcache/internal/db"
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+	"txcache/internal/pincushion"
+	"txcache/internal/sql"
+)
+
+// Tx errors.
+var (
+	// ErrTxDone is returned when using a finished transaction.
+	ErrTxDone = errors.New("txcache: transaction already finished")
+	// ErrReadOnly is returned when a read-only transaction writes.
+	ErrReadOnly = errors.New("txcache: read-only transaction cannot write")
+)
+
+// Tx is a TxCache transaction (paper §2.1). Read/write transactions run
+// directly on the database, bypassing the cache; read-only transactions
+// read cached data and the library guarantees everything they see is
+// consistent with one snapshot within the staleness limit. A Tx is not safe
+// for concurrent use.
+type Tx struct {
+	c    *Client
+	rw   bool
+	done bool
+
+	staleness time.Duration
+
+	// Lazy timestamp selection state (paper §6.2).
+	pinSet []pincushion.Pin // sorted ascending, timestamps distinct
+	star   bool             // ★: "can still run in the present"
+	origLo interval.Timestamp
+
+	toRelease []interval.Timestamp // pins to release at the pincushion
+
+	dbtx   DBTx
+	dbSnap interval.Timestamp // snapshot the DB transaction runs at
+
+	frames []*frame // cacheable-call stack (innermost last)
+}
+
+// frame accumulates the validity interval and invalidation tags of one
+// in-flight cacheable function (paper §6.1, §6.3).
+type frame struct {
+	validity interval.Interval
+	tags     map[string]invalidation.Tag
+}
+
+func newFrame() *frame {
+	return &frame{validity: interval.All, tags: make(map[string]invalidation.Tag)}
+}
+
+// BeginRO starts a read-only transaction that sees a consistent snapshot at
+// most staleness old.
+func (c *Client) BeginRO(staleness time.Duration) *Tx {
+	c.stats.ROBegun.Add(1)
+	tx := &Tx{c: c, staleness: staleness, star: true}
+	if c.pc != nil {
+		tx.pinSet = c.pc.GetPins(staleness)
+		for _, p := range tx.pinSet {
+			tx.toRelease = append(tx.toRelease, p.TS)
+		}
+	}
+	if len(tx.pinSet) > 0 {
+		tx.origLo = tx.pinSet[0].TS
+	} else {
+		tx.origLo = interval.Infinity // no fresh pins: nothing in cache is acceptable
+	}
+	return tx
+}
+
+// BeginROSince starts a read-only transaction like BeginRO but additionally
+// guarantees the snapshot is no older than minTS. Applications thread the
+// timestamp returned by a Commit into the next transaction's minTS so a
+// user session never observes time moving backwards (paper §2.2).
+func (c *Client) BeginROSince(minTS interval.Timestamp, staleness time.Duration) *Tx {
+	tx := c.BeginRO(staleness)
+	kept := tx.pinSet[:0]
+	for _, p := range tx.pinSet {
+		if p.TS >= minTS {
+			kept = append(kept, p)
+		}
+	}
+	tx.pinSet = kept
+	if len(kept) > 0 {
+		tx.origLo = kept[0].TS
+	} else {
+		tx.origLo = minTS // ★ remains: a fresh pin will satisfy the floor
+	}
+	return tx
+}
+
+// BeginRW starts a read/write transaction on the latest database state.
+func (c *Client) BeginRW() (*Tx, error) {
+	c.stats.RWBegun.Add(1)
+	dbtx, err := c.db.Begin(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{c: c, rw: true, dbtx: dbtx}, nil
+}
+
+// ReadOnly reports whether this is a read-only transaction.
+func (tx *Tx) ReadOnly() bool { return !tx.rw }
+
+// PinSetSize returns the number of candidate timestamps (excluding ★);
+// exposed for tests of invariants 1 and 2.
+func (tx *Tx) PinSetSize() int { return len(tx.pinSet) }
+
+// HasStar reports whether ★ is still in the pin set.
+func (tx *Tx) HasStar() bool { return tx.star }
+
+// Commit finishes the transaction and returns the timestamp it ran at
+// (paper §2.2): applications can thread this into the staleness bound of a
+// later transaction to enforce causality ("never see time move backwards").
+func (tx *Tx) Commit() (interval.Timestamp, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	tx.done = true
+	defer tx.releasePins()
+	if tx.rw {
+		tx.c.stats.Committed.Add(1)
+		return tx.dbtx.Commit()
+	}
+	if tx.dbtx != nil {
+		// Read-only database transactions have nothing to make durable.
+		if _, err := tx.dbtx.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	tx.c.stats.Committed.Add(1)
+	switch {
+	case tx.dbSnap != 0:
+		return tx.dbSnap, nil
+	case len(tx.pinSet) > 0:
+		return tx.pinSet[len(tx.pinSet)-1].TS, nil
+	default:
+		return 0, nil // transaction observed nothing
+	}
+}
+
+// Abort abandons the transaction.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.c.stats.Aborted.Add(1)
+	if tx.dbtx != nil {
+		tx.dbtx.Abort()
+	}
+	tx.releasePins()
+}
+
+func (tx *Tx) releasePins() {
+	if tx.c.pc != nil && len(tx.toRelease) > 0 {
+		tx.c.pc.Release(tx.toRelease)
+	}
+}
+
+// Query runs a "bare" SELECT (outside or inside a cacheable function). In a
+// read-only transaction it executes at the lazily-selected snapshot and
+// narrows the pin set by the result's validity interval.
+func (tx *Tx) Query(src string, args ...sql.Value) (*db.Result, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	if err := tx.ensureDBTx(); err != nil {
+		return nil, err
+	}
+	tx.c.stats.DBQueries.Add(1)
+	r, err := tx.dbtx.Query(src, args...)
+	if err != nil {
+		return nil, err
+	}
+	if !tx.rw {
+		tx.observe(r.Validity, r.Tags)
+	}
+	return r, nil
+}
+
+// Exec runs INSERT/UPDATE/DELETE; read/write transactions only.
+func (tx *Tx) Exec(src string, args ...sql.Value) (int, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	if !tx.rw {
+		return 0, ErrReadOnly
+	}
+	return tx.dbtx.Exec(src, args...)
+}
+
+// ensureDBTx begins the underlying database transaction on first use,
+// forcing timestamp selection for read-only transactions (paper §6.2:
+// "the library is finally forced to select a specific timestamp").
+func (tx *Tx) ensureDBTx() error {
+	if tx.dbtx != nil {
+		return nil
+	}
+	// Policy (paper §6.2): take ★ — pinning a brand-new snapshot — only
+	// when the newest pinned candidate is older than the freshness
+	// threshold; otherwise reuse the newest pin to avoid flooding the
+	// database with pinned snapshots.
+	useStar := tx.star
+	if useStar && len(tx.pinSet) > 0 {
+		newest := tx.pinSet[len(tx.pinSet)-1]
+		if tx.c.clk.Now().Sub(newest.Wall) <= tx.c.fresh {
+			useStar = false
+		}
+	}
+	if useStar {
+		ts, wall := tx.c.db.PinLatest()
+		tx.c.stats.PinsPlaced.Add(1)
+		if tx.c.pc != nil {
+			tx.c.pc.Register(ts, wall)
+			tx.toRelease = append(tx.toRelease, ts)
+		} else {
+			defer tx.c.db.Unpin(ts) // nothing tracks it; release after Begin pins it again
+		}
+		tx.insertPin(pincushion.Pin{TS: ts, Wall: wall})
+		tx.star = false // reified
+		tx.dbSnap = ts
+	} else {
+		if len(tx.pinSet) == 0 {
+			return fmt.Errorf("txcache: internal: no pinned snapshot to run at")
+		}
+		tx.dbSnap = tx.pinSet[len(tx.pinSet)-1].TS
+	}
+	dbtx, err := tx.c.db.Begin(true, tx.dbSnap)
+	if err != nil {
+		return err
+	}
+	tx.dbtx = dbtx
+	return nil
+}
+
+// insertPin adds a pin to the sorted pin set, deduplicating timestamps.
+func (tx *Tx) insertPin(p pincushion.Pin) {
+	for i, q := range tx.pinSet {
+		if q.TS == p.TS {
+			return
+		}
+		if q.TS > p.TS {
+			tx.pinSet = append(tx.pinSet, pincushion.Pin{})
+			copy(tx.pinSet[i+1:], tx.pinSet[i:])
+			tx.pinSet[i] = p
+			return
+		}
+	}
+	tx.pinSet = append(tx.pinSet, p)
+}
+
+// observe narrows the transaction's pin set to the timestamps consistent
+// with a value it just saw (invariant 1 of §6.2.1), removes ★ once any data
+// has been observed, and intersects the validity interval (and merges the
+// tags) into every open cacheable-function frame (§6.3).
+func (tx *Tx) observe(iv interval.Interval, tags []invalidation.Tag) {
+	if tx.c.noCon {
+		// §8.3 comparator: no consistency maintained; frames still
+		// accumulate validity so entries carry honest intervals.
+		for _, f := range tx.frames {
+			f.validity = f.validity.Intersect(iv)
+			for _, t := range tags {
+				f.tags[t.String()] = t
+			}
+		}
+		return
+	}
+	kept := tx.pinSet[:0]
+	for _, p := range tx.pinSet {
+		if iv.Contains(p.TS) {
+			kept = append(kept, p)
+		}
+	}
+	tx.pinSet = kept
+	tx.star = false
+	for _, f := range tx.frames {
+		f.validity = f.validity.Intersect(iv)
+		for _, t := range tags {
+			f.tags[t.String()] = t
+		}
+	}
+}
+
+// bounds returns the inclusive lookup bounds of the pin set (paper §6.2:
+// "the bounds of the pin set, excluding ★"), and whether any exist. In
+// no-consistency mode the bounds are the whole freshness window.
+func (tx *Tx) bounds() (lo, hi interval.Timestamp, ok bool) {
+	if tx.c.noCon {
+		return tx.origLo, interval.Infinity, tx.origLo != interval.Infinity
+	}
+	if len(tx.pinSet) == 0 {
+		return 0, 0, false
+	}
+	return tx.pinSet[0].TS, tx.pinSet[len(tx.pinSet)-1].TS, true
+}

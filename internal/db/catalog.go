@@ -1,0 +1,173 @@
+// Package db implements the database substrate: an in-memory multiversion
+// relational engine providing snapshot isolation, pinnable past snapshots,
+// per-query validity intervals and invalidity masks, invalidation tags, and
+// an ordered invalidation stream — the TxCache-modified DBMS of paper §5,
+// built from scratch instead of patching PostgreSQL.
+package db
+
+import (
+	"fmt"
+	"sync"
+
+	"txcache/internal/btree"
+	"txcache/internal/mvcc"
+	"txcache/internal/sql"
+)
+
+// Table is one relation: a schema, a multiversion row store, and secondary
+// indexes. Index entries point at rows if *any* version of the row carries
+// the indexed key (like Postgres heap pointers); the executor re-checks
+// predicate and visibility per version.
+type Table struct {
+	name    string
+	cols    []sql.ColDef
+	colPos  map[string]int
+	store   *mvcc.Store
+	indexes map[string]*Index // by column name
+	primary string            // primary key column, "" if none
+
+	// rowCount tracks live (latest-version-not-deleted) rows, maintained at
+	// commit time; used for wildcard-tag aggregation and planner stats.
+	rowCount int
+}
+
+// Index is a single-column secondary index.
+type Index struct {
+	name   string
+	column string
+	colPos int
+	unique bool
+	tree   *btree.Tree
+	mu     sync.RWMutex // guards tree: readers may run concurrently with each other
+}
+
+func newTable(ct *sql.CreateTable) (*Table, error) {
+	t := &Table{
+		name:    ct.Name,
+		cols:    ct.Cols,
+		colPos:  make(map[string]int, len(ct.Cols)),
+		store:   mvcc.NewStore(),
+		indexes: make(map[string]*Index),
+	}
+	for i, c := range ct.Cols {
+		if _, dup := t.colPos[c.Name]; dup {
+			return nil, fmt.Errorf("db: duplicate column %q in table %q", c.Name, ct.Name)
+		}
+		t.colPos[c.Name] = i
+		if c.Primary {
+			if t.primary != "" {
+				return nil, fmt.Errorf("db: multiple primary keys in table %q", ct.Name)
+			}
+			t.primary = c.Name
+		}
+	}
+	if t.primary != "" {
+		t.indexes[t.primary] = &Index{
+			name:   ct.Name + "_pkey",
+			column: t.primary,
+			colPos: t.colPos[t.primary],
+			unique: true,
+			tree:   btree.New(),
+		}
+	}
+	return t, nil
+}
+
+func (t *Table) addIndex(ci *sql.CreateIndex) error {
+	pos, ok := t.colPos[ci.Column]
+	if !ok {
+		return fmt.Errorf("db: no column %q in table %q", ci.Column, ci.Table)
+	}
+	if _, exists := t.indexes[ci.Column]; exists {
+		return fmt.Errorf("db: column %q of %q is already indexed", ci.Column, ci.Table)
+	}
+	idx := &Index{name: ci.Name, column: ci.Column, colPos: pos, unique: ci.Unique, tree: btree.New()}
+	// Backfill from every existing version.
+	t.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
+		for _, v := range chain {
+			row := v.Data.([]sql.Value)
+			idx.tree.Insert(sql.EncodeKey(nil, row[pos]), uint64(id))
+		}
+		return true
+	})
+	t.indexes[ci.Column] = idx
+	return nil
+}
+
+// indexEntriesFor registers row's keys in every index of the table.
+func (t *Table) indexEntriesFor(id mvcc.RowID, row []sql.Value) {
+	for _, idx := range t.indexes {
+		idx.mu.Lock()
+		idx.tree.Insert(sql.EncodeKey(nil, row[idx.colPos]), uint64(id))
+		idx.mu.Unlock()
+	}
+}
+
+// dropIndexEntries removes the keys of a vacuumed version, unless another
+// surviving version of the same row still carries the same key.
+func (t *Table) dropIndexEntries(id mvcc.RowID, row []sql.Value) {
+	for _, idx := range t.indexes {
+		key := sql.EncodeKey(nil, row[idx.colPos])
+		keep := false
+		t.store.Versions(id, func(v mvcc.Version) bool {
+			if sql.Equal(v.Data.([]sql.Value)[idx.colPos], row[idx.colPos]) {
+				keep = true
+				return false
+			}
+			return true
+		})
+		if !keep {
+			idx.mu.Lock()
+			idx.tree.Delete(key, uint64(id))
+			idx.mu.Unlock()
+		}
+	}
+}
+
+// checkRow validates arity and column types against the schema.
+func (t *Table) checkRow(row []sql.Value) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("db: table %q expects %d columns, got %d", t.name, len(t.cols), len(row))
+	}
+	for i, v := range row {
+		c := t.cols[i]
+		if v == nil {
+			if c.NotNull {
+				return fmt.Errorf("db: column %s.%s is NOT NULL", t.name, c.Name)
+			}
+			continue
+		}
+		ok := false
+		switch c.Type {
+		case sql.TInt:
+			_, ok = v.(int64)
+		case sql.TFloat:
+			switch v.(type) {
+			case float64:
+				ok = true
+			case int64: // integer literals widen to float columns
+				ok = true
+			}
+		case sql.TString:
+			_, ok = v.(string)
+		case sql.TBool:
+			_, ok = v.(bool)
+		}
+		if !ok {
+			return fmt.Errorf("db: column %s.%s (%s) cannot hold %T", t.name, c.Name, c.Type, v)
+		}
+	}
+	return nil
+}
+
+// normalizeRow widens int literals destined for float columns so stored
+// values have the schema type.
+func (t *Table) normalizeRow(row []sql.Value) {
+	for i, v := range row {
+		if t.cols[i].Type == sql.TFloat {
+			if iv, ok := v.(int64); ok {
+				row[i] = float64(iv)
+			}
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package dbnet serves a db.Engine over TCP and provides the matching
+// client, so application servers can use a remote database daemon exactly
+// like an embedded engine. The protocol carries per-query validity
+// intervals and invalidation tags piggybacked on SELECT results, the way
+// the paper's modified PostgreSQL reports them to the TxCache library
+// (§5.2: "this interval is reported to the TxCache library, piggybacked on
+// each SELECT query result").
+package dbnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"txcache/internal/core"
+	"txcache/internal/db"
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+	"txcache/internal/sql"
+	"txcache/internal/wire"
+)
+
+// Protocol opcodes.
+const (
+	opBegin      byte = 1
+	opBeginResp  byte = 2
+	opQuery      byte = 3
+	opQueryResp  byte = 4
+	opExec       byte = 5
+	opExecResp   byte = 6
+	opCommit     byte = 7
+	opCommitResp byte = 8
+	opAbort      byte = 9
+	opPin        byte = 10
+	opPinResp    byte = 11
+	opUnpin      byte = 12
+	opAck        byte = 13
+	opErr        byte = 14
+)
+
+// Server serves one engine. Transactions are scoped to the connection that
+// began them (like a SQL session); a dropped connection aborts its
+// transactions.
+type Server struct {
+	Engine *db.Engine
+}
+
+// Serve accepts connections until l closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	txs := make(map[uint64]*db.Tx)
+	var nextID uint64
+	defer func() {
+		for _, tx := range txs {
+			tx.Abort()
+		}
+	}()
+	for {
+		req, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.handle(req, txs, &nextID)
+		if err := wire.WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req []byte, txs map[uint64]*db.Tx, nextID *uint64) []byte {
+	d := wire.NewDecoder(req)
+	switch op := d.Op(); op {
+	case opBegin:
+		ro := d.Bool()
+		snap := interval.Timestamp(d.U64())
+		if d.Err() != nil {
+			return errFrame(d.Err())
+		}
+		tx, err := s.Engine.Begin(ro, snap)
+		if err != nil {
+			return errFrame(err)
+		}
+		*nextID++
+		txs[*nextID] = tx
+		return wire.NewBuffer(opBeginResp).U64(*nextID).U64(uint64(tx.Snapshot())).Bytes()
+	case opQuery:
+		id := d.U64()
+		src := d.Str()
+		args, err := decodeArgs(d)
+		if err != nil {
+			return errFrame(err)
+		}
+		tx := txs[id]
+		if tx == nil {
+			return errFrame(fmt.Errorf("dbnet: no transaction %d", id))
+		}
+		r, err := tx.Query(src, args...)
+		if err != nil {
+			return errFrame(err)
+		}
+		return encodeResult(r)
+	case opExec:
+		id := d.U64()
+		src := d.Str()
+		args, err := decodeArgs(d)
+		if err != nil {
+			return errFrame(err)
+		}
+		tx := txs[id]
+		if tx == nil {
+			return errFrame(fmt.Errorf("dbnet: no transaction %d", id))
+		}
+		n, err := tx.Exec(src, args...)
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.NewBuffer(opExecResp).U64(uint64(n)).Bytes()
+	case opCommit:
+		id := d.U64()
+		tx := txs[id]
+		if tx == nil {
+			return errFrame(fmt.Errorf("dbnet: no transaction %d", id))
+		}
+		delete(txs, id)
+		ts, err := tx.Commit()
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.NewBuffer(opCommitResp).U64(uint64(ts)).Bytes()
+	case opAbort:
+		id := d.U64()
+		if tx := txs[id]; tx != nil {
+			tx.Abort()
+			delete(txs, id)
+		}
+		return wire.NewBuffer(opAck).Bytes()
+	case opPin:
+		ts, wall := s.Engine.PinLatest()
+		return wire.NewBuffer(opPinResp).U64(uint64(ts)).I64(wall.UnixNano()).Bytes()
+	case opUnpin:
+		s.Engine.Unpin(interval.Timestamp(d.U64()))
+		return wire.NewBuffer(opAck).Bytes()
+	default:
+		return errFrame(fmt.Errorf("dbnet: unknown opcode %d", op))
+	}
+}
+
+func decodeArgs(d *wire.Decoder) ([]sql.Value, error) {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	args := make([]sql.Value, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v, err := sql.DecodeValue(d)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+func encodeResult(r *db.Result) []byte {
+	e := wire.NewBuffer(opQueryResp)
+	e.U32(uint32(len(r.Cols)))
+	for _, c := range r.Cols {
+		e.Str(c)
+	}
+	e.U32(uint32(len(r.Rows)))
+	for _, row := range r.Rows {
+		for _, v := range row {
+			sql.EncodeValue(e, v)
+		}
+	}
+	e.U64(uint64(r.Validity.Lo)).U64(uint64(r.Validity.Hi))
+	e.U32(uint32(len(r.Tags)))
+	for _, t := range r.Tags {
+		e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
+	}
+	return e.Bytes()
+}
+
+func errFrame(err error) []byte {
+	msg := err.Error()
+	// Mark retryable conflicts so clients can reconstruct the sentinel.
+	if errors.Is(err, db.ErrSerialization) {
+		msg = "SERIALIZATION:" + msg
+	}
+	return wire.NewBuffer(opErr).Str(msg).Bytes()
+}
+
+// Client implements core.DB over TCP. Each database transaction leases one
+// pooled connection for its lifetime (the protocol is stateful per
+// connection, like PostgreSQL sessions).
+type Client struct {
+	addr string
+	pool chan *conn
+}
+
+type conn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+var _ core.DB = (*Client)(nil)
+
+// Dial connects to a database daemon with a pool of sessions.
+func Dial(addr string, poolSize int) (*Client, error) {
+	if poolSize <= 0 {
+		poolSize = 8
+	}
+	cl := &Client{addr: addr, pool: make(chan *conn, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.pool <- &conn{c: c}
+	}
+	return cl, nil
+}
+
+// Close tears down the session pool.
+func (cl *Client) Close() {
+	for {
+		select {
+		case c := <-cl.pool:
+			c.c.Close()
+		default:
+			return
+		}
+	}
+}
+
+func (c *conn) roundTrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.c, req); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(c.c)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) > 0 && resp[0] == opErr {
+		d := wire.NewDecoder(resp)
+		d.Op()
+		msg := d.Str()
+		if strings.HasPrefix(msg, "SERIALIZATION:") {
+			return nil, fmt.Errorf("%w (%s)", db.ErrSerialization, strings.TrimPrefix(msg, "SERIALIZATION:"))
+		}
+		return nil, errors.New(msg)
+	}
+	return resp, nil
+}
+
+// Begin starts a remote transaction, leasing a session from the pool until
+// Commit or Abort.
+func (cl *Client) Begin(readOnly bool, snap interval.Timestamp) (core.DBTx, error) {
+	c := <-cl.pool
+	resp, err := c.roundTrip(wire.NewBuffer(opBegin).Bool(readOnly).U64(uint64(snap)).Bytes())
+	if err != nil {
+		cl.pool <- c
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	d.Op()
+	id := d.U64()
+	got := interval.Timestamp(d.U64())
+	if d.Err() != nil {
+		cl.pool <- c
+		return nil, d.Err()
+	}
+	return &clientTx{cl: cl, c: c, id: id, snap: got}, nil
+}
+
+// PinLatest pins the latest snapshot on the daemon.
+func (cl *Client) PinLatest() (interval.Timestamp, time.Time) {
+	c := <-cl.pool
+	defer func() { cl.pool <- c }()
+	resp, err := c.roundTrip(wire.NewBuffer(opPin).Bytes())
+	if err != nil {
+		return 0, time.Time{}
+	}
+	d := wire.NewDecoder(resp)
+	d.Op()
+	return interval.Timestamp(d.U64()), time.Unix(0, d.I64())
+}
+
+// Unpin releases a pinned snapshot on the daemon.
+func (cl *Client) Unpin(ts interval.Timestamp) {
+	c := <-cl.pool
+	defer func() { cl.pool <- c }()
+	c.roundTrip(wire.NewBuffer(opUnpin).U64(uint64(ts)).Bytes()) //nolint:errcheck
+}
+
+// clientTx is a remote transaction bound to one pooled session.
+type clientTx struct {
+	cl   *Client
+	c    *conn
+	id   uint64
+	snap interval.Timestamp
+	done atomic.Bool
+}
+
+// Snapshot returns the transaction's snapshot timestamp.
+func (t *clientTx) Snapshot() interval.Timestamp { return t.snap }
+
+// Query runs a remote SELECT.
+func (t *clientTx) Query(src string, args ...sql.Value) (*db.Result, error) {
+	e := wire.NewBuffer(opQuery).U64(t.id).Str(src)
+	encodeArgs(e, args)
+	resp, err := t.c.roundTrip(e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Exec runs a remote INSERT/UPDATE/DELETE.
+func (t *clientTx) Exec(src string, args ...sql.Value) (int, error) {
+	e := wire.NewBuffer(opExec).U64(t.id).Str(src)
+	encodeArgs(e, args)
+	resp, err := t.c.roundTrip(e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDecoder(resp)
+	d.Op()
+	return int(d.U64()), d.Err()
+}
+
+// Commit commits the remote transaction and releases the session.
+func (t *clientTx) Commit() (interval.Timestamp, error) {
+	if !t.done.CompareAndSwap(false, true) {
+		return 0, db.ErrTxDone
+	}
+	defer func() { t.cl.pool <- t.c }()
+	resp, err := t.c.roundTrip(wire.NewBuffer(opCommit).U64(t.id).Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDecoder(resp)
+	d.Op()
+	return interval.Timestamp(d.U64()), d.Err()
+}
+
+// Abort rolls back the remote transaction and releases the session.
+func (t *clientTx) Abort() {
+	if !t.done.CompareAndSwap(false, true) {
+		return
+	}
+	t.c.roundTrip(wire.NewBuffer(opAbort).U64(t.id).Bytes()) //nolint:errcheck
+	t.cl.pool <- t.c
+}
+
+func encodeArgs(e *wire.Buffer, args []sql.Value) {
+	e.U32(uint32(len(args)))
+	for _, a := range args {
+		sql.EncodeValue(e, a)
+	}
+}
+
+func decodeResult(resp []byte) (*db.Result, error) {
+	d := wire.NewDecoder(resp)
+	if d.Op() != opQueryResp {
+		return nil, errors.New("dbnet: unexpected response opcode")
+	}
+	r := &db.Result{}
+	nc := d.U32()
+	for i := uint32(0); i < nc; i++ {
+		r.Cols = append(r.Cols, d.Str())
+	}
+	nr := d.U32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	r.Rows = make([][]sql.Value, 0, nr)
+	for i := uint32(0); i < nr; i++ {
+		row := make([]sql.Value, nc)
+		for j := range row {
+			v, err := sql.DecodeValue(d)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	r.Validity.Lo = interval.Timestamp(d.U64())
+	r.Validity.Hi = interval.Timestamp(d.U64())
+	nt := d.U32()
+	for i := uint32(0); i < nt && d.Err() == nil; i++ {
+		r.Tags = append(r.Tags, invalidation.Tag{Table: d.Str(), Key: d.Str(), Wildcard: d.Bool()})
+	}
+	return r, d.Err()
+}

@@ -1,0 +1,170 @@
+package db
+
+import (
+	"fmt"
+
+	"txcache/internal/sql"
+)
+
+// runInsert buffers INSERT rows in the transaction's write set. Caller
+// holds e.mu shared.
+func (tx *Tx) runInsert(ins *sql.Insert, args []sql.Value) (int, error) {
+	x := tx.newExecCtx(args)
+	t, err := tx.e.table(ins.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Map the column list to schema positions.
+	positions := make([]int, 0, len(ins.Cols))
+	if len(ins.Cols) == 0 {
+		for i := range t.cols {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, c := range ins.Cols {
+			pos, ok := t.colPos[c]
+			if !ok {
+				return 0, fmt.Errorf("db: no column %q in %s", c, t.name)
+			}
+			positions = append(positions, pos)
+		}
+	}
+	count := 0
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(positions) {
+			return 0, fmt.Errorf("db: INSERT into %s expects %d values, got %d", t.name, len(positions), len(exprRow))
+		}
+		row := make([]sql.Value, len(t.cols))
+		for i, e := range exprRow {
+			v, err := x.resolve(e)
+			if err != nil {
+				return 0, err
+			}
+			row[positions[i]] = v
+		}
+		t.normalizeRow(row)
+		if err := t.checkRow(row); err != nil {
+			return 0, err
+		}
+		tx.inserted[t.name] = append(tx.inserted[t.name], &insertedRow{
+			tempID: syntheticBit | uint64(len(tx.inserted[t.name])+1),
+			data:   row,
+		})
+		count++
+	}
+	return count, nil
+}
+
+// runUpdate finds target rows at the transaction's snapshot (with its own
+// writes overlaid) and buffers replacement versions.
+func (tx *Tx) runUpdate(u *sql.Update, args []sql.Value) (int, error) {
+	x := tx.newExecCtx(args)
+	t, err := tx.e.table(u.Table)
+	if err != nil {
+		return 0, err
+	}
+	local, rest, err := x.bindLocal(t, u.Table, u.Where)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) > 0 {
+		return 0, fmt.Errorf("db: UPDATE WHERE must reference only %s", u.Table)
+	}
+	// Pre-resolve assignments.
+	type boundAssign struct {
+		pos    int
+		val    sql.Value
+		srcCol int // >= 0: copy from another column of the old row
+	}
+	assigns := make([]boundAssign, 0, len(u.Set))
+	for _, a := range u.Set {
+		pos, ok := t.colPos[a.Column]
+		if !ok {
+			return 0, fmt.Errorf("db: no column %q in %s", a.Column, t.name)
+		}
+		ba := boundAssign{pos: pos, srcCol: -1}
+		if a.Value.Kind == sql.ECol {
+			src, ok := t.colPos[a.Value.Col.Column]
+			if !ok || !colBelongs(a.Value.Col, t, u.Table) {
+				return 0, fmt.Errorf("db: SET source column %s not in %s", a.Value.Col, t.name)
+			}
+			ba.srcCol = src
+		} else {
+			v, err := x.resolve(a.Value)
+			if err != nil {
+				return 0, err
+			}
+			ba.val = v
+		}
+		assigns = append(assigns, ba)
+	}
+
+	count := 0
+	for _, sr := range x.scanTable(t, local) {
+		newData := make([]sql.Value, len(sr.data))
+		copy(newData, sr.data)
+		for _, a := range assigns {
+			if a.srcCol >= 0 {
+				newData[a.pos] = sr.data[a.srcCol]
+			} else {
+				newData[a.pos] = a.val
+			}
+		}
+		t.normalizeRow(newData)
+		if err := t.checkRow(newData); err != nil {
+			return 0, err
+		}
+		if sr.id&syntheticBit != 0 {
+			for _, ins := range tx.inserted[t.name] {
+				if ins.tempID == sr.id {
+					ins.data = newData
+					break
+				}
+			}
+		} else {
+			tx.write(t.name, sr.id, &rowWrite{op: opUpdate, data: newData})
+		}
+		count++
+	}
+	return count, nil
+}
+
+// runDelete finds target rows and buffers deletions.
+func (tx *Tx) runDelete(d *sql.Delete, args []sql.Value) (int, error) {
+	x := tx.newExecCtx(args)
+	t, err := tx.e.table(d.Table)
+	if err != nil {
+		return 0, err
+	}
+	local, rest, err := x.bindLocal(t, d.Table, d.Where)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) > 0 {
+		return 0, fmt.Errorf("db: DELETE WHERE must reference only %s", d.Table)
+	}
+	count := 0
+	for _, sr := range x.scanTable(t, local) {
+		if sr.id&syntheticBit != 0 {
+			for _, ins := range tx.inserted[t.name] {
+				if ins.tempID == sr.id {
+					ins.deleted = true
+					break
+				}
+			}
+		} else {
+			tx.write(t.name, sr.id, &rowWrite{op: opDelete})
+		}
+		count++
+	}
+	return count, nil
+}
+
+func (tx *Tx) write(table string, id uint64, w *rowWrite) {
+	m := tx.writes[table]
+	if m == nil {
+		m = make(map[uint64]*rowWrite)
+		tx.writes[table] = m
+	}
+	m[id] = w
+}

@@ -1,0 +1,299 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"txcache/internal/clock"
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+	"txcache/internal/sql"
+)
+
+// Common engine errors.
+var (
+	// ErrSerialization is returned by Commit when first-committer-wins
+	// validation fails: another transaction modified a row in this
+	// transaction's write set after its snapshot. Retry the transaction.
+	ErrSerialization = errors.New("db: serialization failure, retry transaction")
+	// ErrUnique is returned by Commit on a unique-index violation.
+	ErrUnique = errors.New("db: unique constraint violation")
+	// ErrReadOnly is returned when a read-only transaction attempts a write.
+	ErrReadOnly = errors.New("db: read-only transaction cannot write")
+	// ErrTxDone is returned when using a committed or aborted transaction.
+	ErrTxDone = errors.New("db: transaction already finished")
+	// ErrNotPinned is returned when beginning a read-only transaction at an
+	// unpinned past snapshot.
+	ErrNotPinned = errors.New("db: snapshot is not pinned")
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Clock supplies wall-clock time for commit records and pin times.
+	// Defaults to the real clock.
+	Clock clock.Clock
+	// Bus receives one invalidation message per committed read/write
+	// transaction. Optional.
+	Bus *invalidation.Bus
+	// Pool simulates a bounded buffer cache with a disk penalty.
+	// Nil models the in-memory configuration.
+	Pool *PoolConfig
+	// DisableValidityTracking turns off validity-interval and tag
+	// computation, emulating a stock DBMS; used to measure the overhead of
+	// the paper's database modifications (§8.1).
+	DisableValidityTracking bool
+	// WildcardTagLimit caps the number of distinct key tags one commit or
+	// one query may emit per table before collapsing them into a table
+	// wildcard (paper §5.3). Defaults to 64.
+	WildcardTagLimit int
+	// EagerVisibilityCheck reverts to stock-Postgres scan ordering: the
+	// (cheap) visibility check runs before the predicate, so every
+	// snapshot-invisible tuple scanned pollutes the invalidity mask
+	// whether or not it could have matched. The paper's modification
+	// (§5.2) evaluates the predicate first, tightening the mask; this
+	// option exists to measure that design choice (an ablation).
+	EagerVisibilityCheck bool
+}
+
+// Engine is the multiversion database server. All methods are safe for
+// concurrent use.
+type Engine struct {
+	clk      clock.Clock
+	bus      *invalidation.Bus
+	pool     *bufferPool
+	track    bool
+	wcLim    int
+	eagerVis bool
+
+	// mu guards the catalog and all table data: statements hold it shared,
+	// commits/DDL/vacuum hold it exclusive.
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	lastCommit atomic.Uint64 // interval.Timestamp of the newest commit
+
+	// pinMu guards pins and serializes pin acquisition against vacuum
+	// horizon computation.
+	pinMu sync.Mutex
+	pins  map[interval.Timestamp]int // snapshot id -> refcount
+
+	// Statistics.
+	statQueries  atomic.Uint64
+	statCommits  atomic.Uint64
+	statConflict atomic.Uint64
+	statVacuumed atomic.Uint64
+}
+
+// New creates an empty database engine.
+func New(opts Options) *Engine {
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.WildcardTagLimit <= 0 {
+		opts.WildcardTagLimit = 64
+	}
+	e := &Engine{
+		clk:      opts.Clock,
+		bus:      opts.Bus,
+		pool:     newBufferPool(opts.Pool),
+		track:    !opts.DisableValidityTracking,
+		wcLim:    opts.WildcardTagLimit,
+		eagerVis: opts.EagerVisibilityCheck,
+		tables:   make(map[string]*Table),
+		pins:     make(map[interval.Timestamp]int),
+	}
+	// Timestamp 1 is "the empty database"; the first commit is 2. Snapshot 1
+	// therefore always exists and sees nothing.
+	e.lastCommit.Store(1)
+	return e
+}
+
+// LastCommit returns the timestamp of the most recent commit.
+func (e *Engine) LastCommit() interval.Timestamp {
+	return interval.Timestamp(e.lastCommit.Load())
+}
+
+// DDL executes a CREATE TABLE or CREATE INDEX statement. DDL is not
+// transactional and not versioned; run it before serving traffic.
+func (e *Engine) DDL(src string) error {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch s := st.(type) {
+	case *sql.CreateTable:
+		if _, dup := e.tables[s.Name]; dup {
+			return fmt.Errorf("db: table %q already exists", s.Name)
+		}
+		t, err := newTable(s)
+		if err != nil {
+			return err
+		}
+		e.tables[s.Name] = t
+		return nil
+	case *sql.CreateIndex:
+		t, ok := e.tables[s.Table]
+		if !ok {
+			return fmt.Errorf("db: no table %q", s.Table)
+		}
+		return t.addIndex(s)
+	default:
+		return fmt.Errorf("db: DDL expects CREATE TABLE/INDEX, got %T", st)
+	}
+}
+
+// PinLatest pins the latest committed snapshot and returns its id and the
+// current wall-clock time (paper §5.1's PIN command). The snapshot's
+// versions are retained until a matching Unpin.
+func (e *Engine) PinLatest() (interval.Timestamp, time.Time) {
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
+	ts := e.LastCommit()
+	e.pins[ts]++
+	return ts, e.clk.Now()
+}
+
+// Pin adds a reference to an already-pinned snapshot, failing if it is not
+// currently pinned (its data may already be vacuumed).
+func (e *Engine) Pin(ts interval.Timestamp) error {
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
+	if e.pins[ts] == 0 && ts != e.LastCommit() {
+		return ErrNotPinned
+	}
+	e.pins[ts]++
+	return nil
+}
+
+// Unpin releases one reference to a pinned snapshot (paper §5.1's UNPIN).
+func (e *Engine) Unpin(ts interval.Timestamp) {
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
+	if n := e.pins[ts]; n > 1 {
+		e.pins[ts] = n - 1
+	} else {
+		delete(e.pins, ts)
+	}
+}
+
+// PinnedCount returns the number of distinct pinned snapshots.
+func (e *Engine) PinnedCount() int {
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
+	return len(e.pins)
+}
+
+// vacuumHorizon computes the oldest snapshot any current or future reader
+// may use: the minimum pinned snapshot, or the latest commit when nothing
+// is pinned.
+func (e *Engine) vacuumHorizon() interval.Timestamp {
+	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
+	h := e.LastCommit()
+	for ts := range e.pins {
+		if ts < h {
+			h = ts
+		}
+	}
+	return h
+}
+
+// Vacuum reclaims row versions invisible to every pinned snapshot,
+// returning the number of versions removed. It mirrors Postgres's
+// asynchronous vacuum cleaner (paper §5.1); callers run it periodically.
+func (e *Engine) Vacuum() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	horizon := e.vacuumHorizon()
+	total := 0
+	for _, t := range e.tables {
+		removed := t.store.Vacuum(horizon)
+		for id, versions := range removed {
+			for _, v := range versions {
+				t.dropIndexEntries(id, v.Data.([]sql.Value))
+				total++
+			}
+		}
+	}
+	e.statVacuumed.Add(uint64(total))
+	return total
+}
+
+// Begin starts a transaction. Read-only transactions run at snapshot snap,
+// which must be pinned (the TxCache library pins via the pincushion before
+// beginning); pass 0 to run on the latest snapshot. Read/write transactions
+// always run on the latest snapshot (pass 0).
+func (e *Engine) Begin(readOnly bool, snap interval.Timestamp) (*Tx, error) {
+	e.pinMu.Lock()
+	if snap == 0 {
+		snap = e.LastCommit()
+	} else {
+		if readOnly && e.pins[snap] == 0 && snap != e.LastCommit() {
+			e.pinMu.Unlock()
+			return nil, ErrNotPinned
+		}
+		if !readOnly {
+			e.pinMu.Unlock()
+			return nil, errors.New("db: read/write transactions cannot run in the past")
+		}
+	}
+	// The transaction itself holds a pin so vacuum cannot pull versions out
+	// from under it even if the pincushion unpins concurrently.
+	e.pins[snap]++
+	e.pinMu.Unlock()
+	return &Tx{
+		e:        e,
+		ro:       readOnly,
+		snap:     snap,
+		writes:   make(map[string]map[uint64]*rowWrite),
+		inserted: make(map[string][]*insertedRow),
+	}, nil
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Queries       uint64
+	Commits       uint64
+	Conflicts     uint64
+	Vacuumed      uint64
+	PoolHits      uint64
+	PoolMisses    uint64
+	PinnedSnaps   int
+	LastCommitTS  interval.Timestamp
+	TotalVersions int
+}
+
+// Stats returns current engine counters.
+func (e *Engine) Stats() Stats {
+	h, m := e.pool.Stats()
+	s := Stats{
+		Queries:      e.statQueries.Load(),
+		Commits:      e.statCommits.Load(),
+		Conflicts:    e.statConflict.Load(),
+		Vacuumed:     e.statVacuumed.Load(),
+		PoolHits:     h,
+		PoolMisses:   m,
+		PinnedSnaps:  e.PinnedCount(),
+		LastCommitTS: e.LastCommit(),
+	}
+	e.mu.RLock()
+	for _, t := range e.tables {
+		s.TotalVersions += t.store.VersionCount()
+	}
+	e.mu.RUnlock()
+	return s
+}
+
+// table looks up a table by name; callers hold e.mu.
+func (e *Engine) table(name string) (*Table, error) {
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", name)
+	}
+	return t, nil
+}

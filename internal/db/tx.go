@@ -1,0 +1,344 @@
+package db
+
+import (
+	"fmt"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+	"txcache/internal/mvcc"
+	"txcache/internal/sql"
+)
+
+// syntheticBit marks row IDs of rows inserted by the current transaction,
+// which exist only in its private write set until commit.
+const syntheticBit = uint64(1) << 63
+
+type writeOp byte
+
+const (
+	opUpdate writeOp = 'U'
+	opDelete writeOp = 'D'
+)
+
+// rowWrite is a buffered update or delete of an existing row.
+type rowWrite struct {
+	op   writeOp
+	data []sql.Value // opUpdate: the replacement row
+}
+
+// insertedRow is a buffered insert, visible to this transaction's own
+// statements through the overlay.
+type insertedRow struct {
+	tempID  uint64 // synthetic id (high bit set)
+	data    []sql.Value
+	deleted bool // inserted then deleted within the same transaction
+}
+
+// Result is the answer to one SELECT: rows plus the validity metadata the
+// TxCache library attaches to cache entries (paper §5.2–5.3). For
+// read/write transactions (which bypass the cache) Validity is empty and
+// Tags is nil.
+type Result struct {
+	Cols []string
+	Rows [][]sql.Value
+	// Validity is the query's validity interval: the maximal interval
+	// containing the snapshot over which re-running the query yields the
+	// same rows. Unbounded (Hi == Infinity) means still valid, in which
+	// case Tags carry the dependency set for future invalidations.
+	Validity interval.Interval
+	Tags     []invalidation.Tag
+}
+
+// StillValid reports whether the result reflects the latest database state.
+func (r *Result) StillValid() bool { return r.Validity.Unbounded() }
+
+// Tx is a database transaction. A Tx is not safe for concurrent use.
+type Tx struct {
+	e    *Engine
+	ro   bool
+	snap interval.Timestamp
+	done bool
+
+	writes   map[string]map[uint64]*rowWrite // table -> rowID -> write
+	inserted map[string][]*insertedRow
+}
+
+// Snapshot returns the transaction's snapshot timestamp.
+func (tx *Tx) Snapshot() interval.Timestamp { return tx.snap }
+
+// ReadOnly reports whether the transaction is read-only.
+func (tx *Tx) ReadOnly() bool { return tx.ro }
+
+// Query runs a SELECT with the given parameter values.
+func (tx *Tx) Query(src string, args ...sql.Value) (*Result, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	st, err := sql.ParseCached(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("db: Query expects SELECT, got %T", st)
+	}
+	tx.e.statQueries.Add(1)
+	tx.e.mu.RLock()
+	defer tx.e.mu.RUnlock()
+	return tx.runSelect(sel, args)
+}
+
+// Exec runs an INSERT, UPDATE, or DELETE and returns the number of rows
+// affected.
+func (tx *Tx) Exec(src string, args ...sql.Value) (int, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	if tx.ro {
+		return 0, ErrReadOnly
+	}
+	st, err := sql.ParseCached(src)
+	if err != nil {
+		return 0, err
+	}
+	tx.e.mu.RLock()
+	defer tx.e.mu.RUnlock()
+	switch s := st.(type) {
+	case *sql.Insert:
+		return tx.runInsert(s, args)
+	case *sql.Update:
+		return tx.runUpdate(s, args)
+	case *sql.Delete:
+		return tx.runDelete(s, args)
+	default:
+		return 0, fmt.Errorf("db: Exec expects INSERT/UPDATE/DELETE, got %T", st)
+	}
+}
+
+// Abort abandons the transaction.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.e.Unpin(tx.snap)
+}
+
+// Commit finishes the transaction. For read/write transactions it validates
+// the write set under first-committer-wins, applies it, assigns the commit
+// timestamp, and publishes the invalidation message; the new timestamp is
+// returned. Read-only transactions just release their snapshot pin and
+// return their snapshot.
+func (tx *Tx) Commit() (interval.Timestamp, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	tx.done = true
+	defer tx.e.Unpin(tx.snap)
+
+	if tx.ro || (len(tx.writes) == 0 && len(tx.inserted) == 0) {
+		return tx.snap, nil
+	}
+
+	e := tx.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Validate: every row in the write set must still have, as its latest
+	// version, the version visible to our snapshot (first-committer-wins).
+	for tname, rows := range tx.writes {
+		t, err := e.table(tname)
+		if err != nil {
+			return 0, err
+		}
+		for id := range rows {
+			latest, ok := t.store.Latest(mvcc.RowID(id))
+			if !ok {
+				return 0, fmt.Errorf("db: written row %d of %q vanished", id, tname)
+			}
+			if latest.Created > tx.snap || latest.Deleted != interval.Infinity {
+				e.statConflict.Add(1)
+				return 0, ErrSerialization
+			}
+		}
+	}
+	// Unique-index checks for inserts and updates.
+	if err := tx.checkUnique(); err != nil {
+		return 0, err
+	}
+
+	ts := e.LastCommit() + 1
+	tags := newTagSet(e.wcLim)
+
+	// Apply updates and deletes.
+	for tname, rows := range tx.writes {
+		t := e.tables[tname]
+		for id, w := range rows {
+			old, _ := t.store.VisibleAt(mvcc.RowID(id), tx.snap)
+			oldRow := old.Data.([]sql.Value)
+			switch w.op {
+			case opUpdate:
+				t.store.Update(mvcc.RowID(id), w.data, ts)
+				t.indexEntriesFor(mvcc.RowID(id), w.data)
+				tags.addRow(t, oldRow)
+				tags.addRow(t, w.data)
+			case opDelete:
+				t.store.Delete(mvcc.RowID(id), ts)
+				t.rowCount--
+				tags.addRow(t, oldRow)
+			}
+		}
+	}
+	// Apply inserts.
+	for tname, rows := range tx.inserted {
+		t := e.tables[tname]
+		for _, ins := range rows {
+			if ins.deleted {
+				continue
+			}
+			id := t.store.Insert(ins.data, ts)
+			t.indexEntriesFor(id, ins.data)
+			t.rowCount++
+			tags.addRow(t, ins.data)
+		}
+	}
+
+	e.lastCommit.Store(uint64(ts))
+	e.statCommits.Add(1)
+	if e.bus != nil {
+		e.bus.Publish(invalidation.Message{
+			TS:       ts,
+			WallTime: e.clk.Now(),
+			Tags:     tags.tags(),
+		})
+	}
+	return ts, nil
+}
+
+// checkUnique enforces unique indexes against committed data and the write
+// set itself. Called with e.mu held exclusively.
+func (tx *Tx) checkUnique() error {
+	for tname, rows := range tx.inserted {
+		t := tx.e.tables[tname]
+		for _, ins := range rows {
+			if ins.deleted {
+				continue
+			}
+			if err := tx.checkUniqueRow(t, ins.data, 0); err != nil {
+				return err
+			}
+		}
+	}
+	for tname, rows := range tx.writes {
+		t := tx.e.tables[tname]
+		for id, w := range rows {
+			if w.op != opUpdate {
+				continue
+			}
+			if err := tx.checkUniqueRow(t, w.data, id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) checkUniqueRow(t *Table, row []sql.Value, selfID uint64) error {
+	for _, idx := range t.indexes {
+		if !idx.unique {
+			continue
+		}
+		v := row[idx.colPos]
+		if v == nil {
+			continue // NULLs never collide
+		}
+		key := sql.EncodeKey(nil, v)
+		for _, cand := range idx.tree.Get(key) {
+			if cand == selfID {
+				continue
+			}
+			// A colliding committed live row?
+			latest, ok := t.store.Latest(mvcc.RowID(cand))
+			if !ok || latest.Deleted != interval.Infinity {
+				continue
+			}
+			// Superseded by our own write set?
+			if w, wrote := tx.writes[t.name][cand]; wrote {
+				if w.op == opDelete || !sql.Equal(w.data[idx.colPos], v) {
+					continue
+				}
+			}
+			if sql.Equal(latest.Data.([]sql.Value)[idx.colPos], v) {
+				return fmt.Errorf("%w: %s.%s = %s", ErrUnique, t.name, idx.column, sql.FormatValue(v))
+			}
+		}
+	}
+	return nil
+}
+
+// tagSet accumulates invalidation tags for one commit, collapsing a table's
+// tags into a wildcard once the per-table limit is exceeded (paper §5.3).
+type tagSet struct {
+	limit    int
+	keys     map[string]invalidation.Tag // by String() form
+	perTable map[string]int
+	wildcard map[string]bool
+}
+
+// newTagSet allocates lazily: most queries emit one or two tags, and the
+// maps are the dominant cost of validity tracking when eagerly allocated.
+func newTagSet(limit int) *tagSet {
+	return &tagSet{limit: limit}
+}
+
+// addRow emits one key tag per index of t for the row's indexed values.
+func (s *tagSet) addRow(t *Table, row []sql.Value) {
+	for _, idx := range t.indexes {
+		s.add(invalidation.KeyTag(t.name, idx.column, sql.FormatValue(row[idx.colPos])))
+	}
+}
+
+func (s *tagSet) add(tag invalidation.Tag) {
+	if s.wildcard[tag.Table] {
+		return
+	}
+	if tag.Wildcard {
+		if s.wildcard == nil {
+			s.wildcard = make(map[string]bool, 2)
+		}
+		s.wildcard[tag.Table] = true
+		return
+	}
+	k := tag.String()
+	if _, dup := s.keys[k]; dup {
+		return
+	}
+	if s.perTable[tag.Table]+1 > s.limit {
+		if s.wildcard == nil {
+			s.wildcard = make(map[string]bool, 2)
+		}
+		s.wildcard[tag.Table] = true
+		return
+	}
+	if s.keys == nil {
+		s.keys = make(map[string]invalidation.Tag, 4)
+		s.perTable = make(map[string]int, 2)
+	}
+	s.keys[k] = tag
+	s.perTable[tag.Table]++
+}
+
+func (s *tagSet) tags() []invalidation.Tag {
+	out := make([]invalidation.Tag, 0, len(s.keys)+len(s.wildcard))
+	for table := range s.wildcard {
+		out = append(out, invalidation.WildcardTag(table))
+	}
+	for k, tag := range s.keys {
+		if s.wildcard[tag.Table] {
+			delete(s.keys, k)
+			continue
+		}
+		out = append(out, tag)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package invalidation
+
+import (
+	"testing"
+	"time"
+
+	"txcache/internal/interval"
+	"txcache/internal/wire"
+)
+
+func TestTagString(t *testing.T) {
+	if got := KeyTag("users", "name", "alice").String(); got != "users:name=alice" {
+		t.Errorf("KeyTag = %q", got)
+	}
+	if got := WildcardTag("users").String(); got != "users:?" {
+		t.Errorf("WildcardTag = %q", got)
+	}
+}
+
+func TestMessageEncodeDecode(t *testing.T) {
+	m := Message{
+		TS:       42,
+		WallTime: time.Unix(100, 250),
+		Tags: []Tag{
+			KeyTag("users", "id", "7"),
+			WildcardTag("items"),
+			{},
+		},
+	}
+	b := m.Encode(0x10)
+	d := wire.NewDecoder(b)
+	if op := d.Op(); op != 0x10 {
+		t.Fatalf("op = %#x", op)
+	}
+	got, err := DecodeMessage(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TS != m.TS || !got.WallTime.Equal(m.WallTime) || len(got.Tags) != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range m.Tags {
+		if got.Tags[i] != m.Tags[i] {
+			t.Fatalf("tag %d: got %+v want %+v", i, got.Tags[i], m.Tags[i])
+		}
+	}
+}
+
+func TestMessageDecodeTruncated(t *testing.T) {
+	m := Message{TS: 1, Tags: []Tag{KeyTag("t", "c", "v")}}
+	b := m.Encode(1)
+	d := wire.NewDecoder(b[:len(b)-3])
+	d.Op()
+	if _, err := DecodeMessage(d); err == nil {
+		t.Fatal("want error on truncated message")
+	}
+}
+
+func TestBusOrderedDelivery(t *testing.T) {
+	bus := NewBus(false)
+	sub := bus.Subscribe()
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		bus.Publish(Message{TS: interval.Timestamp(i)})
+	}
+	for i := 1; i <= n; i++ {
+		m := <-sub.C
+		if m.TS != interval.Timestamp(i) {
+			t.Fatalf("out of order: got ts %d, want %d", m.TS, i)
+		}
+	}
+	sub.Close()
+}
+
+func TestBusFanOut(t *testing.T) {
+	bus := NewBus(false)
+	subs := []*Subscription{bus.Subscribe(), bus.Subscribe(), bus.Subscribe()}
+	bus.Publish(Message{TS: 7})
+	for i, s := range subs {
+		select {
+		case m := <-s.C:
+			if m.TS != 7 {
+				t.Fatalf("sub %d got ts %d", i, m.TS)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("sub %d timed out", i)
+		}
+	}
+}
+
+func TestBusHistoryReplay(t *testing.T) {
+	bus := NewBus(true)
+	bus.Publish(Message{TS: 1})
+	bus.Publish(Message{TS: 2})
+	sub := bus.Subscribe() // late subscriber
+	bus.Publish(Message{TS: 3})
+	for want := interval.Timestamp(1); want <= 3; want++ {
+		select {
+		case m := <-sub.C:
+			if m.TS != want {
+				t.Fatalf("got ts %d, want %d", m.TS, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for ts %d", want)
+		}
+	}
+}
+
+func TestBusSlowSubscriberDoesNotBlockPublish(t *testing.T) {
+	bus := NewBus(false)
+	_ = bus.Subscribe() // never drained
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			bus.Publish(Message{TS: interval.Timestamp(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on slow subscriber")
+	}
+}

@@ -1,0 +1,198 @@
+// Package mvcc implements multiversion row storage: the substrate the
+// database engine builds snapshot isolation on, and the source of the
+// per-tuple create/delete timestamps that TxCache's validity-interval
+// computation consumes (paper §5.1–5.2).
+//
+// Every logical row is a chain of versions ordered by creation timestamp.
+// A version is visible to a snapshot S iff Created <= S < Deleted. Versions
+// are immutable once committed except that an unbounded version's Deleted
+// field is set exactly once when a later transaction deletes or supersedes
+// it. Old versions are retained until Vacuum removes those invisible to
+// every pinned snapshot, mirroring Postgres's no-overwrite storage manager
+// and asynchronous vacuum cleaner (paper §5.1).
+package mvcc
+
+import (
+	"fmt"
+	"sync"
+
+	"txcache/internal/interval"
+)
+
+// RowID names a logical row within one Store. IDs are never reused.
+type RowID uint64
+
+// Version is one committed version of a row.
+type Version struct {
+	Created interval.Timestamp // commit time of the creating transaction
+	Deleted interval.Timestamp // commit time of the deleting/superseding transaction, or Infinity
+	Data    any                // engine-defined row payload; immutable
+}
+
+// Interval returns the version's validity interval [Created, Deleted).
+func (v Version) Interval() interval.Interval {
+	return interval.Interval{Lo: v.Created, Hi: v.Deleted}
+}
+
+// VisibleAt reports whether the version is visible to snapshot ts.
+func (v Version) VisibleAt(ts interval.Timestamp) bool {
+	return v.Created <= ts && ts < v.Deleted
+}
+
+// Store holds the version chains of one table. The caller (the database
+// engine) is responsible for serializing mutations; concurrent readers are
+// safe alongside each other but not alongside writers. The engine enforces
+// this with its commit lock.
+type Store struct {
+	mu     sync.RWMutex
+	nextID RowID
+	rows   map[RowID][]Version // chains ordered by Created ascending
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{nextID: 1, rows: make(map[RowID][]Version)}
+}
+
+// Insert creates a new row whose first version is valid from ts, returning
+// its RowID.
+func (s *Store) Insert(data any, ts interval.Timestamp) RowID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.rows[id] = []Version{{Created: ts, Deleted: interval.Infinity, Data: data}}
+	return id
+}
+
+// Update supersedes the current version of id at ts with data. It panics if
+// the row does not exist or its latest version is already deleted: the
+// engine validates writes before applying them.
+func (s *Store) Update(id RowID, data any, ts interval.Timestamp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain := s.rows[id]
+	if len(chain) == 0 {
+		panic(fmt.Sprintf("mvcc: update of missing row %d", id))
+	}
+	last := &chain[len(chain)-1]
+	if last.Deleted != interval.Infinity {
+		panic(fmt.Sprintf("mvcc: update of deleted row %d", id))
+	}
+	last.Deleted = ts
+	s.rows[id] = append(chain, Version{Created: ts, Deleted: interval.Infinity, Data: data})
+}
+
+// Delete terminates the current version of id at ts.
+func (s *Store) Delete(id RowID, ts interval.Timestamp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain := s.rows[id]
+	if len(chain) == 0 {
+		panic(fmt.Sprintf("mvcc: delete of missing row %d", id))
+	}
+	last := &chain[len(chain)-1]
+	if last.Deleted != interval.Infinity {
+		panic(fmt.Sprintf("mvcc: delete of deleted row %d", id))
+	}
+	last.Deleted = ts
+}
+
+// Latest returns the newest version of id and whether the row exists (it may
+// still be a deleted version).
+func (s *Store) Latest(id RowID) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.rows[id]
+	if len(chain) == 0 {
+		return Version{}, false
+	}
+	return chain[len(chain)-1], true
+}
+
+// VisibleAt returns the version of id visible to snapshot ts.
+func (s *Store) VisibleAt(id RowID, ts interval.Timestamp) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.rows[id]
+	// Chains are short (bounded by vacuum); linear scan from the newest end.
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].VisibleAt(ts) {
+			return chain[i], true
+		}
+	}
+	return Version{}, false
+}
+
+// Versions calls fn with every version of id, oldest first. fn must not
+// retain the slice.
+func (s *Store) Versions(id RowID, fn func(Version) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, v := range s.rows[id] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Scan calls fn with every row's chain. Iteration order is unspecified.
+// fn must not retain the chain slice.
+func (s *Store) Scan(fn func(id RowID, chain []Version) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, chain := range s.rows {
+		if !fn(id, chain) {
+			return
+		}
+	}
+}
+
+// Len returns the number of logical rows (including fully-deleted rows not
+// yet vacuumed).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// VersionCount returns the total number of stored versions, for vacuum
+// accounting and tests.
+func (s *Store) VersionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, c := range s.rows {
+		n += len(c)
+	}
+	return n
+}
+
+// Vacuum removes versions invisible to every snapshot >= horizon: a version
+// is reclaimed iff Deleted <= horizon. Rows whose every version is reclaimed
+// are removed entirely. It returns the removed versions so the engine can
+// prune index entries, keyed by row.
+func (s *Store) Vacuum(horizon interval.Timestamp) map[RowID][]Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := make(map[RowID][]Version)
+	for id, chain := range s.rows {
+		keep := chain[:0:0]
+		for _, v := range chain {
+			if v.Deleted <= horizon {
+				removed[id] = append(removed[id], v)
+			} else {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == 0 {
+			delete(s.rows, id)
+		} else if len(keep) != len(chain) {
+			s.rows[id] = keep
+		}
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	return removed
+}

@@ -1,0 +1,209 @@
+package mvcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"txcache/internal/interval"
+)
+
+func TestInsertVisible(t *testing.T) {
+	s := NewStore()
+	id := s.Insert("v1", 10)
+	if _, ok := s.VisibleAt(id, 9); ok {
+		t.Fatal("row visible before creation")
+	}
+	v, ok := s.VisibleAt(id, 10)
+	if !ok || v.Data != "v1" {
+		t.Fatalf("VisibleAt(10) = %+v, %v", v, ok)
+	}
+	if got := v.Interval(); got != (interval.Interval{Lo: 10, Hi: interval.Infinity}) {
+		t.Fatalf("interval = %v", got)
+	}
+}
+
+func TestUpdateChain(t *testing.T) {
+	s := NewStore()
+	id := s.Insert("a", 10)
+	s.Update(id, "b", 20)
+	s.Update(id, "c", 30)
+
+	cases := []struct {
+		ts   interval.Timestamp
+		want any
+		ok   bool
+	}{
+		{5, nil, false}, {10, "a", true}, {19, "a", true},
+		{20, "b", true}, {29, "b", true}, {30, "c", true}, {1 << 40, "c", true},
+	}
+	for _, c := range cases {
+		v, ok := s.VisibleAt(id, c.ts)
+		if ok != c.ok || (ok && v.Data != c.want) {
+			t.Errorf("VisibleAt(%d) = %v,%v want %v,%v", c.ts, v.Data, ok, c.want, c.ok)
+		}
+	}
+	// Version intervals partition [10, inf).
+	var ivs []interval.Interval
+	s.Versions(id, func(v Version) bool { ivs = append(ivs, v.Interval()); return true })
+	if len(ivs) != 3 || ivs[0] != (interval.Interval{Lo: 10, Hi: 20}) ||
+		ivs[1] != (interval.Interval{Lo: 20, Hi: 30}) || ivs[2] != (interval.Interval{Lo: 30, Hi: interval.Infinity}) {
+		t.Fatalf("version intervals = %v", ivs)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore()
+	id := s.Insert("a", 10)
+	s.Delete(id, 25)
+	if _, ok := s.VisibleAt(id, 24); !ok {
+		t.Fatal("row should be visible just before delete")
+	}
+	if _, ok := s.VisibleAt(id, 25); ok {
+		t.Fatal("row visible at delete timestamp")
+	}
+	v, ok := s.Latest(id)
+	if !ok || v.Deleted != 25 {
+		t.Fatalf("Latest = %+v, %v", v, ok)
+	}
+}
+
+func TestUpdateDeletedPanics(t *testing.T) {
+	s := NewStore()
+	id := s.Insert("a", 10)
+	s.Delete(id, 20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("update of deleted row should panic")
+		}
+	}()
+	s.Update(id, "b", 30)
+}
+
+func TestVacuum(t *testing.T) {
+	s := NewStore()
+	id1 := s.Insert("a", 10) // updated at 20, 30
+	s.Update(id1, "b", 20)
+	s.Update(id1, "c", 30)
+	id2 := s.Insert("x", 15)
+	s.Delete(id2, 25)
+
+	// Horizon 20: reclaim versions with Deleted <= 20, i.e. id1's "a".
+	removed := s.Vacuum(20)
+	if len(removed[id1]) != 1 || removed[id1][0].Data != "a" {
+		t.Fatalf("removed = %v", removed)
+	}
+	if v, ok := s.VisibleAt(id1, 20); !ok || v.Data != "b" {
+		t.Fatal("version b must survive horizon 20")
+	}
+	if _, ok := s.VisibleAt(id2, 20); !ok {
+		t.Fatal("id2 visible at 20 must survive")
+	}
+
+	// Horizon 40: id2 fully reclaimed, id1 keeps only "c".
+	removed = s.Vacuum(40)
+	if len(removed[id2]) != 1 {
+		t.Fatalf("id2 not reclaimed: %v", removed)
+	}
+	if s.Len() != 1 || s.VersionCount() != 1 {
+		t.Fatalf("Len=%d VersionCount=%d, want 1,1", s.Len(), s.VersionCount())
+	}
+	if removed := s.Vacuum(1 << 40); removed != nil {
+		t.Fatalf("still-valid version must never be vacuumed: %v", removed)
+	}
+}
+
+// Property: at every timestamp, at most one version of a row is visible, and
+// the visible data matches a sequential-history oracle.
+func TestVisibilityOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewStore()
+	type event struct {
+		ts   interval.Timestamp
+		data any // nil means deleted
+	}
+	hist := map[RowID][]event{}
+	var ids []RowID
+	ts := interval.Timestamp(1)
+	for op := 0; op < 3000; op++ {
+		ts++
+		switch {
+		case len(ids) == 0 || rng.Intn(4) == 0:
+			id := s.Insert(op, ts)
+			ids = append(ids, id)
+			hist[id] = []event{{ts, op}}
+		default:
+			id := ids[rng.Intn(len(ids))]
+			ev := hist[id]
+			if ev[len(ev)-1].data == nil {
+				continue // already deleted
+			}
+			if rng.Intn(5) == 0 {
+				s.Delete(id, ts)
+				hist[id] = append(ev, event{ts, nil})
+			} else {
+				s.Update(id, op, ts)
+				hist[id] = append(ev, event{ts, op})
+			}
+		}
+	}
+	for id, evs := range hist {
+		for probe := interval.Timestamp(0); probe < ts+5; probe += 7 {
+			var want any
+			for _, e := range evs {
+				if e.ts <= probe {
+					want = e.data
+				}
+			}
+			v, ok := s.VisibleAt(id, probe)
+			if want == nil {
+				if ok {
+					t.Fatalf("row %d at %d: visible %v, want invisible", id, probe, v.Data)
+				}
+			} else if !ok || v.Data != want {
+				t.Fatalf("row %d at %d: got %v,%v want %v", id, probe, v.Data, ok, want)
+			}
+		}
+	}
+}
+
+// Property: vacuum at any horizon preserves visibility for all ts >= horizon.
+func TestVacuumPreservesVisibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewStore()
+	var ids []RowID
+	ts := interval.Timestamp(1)
+	for op := 0; op < 500; op++ {
+		ts++
+		if len(ids) == 0 || rng.Intn(3) == 0 {
+			ids = append(ids, s.Insert(op, ts))
+		} else {
+			id := ids[rng.Intn(len(ids))]
+			if last, _ := s.Latest(id); last.Deleted == interval.Infinity {
+				s.Update(id, op, ts)
+			}
+		}
+	}
+	type obs struct {
+		data any
+		ok   bool
+	}
+	horizon := ts / 2
+	before := map[RowID]map[interval.Timestamp]obs{}
+	for _, id := range ids {
+		before[id] = map[interval.Timestamp]obs{}
+		for probe := horizon; probe <= ts; probe += 3 {
+			v, ok := s.VisibleAt(id, probe)
+			before[id][probe] = obs{v.Data, ok}
+		}
+	}
+	s.Vacuum(horizon)
+	for _, id := range ids {
+		for probe, want := range before[id] {
+			v, ok := s.VisibleAt(id, probe)
+			if ok != want.ok || (ok && v.Data != want.data) {
+				t.Fatalf("row %d at %d changed after vacuum: got %v,%v want %v,%v",
+					id, probe, v.Data, ok, want.data, want.ok)
+			}
+		}
+	}
+}

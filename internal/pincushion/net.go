@@ -1,0 +1,203 @@
+package pincushion
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"txcache/internal/interval"
+	"txcache/internal/wire"
+)
+
+// Service is the interface the TxCache library uses to reach the
+// pincushion; *Pincushion implements it in-process and *Client over TCP.
+type Service interface {
+	GetPins(staleness time.Duration) []Pin
+	Register(ts interval.Timestamp, wall time.Time)
+	Release(tss []interval.Timestamp)
+}
+
+var (
+	_ Service = (*Pincushion)(nil)
+	_ Service = (*Client)(nil)
+)
+
+// Protocol opcodes.
+const (
+	opGetPins  byte = 1
+	opPins     byte = 2
+	opRegister byte = 3
+	opRelease  byte = 4
+	opAck      byte = 5
+	opErr      byte = 6
+)
+
+// Serve accepts connections on l until it is closed.
+func (p *Pincushion) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go p.serveConn(conn)
+	}
+}
+
+func (p *Pincushion) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := wire.WriteFrame(conn, p.handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+func (p *Pincushion) handle(req []byte) []byte {
+	d := wire.NewDecoder(req)
+	switch op := d.Op(); op {
+	case opGetPins:
+		staleness := time.Duration(d.I64())
+		if d.Err() != nil {
+			return errFrame(d.Err())
+		}
+		pins := p.GetPins(staleness)
+		e := wire.NewBuffer(opPins)
+		e.U32(uint32(len(pins)))
+		for _, pin := range pins {
+			e.U64(uint64(pin.TS)).I64(pin.Wall.UnixNano())
+		}
+		return e.Bytes()
+	case opRegister:
+		ts := interval.Timestamp(d.U64())
+		wall := time.Unix(0, d.I64())
+		if d.Err() != nil {
+			return errFrame(d.Err())
+		}
+		p.Register(ts, wall)
+		return wire.NewBuffer(opAck).Bytes()
+	case opRelease:
+		n := d.U32()
+		tss := make([]interval.Timestamp, 0, n)
+		for i := uint32(0); i < n; i++ {
+			tss = append(tss, interval.Timestamp(d.U64()))
+		}
+		if d.Err() != nil {
+			return errFrame(d.Err())
+		}
+		p.Release(tss)
+		return wire.NewBuffer(opAck).Bytes()
+	default:
+		return errFrame(fmt.Errorf("pincushion: unknown opcode %d", op))
+	}
+}
+
+func errFrame(err error) []byte {
+	return wire.NewBuffer(opErr).Str(err.Error()).Bytes()
+}
+
+// Client is a TCP client for a pincushion daemon, usable concurrently.
+type Client struct {
+	pool chan net.Conn
+	addr string
+}
+
+// Dial connects to a pincushion daemon.
+func Dial(addr string, poolSize int) (*Client, error) {
+	if poolSize <= 0 {
+		poolSize = 4
+	}
+	c := &Client{addr: addr, pool: make(chan net.Conn, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.pool <- conn
+	}
+	return c, nil
+}
+
+// Close tears down the pool.
+func (c *Client) Close() {
+	for {
+		select {
+		case conn := <-c.pool:
+			conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	conn := <-c.pool
+	if err := wire.WriteFrame(conn, req); err != nil {
+		conn.Close()
+		c.redial()
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		c.redial()
+		return nil, err
+	}
+	c.pool <- conn
+	if len(resp) > 0 && resp[0] == opErr {
+		d := wire.NewDecoder(resp)
+		d.Op()
+		return nil, errors.New(d.Str())
+	}
+	return resp, nil
+}
+
+func (c *Client) redial() {
+	go func() {
+		if conn, err := net.Dial("tcp", c.addr); err == nil {
+			c.pool <- conn
+		}
+	}()
+}
+
+// GetPins implements Service over TCP; on error it returns no pins, which
+// the library treats as "pin a fresh snapshot".
+func (c *Client) GetPins(staleness time.Duration) []Pin {
+	resp, err := c.roundTrip(wire.NewBuffer(opGetPins).I64(int64(staleness)).Bytes())
+	if err != nil {
+		return nil
+	}
+	d := wire.NewDecoder(resp)
+	if d.Op() != opPins {
+		return nil
+	}
+	n := d.U32()
+	pins := make([]Pin, 0, n)
+	for i := uint32(0); i < n; i++ {
+		pins = append(pins, Pin{TS: interval.Timestamp(d.U64()), Wall: time.Unix(0, d.I64())})
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return pins
+}
+
+// Register implements Service over TCP.
+func (c *Client) Register(ts interval.Timestamp, wall time.Time) {
+	c.roundTrip(wire.NewBuffer(opRegister).U64(uint64(ts)).I64(wall.UnixNano()).Bytes()) //nolint:errcheck
+}
+
+// Release implements Service over TCP.
+func (c *Client) Release(tss []interval.Timestamp) {
+	e := wire.NewBuffer(opRelease)
+	e.U32(uint32(len(tss)))
+	for _, ts := range tss {
+		e.U64(uint64(ts))
+	}
+	c.roundTrip(e.Bytes()) //nolint:errcheck
+}

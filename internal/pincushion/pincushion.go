@@ -1,0 +1,176 @@
+// Package pincushion implements the pincushion daemon (paper §5.4): a
+// lightweight registry of the snapshots currently pinned on the database,
+// their wall-clock times, and how many running transactions might be using
+// each. It answers "which pinned snapshots are fresh enough?" at the start
+// of every read-only transaction and periodically unpins old unused
+// snapshots.
+package pincushion
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"txcache/internal/clock"
+	"txcache/internal/interval"
+)
+
+// Pin describes one pinned snapshot.
+type Pin struct {
+	TS   interval.Timestamp
+	Wall time.Time
+}
+
+// Unpinner releases pinned snapshots on the database; *db.Engine satisfies
+// it. The pincushion calls it from Sweep for pins that have aged out.
+type Unpinner interface {
+	Unpin(ts interval.Timestamp)
+}
+
+// Config configures a Pincushion.
+type Config struct {
+	// Retention is how long an unused pin is kept before Sweep unpins it on
+	// the database. It should be at least the largest staleness limit any
+	// application uses. Defaults to 60s.
+	Retention time.Duration
+	// Clock supplies wall time; defaults to the real clock.
+	Clock clock.Clock
+	// DB, when set, is told to UNPIN swept snapshots.
+	DB Unpinner
+}
+
+type pinState struct {
+	wall   time.Time
+	active int // running transactions that may use this snapshot
+}
+
+// Pincushion tracks pinned snapshots. Safe for concurrent use.
+type Pincushion struct {
+	cfg Config
+	clk clock.Clock
+
+	mu   sync.Mutex
+	pins map[interval.Timestamp]*pinState
+
+	statRequests uint64
+	statSweeps   uint64
+}
+
+// New creates a Pincushion.
+func New(cfg Config) *Pincushion {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 60 * time.Second
+	}
+	return &Pincushion{cfg: cfg, clk: cfg.Clock, pins: make(map[interval.Timestamp]*pinState)}
+}
+
+// GetPins returns every pinned snapshot at most staleness old, sorted by
+// timestamp ascending, and flags each as possibly in use by the caller's
+// transaction. The caller must Release the same set when its transaction
+// ends.
+func (p *Pincushion) GetPins(staleness time.Duration) []Pin {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.statRequests++
+	cutoff := p.clk.Now().Add(-staleness)
+	var out []Pin
+	for ts, st := range p.pins {
+		if !st.wall.Before(cutoff) {
+			st.active++
+			out = append(out, Pin{TS: ts, Wall: st.wall})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Register records a snapshot the caller just pinned on the database,
+// marking it in use by the caller's transaction. Re-registering an existing
+// snapshot adds a use.
+func (p *Pincushion) Register(ts interval.Timestamp, wall time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.pins[ts]
+	if st == nil {
+		st = &pinState{wall: wall}
+		p.pins[ts] = st
+	}
+	st.active++
+}
+
+// Release drops the caller's uses of the given snapshots (the set returned
+// by GetPins plus any snapshot it Registered). Snapshots stay pinned on the
+// database until Sweep ages them out.
+func (p *Pincushion) Release(tss []interval.Timestamp) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ts := range tss {
+		if st := p.pins[ts]; st != nil && st.active > 0 {
+			st.active--
+		}
+	}
+}
+
+// Sweep unpins snapshots that are unused and older than the retention
+// threshold, returning how many were removed. Run it periodically.
+func (p *Pincushion) Sweep() int {
+	p.mu.Lock()
+	cutoff := p.clk.Now().Add(-p.cfg.Retention)
+	var victims []interval.Timestamp
+	for ts, st := range p.pins {
+		if st.active == 0 && st.wall.Before(cutoff) {
+			victims = append(victims, ts)
+		}
+	}
+	for _, ts := range victims {
+		delete(p.pins, ts)
+	}
+	p.statSweeps++
+	p.mu.Unlock()
+	// Unpin outside the lock: the database takes its own locks.
+	if p.cfg.DB != nil {
+		for _, ts := range victims {
+			p.cfg.DB.Unpin(ts)
+		}
+	}
+	return len(victims)
+}
+
+// Len returns the number of tracked pins.
+func (p *Pincushion) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pins)
+}
+
+// Newest returns the most recent pin and whether one exists.
+func (p *Pincushion) Newest() (Pin, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best Pin
+	found := false
+	for ts, st := range p.pins {
+		if !found || ts > best.TS {
+			best = Pin{TS: ts, Wall: st.wall}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// RunSweeper sweeps every interval until stop is closed.
+func (p *Pincushion) RunSweeper(every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.Sweep()
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package pincushion
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"txcache/internal/clock"
+	"txcache/internal/interval"
+)
+
+type fakeDB struct {
+	mu       sync.Mutex
+	unpinned []interval.Timestamp
+}
+
+func (f *fakeDB) Unpin(ts interval.Timestamp) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unpinned = append(f.unpinned, ts)
+}
+
+func TestGetPinsFreshnessFilter(t *testing.T) {
+	clk := &clock.Virtual{}
+	p := New(Config{Clock: clk})
+	base := clk.Now()
+	p.Register(10, base)
+	p.Register(20, base.Add(10*time.Second))
+	p.Release([]interval.Timestamp{10, 20})
+	clk.Advance(30 * time.Second)
+
+	// Staleness 25s: only the pin from 20s ago qualifies.
+	pins := p.GetPins(25 * time.Second)
+	if len(pins) != 1 || pins[0].TS != 20 {
+		t.Fatalf("pins = %+v", pins)
+	}
+	// Staleness 40s: both.
+	pins = p.GetPins(40 * time.Second)
+	if len(pins) != 2 || pins[0].TS != 10 || pins[1].TS != 20 {
+		t.Fatalf("pins = %+v (must be sorted ascending)", pins)
+	}
+}
+
+func TestSweepRespectsActiveAndRetention(t *testing.T) {
+	clk := &clock.Virtual{}
+	db := &fakeDB{}
+	p := New(Config{Clock: clk, Retention: 15 * time.Second, DB: db})
+	base := clk.Now()
+	p.Register(10, base) // active=1
+	p.Register(20, base)
+	p.Release([]interval.Timestamp{20}) // 20 unused, 10 in use
+
+	clk.Advance(30 * time.Second)
+	if n := p.Sweep(); n != 1 {
+		t.Fatalf("sweep removed %d, want 1", n)
+	}
+	if len(db.unpinned) != 1 || db.unpinned[0] != 20 {
+		t.Fatalf("db unpins = %v", db.unpinned)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	// Release then sweep removes the rest.
+	p.Release([]interval.Timestamp{10})
+	if n := p.Sweep(); n != 1 {
+		t.Fatalf("second sweep removed %d", n)
+	}
+}
+
+func TestGetPinsMarksInUse(t *testing.T) {
+	clk := &clock.Virtual{}
+	p := New(Config{Clock: clk, Retention: time.Second})
+	p.Register(10, clk.Now())
+	p.Release([]interval.Timestamp{10})
+
+	pins := p.GetPins(time.Minute) // marks 10 in use again
+	clk.Advance(time.Hour)
+	if n := p.Sweep(); n != 0 {
+		t.Fatal("in-use pin must not be swept")
+	}
+	var tss []interval.Timestamp
+	for _, pin := range pins {
+		tss = append(tss, pin.TS)
+	}
+	p.Release(tss)
+	if n := p.Sweep(); n != 1 {
+		t.Fatalf("released pin should sweep, got %d", n)
+	}
+}
+
+func TestNewest(t *testing.T) {
+	p := New(Config{})
+	if _, ok := p.Newest(); ok {
+		t.Fatal("empty pincushion has no newest")
+	}
+	now := time.Now()
+	p.Register(5, now)
+	p.Register(9, now)
+	p.Register(7, now)
+	pin, ok := p.Newest()
+	if !ok || pin.TS != 9 {
+		t.Fatalf("newest = %+v", pin)
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	clk := &clock.Virtual{}
+	p := New(Config{Clock: clk})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go p.Serve(l)
+
+	c, err := Dial(l.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.Register(42, clk.Now())
+	pins := c.GetPins(time.Minute)
+	if len(pins) != 1 || pins[0].TS != 42 {
+		t.Fatalf("pins = %+v", pins)
+	}
+	c.Release([]interval.Timestamp{42, 42}) // one from Register, one from GetPins
+	clk.Advance(2 * time.Minute)
+	if n := p.Sweep(); n != 1 {
+		t.Fatalf("sweep after release = %d", n)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ts := interval.Timestamp(i % 20)
+				p.Register(ts, time.Now())
+				pins := p.GetPins(time.Minute)
+				var tss []interval.Timestamp
+				for _, pin := range pins {
+					tss = append(tss, pin.TS)
+				}
+				tss = append(tss, ts)
+				p.Release(tss)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// All uses balanced: everything sweepable after retention.
+	if p.Len() == 0 {
+		t.Fatal("expected pins to remain before sweep")
+	}
+}
+
+func BenchmarkGetPins(b *testing.B) {
+	p := New(Config{})
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		p.Register(interval.Timestamp(i), now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pins := p.GetPins(time.Minute)
+		tss := make([]interval.Timestamp, len(pins))
+		for j, pin := range pins {
+			tss[j] = pin.TS
+		}
+		p.Release(tss)
+	}
+}

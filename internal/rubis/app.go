@@ -1,0 +1,384 @@
+package rubis
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"txcache/internal/core"
+	"txcache/internal/sql"
+)
+
+// ErrNotFound is returned when an entity does not exist.
+var ErrNotFound = errors.New("rubis: not found")
+
+// pageSize is the number of items per search-result page, matching RUBiS.
+const pageSize = 20
+
+// User is a user row materialized for the application.
+type User struct {
+	ID                  int64
+	FirstName, LastName string
+	Nickname, Email     string
+	Rating              int64
+	Balance             float64
+	CreationDate        int64
+	Region              int64
+}
+
+// Item is an item row materialized for the application.
+type Item struct {
+	ID           int64
+	Name         string
+	Description  string
+	InitialPrice float64
+	Quantity     int64
+	ReservePrice float64
+	BuyNow       float64
+	NbOfBids     int64
+	MaxBid       float64
+	StartDate    int64
+	EndDate      int64
+	Seller       int64
+	Category     int64
+	Region       int64
+	Closed       bool // true when it came from old_items
+}
+
+// ItemSummary is one row of a search listing.
+type ItemSummary struct {
+	ID      int64
+	Name    string
+	MaxBid  float64
+	NbBids  int64
+	EndDate int64
+}
+
+// Comment is a comment row.
+type Comment struct {
+	From, To, ItemID int64
+	Rating           int64
+	Date             int64
+	Text             string
+}
+
+// Bid is one bid-history row.
+type Bid struct {
+	User int64
+	Qty  int64
+	Bid  float64
+	Date int64
+}
+
+// App exposes the RUBiS interactions. All page methods return generated
+// HTML, mirroring the PHP implementation; fine-grained accessors return
+// materialized records. Both layers are memoized as cacheable functions at
+// the two granularities the paper describes (§7.1).
+type App struct {
+	C  *core.Client
+	DS *Dataset
+
+	// Fine-grained cacheable functions.
+	getUser       core.Cacheable[User]
+	getItem       core.Cacheable[Item]
+	getBids       core.Cacheable[[]Bid]
+	getComments   core.Cacheable[[]Comment]
+	getCategories core.Cacheable[[]string]
+	getRegions    core.Cacheable[[]string]
+	auth          core.Cacheable[int64]
+	searchCat     core.Cacheable[[]ItemSummary]
+	searchRegion  core.Cacheable[[]ItemSummary]
+	userBidItems  core.Cacheable[[]int64]
+
+	// Page-granularity cacheable functions (generated HTML, §7.1: "we
+	// cached large portions of the generated HTML output for each page").
+	pgViewItem   core.Cacheable[string]
+	pgUserInfo   core.Cacheable[string]
+	pgBidHistory core.Cacheable[string]
+	pgSearchCat  core.Cacheable[string]
+	pgSearchReg  core.Cacheable[string]
+	pgCategories core.Cacheable[string]
+	pgRegions    core.Cacheable[string]
+	pgHome       core.Cacheable[string]
+}
+
+// NewApp wires the cacheable functions of the site against a library client.
+func NewApp(c *core.Client, ds *Dataset) *App {
+	a := &App{C: c, DS: ds}
+
+	a.getUser = core.MakeCacheable(c, "rubis.getUser", func(tx *core.Tx, args ...sql.Value) (User, error) {
+		r, err := tx.Query(`SELECT id, firstname, lastname, nickname, email, rating, balance, creation_date, region
+			FROM users WHERE id = ?`, args...)
+		if err != nil {
+			return User{}, err
+		}
+		if len(r.Rows) == 0 {
+			return User{}, ErrNotFound
+		}
+		w := r.Rows[0]
+		return User{
+			ID: mustInt(w[0]), FirstName: mustString(w[1]), LastName: mustString(w[2]),
+			Nickname: mustString(w[3]), Email: mustString(w[4]), Rating: mustInt(w[5]),
+			Balance: mustFloat(w[6]), CreationDate: mustInt(w[7]), Region: mustInt(w[8]),
+		}, nil
+	})
+
+	a.getItem = core.MakeCacheable(c, "rubis.getItem", func(tx *core.Tx, args ...sql.Value) (Item, error) {
+		// Paper §7.1: "looking up an item requires examining both the
+		// active items table and the old items table."
+		for _, table := range []string{"items", "old_items"} {
+			r, err := tx.Query(`SELECT id, name, description, initial_price, quantity, reserve_price, buy_now,
+				nb_of_bids, max_bid, start_date, end_date, seller, category, region FROM `+table+` WHERE id = ?`, args...)
+			if err != nil {
+				return Item{}, err
+			}
+			if len(r.Rows) == 0 {
+				continue
+			}
+			w := r.Rows[0]
+			return Item{
+				ID: mustInt(w[0]), Name: mustString(w[1]), Description: mustString(w[2]),
+				InitialPrice: mustFloat(w[3]), Quantity: mustInt(w[4]), ReservePrice: mustFloat(w[5]),
+				BuyNow: mustFloat(w[6]), NbOfBids: mustInt(w[7]), MaxBid: mustFloat(w[8]),
+				StartDate: mustInt(w[9]), EndDate: mustInt(w[10]), Seller: mustInt(w[11]),
+				Category: mustInt(w[12]), Region: mustInt(w[13]), Closed: table == "old_items",
+			}, nil
+		}
+		return Item{}, ErrNotFound
+	})
+
+	a.getBids = core.MakeCacheable(c, "rubis.getBids", func(tx *core.Tx, args ...sql.Value) ([]Bid, error) {
+		r, err := tx.Query(`SELECT user_id, qty, bid, date FROM bids WHERE item_id = ? ORDER BY bid DESC LIMIT 20`, args...)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Bid, 0, len(r.Rows))
+		for _, w := range r.Rows {
+			out = append(out, Bid{User: mustInt(w[0]), Qty: mustInt(w[1]), Bid: mustFloat(w[2]), Date: mustInt(w[3])})
+		}
+		return out, nil
+	})
+
+	a.getComments = core.MakeCacheable(c, "rubis.getComments", func(tx *core.Tx, args ...sql.Value) ([]Comment, error) {
+		r, err := tx.Query(`SELECT from_user_id, to_user_id, item_id, rating, date, comment
+			FROM comments WHERE to_user_id = ? ORDER BY date DESC LIMIT 10`, args...)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Comment, 0, len(r.Rows))
+		for _, w := range r.Rows {
+			out = append(out, Comment{
+				From: mustInt(w[0]), To: mustInt(w[1]), ItemID: mustInt(w[2]),
+				Rating: mustInt(w[3]), Date: mustInt(w[4]), Text: mustString(w[5]),
+			})
+		}
+		return out, nil
+	})
+
+	a.getCategories = core.MakeCacheable(c, "rubis.categories", func(tx *core.Tx, _ ...sql.Value) ([]string, error) {
+		r, err := tx.Query(`SELECT name FROM categories ORDER BY id`)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, 0, len(r.Rows))
+		for _, w := range r.Rows {
+			out = append(out, mustString(w[0]))
+		}
+		return out, nil
+	})
+
+	a.getRegions = core.MakeCacheable(c, "rubis.regions", func(tx *core.Tx, _ ...sql.Value) ([]string, error) {
+		r, err := tx.Query(`SELECT name FROM regions ORDER BY id`)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, 0, len(r.Rows))
+		for _, w := range r.Rows {
+			out = append(out, mustString(w[0]))
+		}
+		return out, nil
+	})
+
+	a.auth = core.MakeCacheable(c, "rubis.auth", func(tx *core.Tx, args ...sql.Value) (int64, error) {
+		// Authenticate a user login (§7.1 caches this function).
+		r, err := tx.Query(`SELECT id, password FROM users WHERE nickname = ?`, args[0])
+		if err != nil {
+			return 0, err
+		}
+		if len(r.Rows) == 0 || mustString(r.Rows[0][1]) != mustString(args[1]) {
+			return -1, nil
+		}
+		return mustInt(r.Rows[0][0]), nil
+	})
+
+	a.searchCat = core.MakeCacheable(c, "rubis.searchCat", func(tx *core.Tx, args ...sql.Value) ([]ItemSummary, error) {
+		r, err := tx.Query(`SELECT id, name, max_bid, nb_of_bids, end_date FROM items
+			WHERE category = ? ORDER BY end_date LIMIT 20 OFFSET `+fmt.Sprint(int(args[1].(int64))*pageSize), args[0])
+		if err != nil {
+			return nil, err
+		}
+		return summaries(r.Rows), nil
+	})
+
+	a.searchRegion = core.MakeCacheable(c, "rubis.searchRegion", func(tx *core.Tx, args ...sql.Value) ([]ItemSummary, error) {
+		r, err := tx.Query(`SELECT id, name, max_bid, nb_of_bids, end_date FROM items
+			WHERE region = ? AND category = ? ORDER BY end_date LIMIT 20`, args[0], args[1])
+		if err != nil {
+			return nil, err
+		}
+		return summaries(r.Rows), nil
+	})
+
+	a.userBidItems = core.MakeCacheable(c, "rubis.userBidItems", func(tx *core.Tx, args ...sql.Value) ([]int64, error) {
+		r, err := tx.Query(`SELECT DISTINCT item_id FROM bids WHERE user_id = ? LIMIT 10`, args...)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, 0, len(r.Rows))
+		for _, w := range r.Rows {
+			out = append(out, mustInt(w[0]))
+		}
+		return out, nil
+	})
+
+	a.buildPages()
+	return a
+}
+
+func summaries(rows [][]sql.Value) []ItemSummary {
+	out := make([]ItemSummary, 0, len(rows))
+	for _, w := range rows {
+		out = append(out, ItemSummary{
+			ID: mustInt(w[0]), Name: mustString(w[1]), MaxBid: mustFloat(w[2]),
+			NbBids: mustInt(w[3]), EndDate: mustInt(w[4]),
+		})
+	}
+	return out
+}
+
+// buildPages defines the page-granularity cacheable functions. Pages call
+// the fine-grained functions, exercising nested cacheable calls (§6.3): a
+// page entry's validity is the intersection of its parts' validities, and
+// the parts remain independently reusable across pages.
+func (a *App) buildPages() {
+	c := a.C
+
+	a.pgHome = core.MakeCacheable(c, "page.home", func(tx *core.Tx, _ ...sql.Value) (string, error) {
+		cats, err := a.getCategories(tx)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		b.WriteString("<html><body><h1>RUBiS</h1><ul>")
+		for i, name := range cats {
+			fmt.Fprintf(&b, `<li><a href="/browse?cat=%d">%s</a></li>`, i, name)
+		}
+		b.WriteString("</ul></body></html>")
+		return b.String(), nil
+	})
+
+	a.pgCategories = core.MakeCacheable(c, "page.categories", func(tx *core.Tx, _ ...sql.Value) (string, error) {
+		cats, err := a.getCategories(tx)
+		if err != nil {
+			return "", err
+		}
+		return "<html><body>" + strings.Join(cats, "<br>") + "</body></html>", nil
+	})
+
+	a.pgRegions = core.MakeCacheable(c, "page.regions", func(tx *core.Tx, _ ...sql.Value) (string, error) {
+		regs, err := a.getRegions(tx)
+		if err != nil {
+			return "", err
+		}
+		return "<html><body>" + strings.Join(regs, "<br>") + "</body></html>", nil
+	})
+
+	a.pgViewItem = core.MakeCacheable(c, "page.viewItem", func(tx *core.Tx, args ...sql.Value) (string, error) {
+		item, err := a.getItem(tx, args[0])
+		if err != nil {
+			return "", err
+		}
+		seller, err := a.getUser(tx, item.Seller)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><body><h1>%s</h1><p>%s</p>", item.Name, item.Description)
+		fmt.Fprintf(&b, "<p>Current bid: $%.2f (%d bids)</p>", item.MaxBid, item.NbOfBids)
+		fmt.Fprintf(&b, "<p>Seller: %s (rating %d)</p>", seller.Nickname, seller.Rating)
+		if item.Closed {
+			b.WriteString("<p><b>This auction has ended.</b></p>")
+		}
+		b.WriteString("</body></html>")
+		return b.String(), nil
+	})
+
+	a.pgUserInfo = core.MakeCacheable(c, "page.userInfo", func(tx *core.Tx, args ...sql.Value) (string, error) {
+		u, err := a.getUser(tx, args[0])
+		if err != nil {
+			return "", err
+		}
+		comments, err := a.getComments(tx, args[0])
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><body><h1>%s %s (%s)</h1><p>Rating: %d</p><h2>Comments</h2>",
+			u.FirstName, u.LastName, u.Nickname, u.Rating)
+		for _, cm := range comments {
+			fmt.Fprintf(&b, "<p>[%d] %s</p>", cm.Rating, cm.Text)
+		}
+		b.WriteString("</body></html>")
+		return b.String(), nil
+	})
+
+	a.pgBidHistory = core.MakeCacheable(c, "page.bidHistory", func(tx *core.Tx, args ...sql.Value) (string, error) {
+		item, err := a.getItem(tx, args[0])
+		if err != nil {
+			return "", err
+		}
+		bids, err := a.getBids(tx, args[0])
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><body><h1>Bid history for %s</h1><table>", item.Name)
+		for _, bid := range bids {
+			// The bidder row is cached per-user and shared across pages.
+			u, err := a.getUser(tx, bid.User)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>$%.2f</td></tr>", u.Nickname, bid.Bid)
+		}
+		b.WriteString("</table></body></html>")
+		return b.String(), nil
+	})
+
+	a.pgSearchCat = core.MakeCacheable(c, "page.searchCat", func(tx *core.Tx, args ...sql.Value) (string, error) {
+		items, err := a.searchCat(tx, args...)
+		if err != nil {
+			return "", err
+		}
+		return renderListing(fmt.Sprintf("Items in category %v (page %v)", args[0], args[1]), items), nil
+	})
+
+	a.pgSearchReg = core.MakeCacheable(c, "page.searchReg", func(tx *core.Tx, args ...sql.Value) (string, error) {
+		items, err := a.searchRegion(tx, args...)
+		if err != nil {
+			return "", err
+		}
+		return renderListing(fmt.Sprintf("Items in region %v category %v", args[0], args[1]), items), nil
+	})
+}
+
+func renderListing(title string, items []ItemSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h1>%s</h1><table>", title)
+	for _, it := range items {
+		fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>$%.2f</td><td>%d bids</td></tr>",
+			it.ID, it.Name, it.MaxBid, it.NbBids)
+	}
+	b.WriteString("</table></body></html>")
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package sql
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColType is a column's declared type.
+type ColType int
+
+// Column types supported by the engine.
+const (
+	TInt ColType = iota
+	TFloat
+	TString
+	TBool
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "BIGINT"
+	case TFloat:
+		return "DOUBLE"
+	case TString:
+		return "TEXT"
+	case TBool:
+		return "BOOLEAN"
+	default:
+		return "?"
+	}
+}
+
+// ColRef names a column, optionally qualified by table name or alias.
+type ColRef struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Expr is a scalar expression: a literal, a parameter placeholder, or a
+// column reference.
+type Expr struct {
+	Kind  ExprKind
+	Lit   Value  // Kind == ELit
+	Param int    // Kind == EParam: zero-based placeholder ordinal
+	Col   ColRef // Kind == ECol
+}
+
+// ExprKind discriminates Expr.
+type ExprKind int
+
+// Expression kinds.
+const (
+	ELit ExprKind = iota
+	EParam
+	ECol
+)
+
+// CompareOp is a comparison operator in a WHERE condition.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CompareOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// Cond is one conjunct of a WHERE clause: left op right, or left IN rights,
+// or left IS [NOT] NULL.
+type Cond struct {
+	Left  Expr
+	Op    CompareOp
+	Right Expr
+
+	// IN list: when len(In) > 0, the condition is Left IN (In...).
+	In []Expr
+
+	// IS NULL / IS NOT NULL.
+	IsNull    bool
+	IsNotNull bool
+}
+
+// AggFunc is an aggregate function in a select list.
+type AggFunc int
+
+// Aggregate functions. AggNone marks a plain column selection.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggMax
+	AggMin
+	AggSum
+	AggAvg
+)
+
+// SelectExpr is one output column of a SELECT: either a (possibly
+// aggregated) column or COUNT(*).
+type SelectExpr struct {
+	Agg   AggFunc
+	Star  bool   // COUNT(*) or bare *
+	Col   ColRef // valid unless Star
+	Alias string
+}
+
+// JoinClause is one "JOIN table [AS alias] ON left = right" clause.
+type JoinClause struct {
+	Table string
+	Alias string
+	Left  ColRef // column from tables joined so far
+	Right ColRef // column of the joined table
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Col  ColRef
+	Desc bool
+}
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Exprs    []SelectExpr
+	Star     bool // SELECT *
+	Distinct bool
+	Table    string
+	Alias    string
+	Joins    []JoinClause
+	Where    []Cond
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+func (*Select) stmt() {}
+
+// Insert is a parsed INSERT statement.
+type Insert struct {
+	Table string
+	Cols  []string // empty means schema order
+	Rows  [][]Expr // literals and parameters only
+}
+
+func (*Insert) stmt() {}
+
+// Assign is one SET column = expr pair.
+type Assign struct {
+	Column string
+	Value  Expr
+}
+
+// Update is a parsed UPDATE statement.
+type Update struct {
+	Table string
+	Set   []Assign
+	Where []Cond
+}
+
+func (*Update) stmt() {}
+
+// Delete is a parsed DELETE statement.
+type Delete struct {
+	Table string
+	Where []Cond
+}
+
+func (*Delete) stmt() {}
+
+// ColDef is a column definition in CREATE TABLE.
+type ColDef struct {
+	Name    string
+	Type    ColType
+	Primary bool
+	NotNull bool
+}
+
+// CreateTable is a parsed CREATE TABLE statement.
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateIndex is a parsed CREATE INDEX statement (single-column).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+}
+
+func (*CreateIndex) stmt() {}

@@ -1,0 +1,221 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam // ?
+	tokPunct // ( ) , * . ;
+	tokOp    // = <> != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents lower-cased
+	ival int64
+	fval float64
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"COUNT": true, "MAX": true, "MIN": true, "SUM": true, "AVG": true,
+	"INT": true, "BIGINT": true, "FLOAT": true, "DOUBLE": true, "TEXT": true,
+	"VARCHAR": true, "BOOLEAN": true, "BOOL": true, "NULL": true, "NOT": true,
+	"TRUE": true, "FALSE": true, "IN": true, "PRIMARY": true, "KEY": true,
+	"UNIQUE": true, "DISTINCT": true, "BETWEEN": true, "IS": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. It returns a descriptive error with byte offset on any
+// character it does not understand.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' && l.negOK():
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c == '?':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokParam, pos: start})
+		case strings.ContainsRune("(),*.;", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
+		case c == '=':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokOp, text: "=", pos: start})
+		case c == '<':
+			l.pos++
+			op := "<"
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+				op += string(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		case c == '>':
+			l.pos++
+			op := ">"
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				op = ">="
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tokOp, text: "<>", pos: start})
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", l.pos)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+// negOK reports whether a '-' at the current position should start a numeric
+// literal (vs being a binary minus, which this subset does not support).
+// A leading minus is a literal when the previous token is an operator,
+// a comma, an opening paren, or a keyword.
+func (l *lexer) negOK() bool {
+	if len(l.toks) == 0 {
+		return true
+	}
+	last := l.toks[len(l.toks)-1]
+	switch last.kind {
+	case tokOp, tokKeyword, tokParam:
+		return true
+	case tokPunct:
+		return last.text == "(" || last.text == ","
+	default:
+		return false
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+		} else if c == '.' && !isFloat {
+			isFloat = true
+			l.pos++
+		} else if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			isFloat = true
+			l.pos++
+			if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+				l.pos++
+			}
+		} else {
+			break
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("sql: bad float literal %q at offset %d", text, start)
+		}
+		l.toks = append(l.toks, token{kind: tokFloat, fval: f, text: text, pos: start})
+		return nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return fmt.Errorf("sql: bad integer literal %q at offset %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokInt, ival: i, text: text, pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentCont(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

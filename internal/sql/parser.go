@@ -1,0 +1,654 @@
+package sql
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().kind == tokPunct && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input beginning with %q", p.peek().text)
+	}
+	return st, nil
+}
+
+// cache memoizes parse results by statement text; applications issue the
+// same parameterized statements repeatedly.
+var cache sync.Map // string -> Statement (error results are not cached)
+
+// ParseCached is Parse with memoization. The returned Statement is shared;
+// callers must not mutate it.
+func ParseCached(src string) (Statement, error) {
+	if st, ok := cache.Load(src); ok {
+		return st.(Statement), nil
+	}
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cache.Store(src, st)
+	return st, nil
+}
+
+type parser struct {
+	src    string
+	toks   []token
+	pos    int
+	params int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errf("expected %s, found %q", kw, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokKeyword && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.kind != tokPunct || t.text != s {
+		return p.errf("expected %q, found %q", s, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, p.errf("expected statement keyword, found %q", t.text)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	default:
+		return nil, p.errf("unsupported statement %s", t.text)
+	}
+}
+
+// colRef parses ident[.ident].
+func (p *parser) colRef() (ColRef, error) {
+	a, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptPunct(".") {
+		b, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: a, Column: b}, nil
+	}
+	return ColRef{Column: a}, nil
+}
+
+// scalarExpr parses a literal, parameter, or column reference.
+func (p *parser) scalarExpr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		return Expr{Kind: ELit, Lit: t.ival}, nil
+	case tokFloat:
+		p.next()
+		return Expr{Kind: ELit, Lit: t.fval}, nil
+	case tokString:
+		p.next()
+		return Expr{Kind: ELit, Lit: t.text}, nil
+	case tokParam:
+		p.next()
+		e := Expr{Kind: EParam, Param: p.params}
+		p.params++
+		return e, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return Expr{Kind: ELit, Lit: nil}, nil
+		case "TRUE":
+			p.next()
+			return Expr{Kind: ELit, Lit: true}, nil
+		case "FALSE":
+			p.next()
+			return Expr{Kind: ELit, Lit: false}, nil
+		}
+		return Expr{}, p.errf("expected expression, found %q", t.text)
+	case tokIdent:
+		c, err := p.colRef()
+		if err != nil {
+			return Expr{}, err
+		}
+		return Expr{Kind: ECol, Col: c}, nil
+	default:
+		return Expr{}, p.errf("expected expression, found %q", t.text)
+	}
+}
+
+// parseWhere parses "WHERE cond AND cond AND ..." if present. OR is
+// detected and rejected with a clear message: the subset is conjunctive.
+func (p *parser) parseWhere() ([]Cond, error) {
+	if !p.acceptKeyword("WHERE") {
+		return nil, nil
+	}
+	var conds []Cond
+	for {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if p.acceptKeyword("AND") {
+			continue
+		}
+		if p.peek().kind == tokKeyword && p.peek().text == "OR" {
+			return nil, p.errf("OR is not supported; rewrite as separate queries or IN")
+		}
+		return conds, nil
+	}
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	left, err := p.scalarExpr()
+	if err != nil {
+		return Cond{}, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return Cond{}, err
+		}
+		return Cond{Left: left, IsNull: !not, IsNotNull: not}, nil
+	}
+	// IN (expr, ...)
+	if p.acceptKeyword("IN") {
+		if err := p.expectPunct("("); err != nil {
+			return Cond{}, err
+		}
+		var list []Expr
+		for {
+			e, err := p.scalarExpr()
+			if err != nil {
+				return Cond{}, err
+			}
+			list = append(list, e)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return Cond{}, err
+		}
+		return Cond{Left: left, In: list}, nil
+	}
+	t := p.peek()
+	if t.kind != tokOp {
+		return Cond{}, p.errf("expected comparison operator, found %q", t.text)
+	}
+	p.next()
+	var op CompareOp
+	switch t.text {
+	case "=":
+		op = OpEq
+	case "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return Cond{}, p.errf("unsupported operator %q", t.text)
+	}
+	right, err := p.scalarExpr()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	p.next() // SELECT
+	s := &Select{Limit: -1}
+	s.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Select list.
+	if p.acceptPunct("*") {
+		s.Star = true
+	} else {
+		for {
+			se, err := p.parseSelectExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Exprs = append(s.Exprs, se)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var err error
+	s.Table, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Alias = p.parseAlias()
+
+	// JOIN clauses.
+	for {
+		if p.acceptKeyword("INNER") || p.acceptKeyword("LEFT") {
+			// LEFT is accepted syntactically but executed as INNER; the
+			// workloads this engine serves use only inner joins.
+		}
+		if !p.acceptKeyword("JOIN") {
+			break
+		}
+		var jc JoinClause
+		jc.Table, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		jc.Alias = p.parseAlias()
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		l, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokOp || p.peek().text != "=" {
+			return nil, p.errf("JOIN supports only equality conditions")
+		}
+		p.next()
+		r, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		jc.Left, jc.Right = l, r
+		s.Joins = append(s.Joins, jc)
+	}
+
+	s.Where, err = p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			var k OrderKey
+			k.Col, err = p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptKeyword("DESC") {
+				k.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, k)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokInt {
+			return nil, p.errf("LIMIT requires an integer literal")
+		}
+		p.next()
+		s.Limit = int(t.ival)
+	}
+	if p.acceptKeyword("OFFSET") {
+		t := p.peek()
+		if t.kind != tokInt {
+			return nil, p.errf("OFFSET requires an integer literal")
+		}
+		p.next()
+		s.Offset = int(t.ival)
+	}
+	return s, nil
+}
+
+func (p *parser) parseAlias() string {
+	if p.acceptKeyword("AS") {
+		a, err := p.ident()
+		if err == nil {
+			return a
+		}
+		return ""
+	}
+	if p.peek().kind == tokIdent {
+		return p.next().text
+	}
+	return ""
+}
+
+func (p *parser) parseSelectExpr() (SelectExpr, error) {
+	t := p.peek()
+	if t.kind == tokKeyword {
+		var agg AggFunc
+		switch t.text {
+		case "COUNT":
+			agg = AggCount
+		case "MAX":
+			agg = AggMax
+		case "MIN":
+			agg = AggMin
+		case "SUM":
+			agg = AggSum
+		case "AVG":
+			agg = AggAvg
+		default:
+			return SelectExpr{}, p.errf("unexpected keyword %q in select list", t.text)
+		}
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return SelectExpr{}, err
+		}
+		se := SelectExpr{Agg: agg}
+		if p.acceptPunct("*") {
+			if agg != AggCount {
+				return SelectExpr{}, p.errf("only COUNT may take *")
+			}
+			se.Star = true
+		} else {
+			c, err := p.colRef()
+			if err != nil {
+				return SelectExpr{}, err
+			}
+			se.Col = c
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return SelectExpr{}, err
+		}
+		se.Alias = p.parseAlias()
+		return se, nil
+	}
+	c, err := p.colRef()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	return SelectExpr{Col: c, Alias: p.parseAlias()}, nil
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{}
+	var err error
+	ins.Table, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, c)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.scalarExpr()
+			if err != nil {
+				return nil, err
+			}
+			if e.Kind == ECol {
+				return nil, p.errf("INSERT values must be literals or parameters")
+			}
+			row = append(row, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (*Update, error) {
+	p.next() // UPDATE
+	u := &Update{}
+	var err error
+	u.Table, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokOp || p.peek().text != "=" {
+			return nil, p.errf("expected = in SET")
+		}
+		p.next()
+		e, err := p.scalarExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assign{Column: col, Value: e})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	u.Where, err = p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func (p *parser) parseDelete() (*Delete, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	d := &Delete{}
+	var err error
+	d.Table, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d.Where, err = p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	if p.acceptKeyword("TABLE") {
+		ct := &CreateTable{}
+		var err error
+		ct.Name, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			var cd ColDef
+			cd.Name, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+			t := p.peek()
+			if t.kind != tokKeyword {
+				return nil, p.errf("expected column type, found %q", t.text)
+			}
+			switch t.text {
+			case "INT", "BIGINT":
+				cd.Type = TInt
+			case "FLOAT", "DOUBLE":
+				cd.Type = TFloat
+			case "TEXT", "VARCHAR":
+				cd.Type = TString
+			case "BOOLEAN", "BOOL":
+				cd.Type = TBool
+			default:
+				return nil, p.errf("unsupported column type %s", t.text)
+			}
+			p.next()
+			// Optional (n) on VARCHAR, ignored.
+			if p.acceptPunct("(") {
+				if p.peek().kind == tokInt {
+					p.next()
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			for {
+				if p.acceptKeyword("PRIMARY") {
+					if err := p.expectKeyword("KEY"); err != nil {
+						return nil, err
+					}
+					cd.Primary = true
+					cd.NotNull = true
+				} else if p.acceptKeyword("NOT") {
+					if err := p.expectKeyword("NULL"); err != nil {
+						return nil, err
+					}
+					cd.NotNull = true
+				} else {
+					break
+				}
+			}
+			ct.Cols = append(ct.Cols, cd)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return ct, nil
+	}
+	unique := p.acceptKeyword("UNIQUE")
+	if !p.acceptKeyword("INDEX") {
+		return nil, p.errf("expected TABLE or INDEX after CREATE")
+	}
+	ci := &CreateIndex{Unique: unique}
+	var err error
+	ci.Name, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	ci.Table, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	ci.Column, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}

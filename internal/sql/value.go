@@ -1,0 +1,210 @@
+// Package sql implements the SQL subset understood by the database
+// substrate: a lexer, parser, and AST for SELECT (with joins, aggregates,
+// ORDER BY, LIMIT), INSERT, UPDATE, DELETE, CREATE TABLE and CREATE INDEX,
+// plus the dynamically-typed Value domain shared with the engine.
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"txcache/internal/ordenc"
+	"txcache/internal/wire"
+)
+
+// Value is a SQL value: nil (NULL), int64, float64, string, or bool.
+type Value any
+
+// Compare orders two values: NULL < bool < int64/float64 < string, with
+// numeric types compared numerically against each other. It returns
+// -1, 0, or 1.
+func Compare(a, b Value) int {
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch av := a.(type) {
+	case nil:
+		return 0
+	case bool:
+		bv := b.(bool)
+		switch {
+		case av == bv:
+			return 0
+		case !av:
+			return -1
+		default:
+			return 1
+		}
+	case int64:
+		return cmpFloat(float64(av), asFloat(b))
+	case float64:
+		return cmpFloat(av, asFloat(b))
+	case string:
+		bv := b.(string)
+		switch {
+		case av == bv:
+			return 0
+		case av < bv:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		panic(fmt.Sprintf("sql: unsupported value type %T", a))
+	}
+}
+
+func rank(v Value) int {
+	switch v.(type) {
+	case nil:
+		return 0
+	case bool:
+		return 1
+	case int64, float64:
+		return 2
+	case string:
+		return 3
+	default:
+		panic(fmt.Sprintf("sql: unsupported value type %T", v))
+	}
+}
+
+func asFloat(v Value) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		panic(fmt.Sprintf("sql: not numeric: %T", v))
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal. NULL never equals
+// anything, including NULL (SQL three-valued logic collapsed to false).
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return rank(a) == rank(b) && Compare(a, b) == 0
+}
+
+// FormatValue renders a value the way invalidation tags spell index keys,
+// e.g. int64(7) -> "7", "alice" -> "alice".
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	default:
+		panic(fmt.Sprintf("sql: unsupported value type %T", v))
+	}
+}
+
+// EncodeKey appends the order-preserving encoding of v for index keys.
+func EncodeKey(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return ordenc.AppendNull(dst)
+	case bool:
+		return ordenc.AppendBool(dst, x)
+	case int64:
+		return ordenc.AppendInt(dst, x)
+	case float64:
+		return ordenc.AppendFloat(dst, x)
+	case string:
+		return ordenc.AppendString(dst, x)
+	default:
+		panic(fmt.Sprintf("sql: unsupported value type %T", v))
+	}
+}
+
+// Value wire kinds for EncodeValue/DecodeValue.
+const (
+	kindNull   byte = 0
+	kindBool   byte = 1
+	kindInt    byte = 2
+	kindFloat  byte = 3
+	kindString byte = 4
+)
+
+// EncodeValue appends a wire encoding of v to e.
+func EncodeValue(e *wire.Buffer, v Value) {
+	switch x := v.(type) {
+	case nil:
+		e.U8(kindNull)
+	case bool:
+		e.U8(kindBool).Bool(x)
+	case int64:
+		e.U8(kindInt).I64(x)
+	case float64:
+		e.U8(kindFloat).U64(floatBits(x))
+	case string:
+		e.U8(kindString).Str(x)
+	default:
+		panic(fmt.Sprintf("sql: unsupported value type %T", v))
+	}
+}
+
+// DecodeValue reads one value written by EncodeValue.
+func DecodeValue(d *wire.Decoder) (Value, error) {
+	switch k := d.U8(); k {
+	case kindNull:
+		return nil, d.Err()
+	case kindBool:
+		return d.Bool(), d.Err()
+	case kindInt:
+		return d.I64(), d.Err()
+	case kindFloat:
+		return floatFrom(d.U64()), d.Err()
+	case kindString:
+		return d.Str(), d.Err()
+	default:
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, fmt.Errorf("sql: unknown value kind %d", k)
+	}
+}
+
+// TruthValue interprets a value as a boolean condition result.
+func TruthValue(v Value) bool {
+	switch x := v.(type) {
+	case bool:
+		return x
+	case nil:
+		return false
+	default:
+		return true
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,184 @@
+// Package wire implements the framed binary protocol used between TxCache
+// components: the application library, cache servers, the pincushion, and
+// the database daemon.
+//
+// A frame is a 4-byte big-endian payload length followed by the payload.
+// The first payload byte is a message opcode defined by each protocol; the
+// rest is encoded with the Buffer/Decoder helpers here (little-endian fixed
+// integers and length-prefixed byte strings).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame's payload so a corrupt length prefix cannot make
+// a reader allocate unbounded memory. 64 MiB comfortably exceeds the largest
+// cached value we expect.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// ErrTruncated is returned when a decoder runs out of bytes.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: short frame body: %w", err)
+	}
+	return payload, nil
+}
+
+// Buffer builds a message payload.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns a Buffer whose first byte is the opcode.
+func NewBuffer(op byte) *Buffer { return &Buffer{b: []byte{op}} }
+
+// Bytes returns the encoded payload.
+func (e *Buffer) Bytes() []byte { return e.b }
+
+// U8 appends a byte.
+func (e *Buffer) U8(v byte) *Buffer { e.b = append(e.b, v); return e }
+
+// Bool appends a boolean.
+func (e *Buffer) Bool(v bool) *Buffer {
+	if v {
+		return e.U8(1)
+	}
+	return e.U8(0)
+}
+
+// U32 appends a fixed 32-bit integer.
+func (e *Buffer) U32(v uint32) *Buffer {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+	return e
+}
+
+// U64 appends a fixed 64-bit integer.
+func (e *Buffer) U64(v uint64) *Buffer {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+	return e
+}
+
+// I64 appends a signed 64-bit integer.
+func (e *Buffer) I64(v int64) *Buffer { return e.U64(uint64(v)) }
+
+// Blob appends a length-prefixed byte string.
+func (e *Buffer) Blob(v []byte) *Buffer {
+	e.b = binary.LittleEndian.AppendUint32(e.b, uint32(len(v)))
+	e.b = append(e.b, v...)
+	return e
+}
+
+// Str appends a length-prefixed string.
+func (e *Buffer) Str(v string) *Buffer { return e.Blob([]byte(v)) }
+
+// Decoder reads a message payload produced by Buffer.
+type Decoder struct {
+	b   []byte
+	err error
+}
+
+// NewDecoder wraps payload. The opcode (first byte) should already have been
+// examined by the caller; pass the payload starting after it, or use Op.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Op consumes and returns the opcode byte.
+func (d *Decoder) Op() byte { return d.U8() }
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = ErrTruncated
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// U8 consumes one byte.
+func (d *Decoder) U8() byte {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+// Bool consumes one boolean byte.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// U32 consumes a fixed 32-bit integer.
+func (d *Decoder) U32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+// U64 consumes a fixed 64-bit integer.
+func (d *Decoder) U64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+// I64 consumes a signed 64-bit integer.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Blob consumes a length-prefixed byte string. The returned slice aliases
+// the payload buffer.
+func (d *Decoder) Blob() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if uint32(len(d.b)) < n {
+		d.err = ErrTruncated
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// Str consumes a length-prefixed string.
+func (d *Decoder) Str() string { return string(d.Blob()) }

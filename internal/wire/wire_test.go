@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want EOF after last frame, got %v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("WriteFrame oversize: %v", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+		t.Fatalf("ReadFrame oversize: %v", err)
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(10))
+	buf.WriteString("shrt")
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("want error on truncated body")
+	}
+}
+
+func TestBufferDecoderRoundTrip(t *testing.T) {
+	e := NewBuffer(0x42).
+		U8(7).Bool(true).Bool(false).
+		U32(12345).U64(math.MaxUint64).I64(-99).
+		Str("héllo").Blob([]byte{0, 1, 2}).Str("")
+	d := NewDecoder(e.Bytes())
+	if op := d.Op(); op != 0x42 {
+		t.Fatalf("op = %#x", op)
+	}
+	if v := d.U8(); v != 7 {
+		t.Fatalf("u8 = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if v := d.U32(); v != 12345 {
+		t.Fatalf("u32 = %d", v)
+	}
+	if v := d.U64(); v != math.MaxUint64 {
+		t.Fatalf("u64 = %d", v)
+	}
+	if v := d.I64(); v != -99 {
+		t.Fatalf("i64 = %d", v)
+	}
+	if v := d.Str(); v != "héllo" {
+		t.Fatalf("str = %q", v)
+	}
+	if v := d.Blob(); !bytes.Equal(v, []byte{0, 1, 2}) {
+		t.Fatalf("blob = %v", v)
+	}
+	if v := d.Str(); v != "" {
+		t.Fatalf("empty str = %q", v)
+	}
+	if d.Err() != nil {
+		t.Fatalf("unexpected decode error: %v", d.Err())
+	}
+	// Reading past the end sets the error and returns zero values.
+	if v := d.U64(); v != 0 || d.Err() != ErrTruncated {
+		t.Fatalf("overread: v=%d err=%v", v, d.Err())
+	}
+}
+
+func TestDecoderTruncatedBlob(t *testing.T) {
+	e := NewBuffer(1)
+	e.b = binary.LittleEndian.AppendUint32(e.b, 100) // claims 100 bytes
+	e.b = append(e.b, 1, 2, 3)
+	d := NewDecoder(e.Bytes())
+	d.Op()
+	if b := d.Blob(); b != nil || d.Err() == nil {
+		t.Fatalf("truncated blob: %v, err %v", b, d.Err())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint64, b int64, s string, blob []byte, flag bool) bool {
+		e := NewBuffer(9).U64(a).I64(b).Str(s).Blob(blob).Bool(flag)
+		d := NewDecoder(e.Bytes())
+		d.Op()
+		return d.U64() == a && d.I64() == b && d.Str() == s &&
+			bytes.Equal(d.Blob(), blob) && d.Bool() == flag && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Concurrent-engine benchmarks (the CHANGES.md perf trajectory).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkParallelCommit|BenchmarkReadersDuringCommits' -benchtime=2s .

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, all")
+	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, concurrency, all")
 	clients := flag.Int("clients", 2*runtime.GOMAXPROCS(0), "closed-loop client population")
 	warm := flag.Duration("warm", 2*time.Second, "warmup per point")
 	measure := flag.Duration("measure", 3*time.Second, "measurement per point")
@@ -80,12 +80,13 @@ func main() {
 			_, err := bench.Figure6(ob, true)
 			return err
 		},
-		"fig7": func() error { _, err := bench.Figure7(o, 2<<20); return err },
-		"fig8": func() error { _, err := bench.Figure8(o); return err },
+		"fig7":        func() error { _, err := bench.Figure7(o, 2<<20); return err },
+		"fig8":        func() error { _, err := bench.Figure8(o); return err },
+		"concurrency": func() error { _, err := bench.Concurrency(o); return err },
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"baseline", "fig5a", "fig6a", "fig5b", "fig6b", "fig7", "fig8"} {
+		for _, name := range []string{"baseline", "fig5a", "fig6a", "fig5b", "fig6b", "fig7", "fig8", "concurrency"} {
 			run(name, experiments[name])
 		}
 		return

@@ -1,0 +1,3 @@
+module txcache
+
+go 1.24

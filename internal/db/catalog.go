@@ -26,19 +26,28 @@ type Table struct {
 	indexes map[string]*Index // by column name
 	primary string            // primary key column, "" if none
 
+	// mu orders access to the table's data (version store, index trees,
+	// rowCount): statements reading the table hold it shared; commits whose
+	// write set includes the table, CREATE INDEX, and vacuum hold it
+	// exclusive. Lock sets are always acquired in ascending table-name
+	// order (see tableLockSet), and the catalog lock is never acquired
+	// while holding mu, so catalog → table is the global lock order.
+	mu sync.RWMutex
+
 	// rowCount tracks live (latest-version-not-deleted) rows, maintained at
 	// commit time; used for wildcard-tag aggregation and planner stats.
 	rowCount int
 }
 
-// Index is a single-column secondary index.
+// Index is a single-column secondary index. Its tree is guarded by the
+// owning table's lock: scans hold Table.mu shared, mutations (commit
+// apply, vacuum pruning, backfill) hold it exclusive.
 type Index struct {
 	name   string
 	column string
 	colPos int
 	unique bool
 	tree   *btree.Tree
-	mu     sync.RWMutex // guards tree: readers may run concurrently with each other
 }
 
 func newTable(ct *sql.CreateTable) (*Table, error) {
@@ -95,16 +104,16 @@ func (t *Table) addIndex(ci *sql.CreateIndex) error {
 }
 
 // indexEntriesFor registers row's keys in every index of the table.
+// Called with t.mu held exclusively.
 func (t *Table) indexEntriesFor(id mvcc.RowID, row []sql.Value) {
 	for _, idx := range t.indexes {
-		idx.mu.Lock()
 		idx.tree.Insert(sql.EncodeKey(nil, row[idx.colPos]), uint64(id))
-		idx.mu.Unlock()
 	}
 }
 
 // dropIndexEntries removes the keys of a vacuumed version, unless another
-// surviving version of the same row still carries the same key.
+// surviving version of the same row still carries the same key. Called
+// with t.mu held exclusively.
 func (t *Table) dropIndexEntries(id mvcc.RowID, row []sql.Value) {
 	for _, idx := range t.indexes {
 		key := sql.EncodeKey(nil, row[idx.colPos])
@@ -117,9 +126,7 @@ func (t *Table) dropIndexEntries(id mvcc.RowID, row []sql.Value) {
 			return true
 		})
 		if !keep {
-			idx.mu.Lock()
 			idx.tree.Delete(key, uint64(id))
-			idx.mu.Unlock()
 		}
 	}
 }

@@ -7,13 +7,9 @@ import (
 )
 
 // runInsert buffers INSERT rows in the transaction's write set. Caller
-// holds e.mu shared.
-func (tx *Tx) runInsert(ins *sql.Insert, args []sql.Value) (int, error) {
+// holds t's table lock shared.
+func (tx *Tx) runInsert(ins *sql.Insert, t *Table, args []sql.Value) (int, error) {
 	x := tx.newExecCtx(args)
-	t, err := tx.e.table(ins.Table)
-	if err != nil {
-		return 0, err
-	}
 	// Map the column list to schema positions.
 	positions := make([]int, 0, len(ins.Cols))
 	if len(ins.Cols) == 0 {
@@ -56,13 +52,10 @@ func (tx *Tx) runInsert(ins *sql.Insert, args []sql.Value) (int, error) {
 }
 
 // runUpdate finds target rows at the transaction's snapshot (with its own
-// writes overlaid) and buffers replacement versions.
-func (tx *Tx) runUpdate(u *sql.Update, args []sql.Value) (int, error) {
+// writes overlaid) and buffers replacement versions. Caller holds t's
+// table lock shared.
+func (tx *Tx) runUpdate(u *sql.Update, t *Table, args []sql.Value) (int, error) {
 	x := tx.newExecCtx(args)
-	t, err := tx.e.table(u.Table)
-	if err != nil {
-		return 0, err
-	}
 	local, rest, err := x.bindLocal(t, u.Table, u.Where)
 	if err != nil {
 		return 0, err
@@ -129,13 +122,10 @@ func (tx *Tx) runUpdate(u *sql.Update, args []sql.Value) (int, error) {
 	return count, nil
 }
 
-// runDelete finds target rows and buffers deletions.
-func (tx *Tx) runDelete(d *sql.Delete, args []sql.Value) (int, error) {
+// runDelete finds target rows and buffers deletions. Caller holds t's
+// table lock shared.
+func (tx *Tx) runDelete(d *sql.Delete, t *Table, args []sql.Value) (int, error) {
 	x := tx.newExecCtx(args)
-	t, err := tx.e.table(d.Table)
-	if err != nil {
-		return 0, err
-	}
 	local, rest, err := x.bindLocal(t, d.Table, d.Where)
 	if err != nil {
 		return 0, err

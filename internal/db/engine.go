@@ -68,12 +68,18 @@ type Engine struct {
 	wcLim    int
 	eagerVis bool
 
-	// mu guards the catalog and all table data: statements hold it shared,
-	// commits/DDL/vacuum hold it exclusive.
-	mu     sync.RWMutex
+	// catMu guards only the tables map (the catalog): DDL holds it
+	// exclusive, table-name resolution holds it shared. Table data is
+	// guarded by each Table's own lock, and commit visibility by the
+	// sequencer — see DESIGN.md for the locking hierarchy.
+	catMu  sync.RWMutex
 	tables map[string]*Table
 
-	lastCommit atomic.Uint64 // interval.Timestamp of the newest commit
+	// seq stamps read/write commits and publishes them in timestamp
+	// order (the pipelined commit path).
+	seq commitSequencer
+
+	lastCommit atomic.Uint64 // interval.Timestamp of the newest published commit
 
 	// pinMu guards pins and serializes pin acquisition against vacuum
 	// horizon computation.
@@ -108,6 +114,7 @@ func New(opts Options) *Engine {
 	// Timestamp 1 is "the empty database"; the first commit is 2. Snapshot 1
 	// therefore always exists and sees nothing.
 	e.lastCommit.Store(1)
+	e.seq.init(1)
 	return e
 }
 
@@ -123,8 +130,8 @@ func (e *Engine) DDL(src string) error {
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.catMu.Lock()
+	defer e.catMu.Unlock()
 	switch s := st.(type) {
 	case *sql.CreateTable:
 		if _, dup := e.tables[s.Name]; dup {
@@ -141,6 +148,11 @@ func (e *Engine) DDL(src string) error {
 		if !ok {
 			return fmt.Errorf("db: no table %q", s.Table)
 		}
+		// The exclusive catalog lock keeps new statements from resolving
+		// tables, but statements already past resolution hold only the
+		// table lock; take it to wait them out before backfilling.
+		t.mu.Lock()
+		defer t.mu.Unlock()
 		return t.addIndex(s)
 	default:
 		return fmt.Errorf("db: DDL expects CREATE TABLE/INDEX, got %T", st)
@@ -206,12 +218,21 @@ func (e *Engine) vacuumHorizon() interval.Timestamp {
 // Vacuum reclaims row versions invisible to every pinned snapshot,
 // returning the number of versions removed. It mirrors Postgres's
 // asynchronous vacuum cleaner (paper §5.1); callers run it periodically.
+// Tables are vacuumed one at a time under their own locks, so a vacuum
+// pass never freezes the engine: readers and commits on other tables
+// proceed throughout. The horizon is computed once up front; commits that
+// stamp later only create versions above it, so it stays conservative.
 func (e *Engine) Vacuum() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	horizon := e.vacuumHorizon()
-	total := 0
+	e.catMu.RLock()
+	tabs := make([]*Table, 0, len(e.tables))
 	for _, t := range e.tables {
+		tabs = append(tabs, t)
+	}
+	e.catMu.RUnlock()
+	total := 0
+	for _, t := range tabs {
+		t.mu.Lock()
 		removed := t.store.Vacuum(horizon)
 		for id, versions := range removed {
 			for _, v := range versions {
@@ -219,6 +240,7 @@ func (e *Engine) Vacuum() int {
 				total++
 			}
 		}
+		t.mu.Unlock()
 	}
 	e.statVacuumed.Add(uint64(total))
 	return total
@@ -281,19 +303,10 @@ func (e *Engine) Stats() Stats {
 		PinnedSnaps:  e.PinnedCount(),
 		LastCommitTS: e.LastCommit(),
 	}
-	e.mu.RLock()
+	e.catMu.RLock()
 	for _, t := range e.tables {
 		s.TotalVersions += t.store.VersionCount()
 	}
-	e.mu.RUnlock()
+	e.catMu.RUnlock()
 	return s
-}
-
-// table looks up a table by name; callers hold e.mu.
-func (e *Engine) table(name string) (*Table, error) {
-	t, ok := e.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("db: no table %q", name)
-	}
-	return t, nil
 }

@@ -300,9 +300,7 @@ func (x *execCtx) scanTable(t *Table, conds []localCond) []scanRow {
 				continue
 			}
 			x.addTag(invalidation.KeyTag(t.name, eqIdx.column, sql.FormatValue(v)))
-			eqIdx.mu.RLock()
 			ids := eqIdx.tree.Get(sql.EncodeKey(nil, v))
-			eqIdx.mu.RUnlock()
 			for _, id := range ids {
 				if seen[id] {
 					continue
@@ -316,12 +314,10 @@ func (x *execCtx) scanTable(t *Table, conds []localCond) []scanRow {
 		// the range (indeed, anywhere in the table) may change the result.
 		x.addTag(invalidation.WildcardTag(t.name))
 		var ids []uint64
-		rangeIdx.mu.RLock()
 		rangeIdx.tree.AscendRange(rangeLo, rangeHi, func(_ []byte, posts []uint64) bool {
 			ids = append(ids, posts...)
 			return true
 		})
-		rangeIdx.mu.RUnlock()
 		seen := map[uint64]bool{}
 		for _, id := range ids {
 			if seen[id] {
@@ -378,18 +374,18 @@ type jrow struct {
 	vals [][]sql.Value
 }
 
-// runSelect executes a parsed SELECT. Caller holds e.mu shared.
-func (tx *Tx) runSelect(sel *sql.Select, args []sql.Value) (*Result, error) {
+// runSelect executes a parsed SELECT. Caller holds the statement's table
+// locks (resolved in ls) shared.
+func (tx *Tx) runSelect(sel *sql.Select, ls tableLockSet, args []sql.Value) (*Result, error) {
 	x := tx.newExecCtx(args)
-	e := tx.e
 
-	base, err := e.table(sel.Table)
+	base, err := ls.get(sel.Table)
 	if err != nil {
 		return nil, err
 	}
 	bindings := []binding{{base, aliasOf(sel.Table, sel.Alias)}}
 	for _, jc := range sel.Joins {
-		jt, err := e.table(jc.Table)
+		jt, err := ls.get(jc.Table)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,75 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// tableLockSet is the set of tables one statement or one commit touches,
+// resolved against the catalog once and then locked together. The tables
+// slice is name-sorted and deduplicated, and both shared and exclusive
+// acquisition walk it in that order, so any two lock sets — reader vs
+// reader, reader vs committer, committer vs committer — acquire their
+// common tables in the same order and can never deadlock.
+type tableLockSet struct {
+	tables []*Table
+	byName map[string]*Table
+}
+
+// lockSetFor resolves names under the catalog lock. The catalog lock is
+// released before any table lock is taken (tables are never dropped, so
+// the resolved pointers stay valid), preserving the catalog → table lock
+// order that DDL relies on.
+func (e *Engine) lockSetFor(names ...string) (tableLockSet, error) {
+	sort.Strings(names)
+	ls := tableLockSet{byName: make(map[string]*Table, len(names))}
+	e.catMu.RLock()
+	defer e.catMu.RUnlock()
+	for i, n := range names {
+		if i > 0 && n == names[i-1] {
+			continue
+		}
+		t, ok := e.tables[n]
+		if !ok {
+			return tableLockSet{}, fmt.Errorf("db: no table %q", n)
+		}
+		ls.tables = append(ls.tables, t)
+		ls.byName[n] = t
+	}
+	return ls, nil
+}
+
+// get returns the resolved table, which must be part of the lock set.
+func (ls tableLockSet) get(name string) (*Table, error) {
+	t, ok := ls.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", name)
+	}
+	return t, nil
+}
+
+// rlock takes every table's lock shared, for statement execution.
+func (ls tableLockSet) rlock() {
+	for _, t := range ls.tables {
+		t.mu.RLock()
+	}
+}
+
+func (ls tableLockSet) runlock() {
+	for _, t := range ls.tables {
+		t.mu.RUnlock()
+	}
+}
+
+// lock takes every table's lock exclusively, for commit apply.
+func (ls tableLockSet) lock() {
+	for _, t := range ls.tables {
+		t.mu.Lock()
+	}
+}
+
+func (ls tableLockSet) unlock() {
+	for _, t := range ls.tables {
+		t.mu.Unlock()
+	}
+}

@@ -29,9 +29,10 @@ type pageKey struct {
 	page  uint64
 }
 
-// bufferPool is an LRU page cache. Touch is called with the engine's read
-// lock held; the miss penalty is served outside the pool's own mutex so
-// concurrent faults overlap, like parallel I/O requests to a disk queue.
+// bufferPool is an LRU page cache shared by every table. Touch is called
+// with a per-table lock held (shared by readers, exclusive by commits);
+// the miss penalty is served outside the pool's own mutex so concurrent
+// faults overlap, like parallel I/O requests to a disk queue.
 type bufferPool struct {
 	capacity int
 	penalty  time.Duration

@@ -1,0 +1,99 @@
+package db
+
+// The commit path is pipelined so that commits to disjoint tables overlap:
+//
+//  1. lock     — acquire the write set's table locks in ascending name
+//                order (deadlock-free against every other lock set)
+//  2. validate — first-committer-wins and unique checks, per table
+//  3. stamp    — allocate the commit timestamp from an atomic counter
+//  4. apply    — install new versions and index entries
+//  5. unlock   — release the table locks; a conflicting later commit now
+//                sees the new versions and fails validation against them
+//  6. publish  — advance the engine's visibility watermark strictly in
+//                timestamp order and flush invalidation messages
+//
+// Only step 6 is serialized, and it holds no table lock. A timestamp is
+// allocated only after validation succeeds, so every stamped commit is
+// guaranteed to reach publish: the pipeline never stalls waiting for an
+// aborted commit's slot.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+)
+
+// commitSequencer allocates commit timestamps and publishes applied
+// commits in timestamp order. Readers derive their snapshots from the
+// published watermark, so a half-applied commit (stamped but not yet
+// published) is invisible to every transaction that could observe it.
+type commitSequencer struct {
+	last atomic.Uint64 // most recently allocated commit timestamp
+
+	mu        sync.Mutex
+	turn      sync.Cond                     // signaled when published advances
+	published uint64                        // every commit <= published is visible
+	ready     map[uint64][]invalidation.Tag // applied commits awaiting publish
+}
+
+func (s *commitSequencer) init(start uint64) {
+	s.last.Store(start)
+	s.published = start
+	s.turn.L = &s.mu
+	s.ready = make(map[uint64][]invalidation.Tag)
+}
+
+// allocate stamps a validated commit. Called with the write set's table
+// locks held, so conflicting commits stamp in the same order they apply;
+// commits with disjoint write sets stamp concurrently.
+func (s *commitSequencer) allocate() interval.Timestamp {
+	return interval.Timestamp(s.last.Add(1))
+}
+
+// finishCommit hands an applied commit to the sequencer and blocks until
+// it is visible. The committer that finds itself at the head of the
+// pipeline publishes every consecutive applied commit as one group: the
+// watermark advances once and the group's invalidation messages go to the
+// bus as a single ordered batch — the bus is outside every table critical
+// section, and a burst of commits costs one bus append instead of one per
+// commit.
+func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.Tag) {
+	s := &e.seq
+	t := uint64(ts)
+	s.mu.Lock()
+	s.ready[t] = tags
+	for s.published < t-1 {
+		s.turn.Wait()
+	}
+	if s.published >= t {
+		// A predecessor at the head drained us as part of its group.
+		s.mu.Unlock()
+		return
+	}
+	// Head of the pipeline: drain the contiguous ready prefix.
+	var batch []invalidation.Message
+	now := e.clk.Now()
+	w := s.published
+	for {
+		tg, ok := s.ready[w+1]
+		if !ok {
+			break
+		}
+		delete(s.ready, w+1)
+		w++
+		if e.bus != nil {
+			batch = append(batch, invalidation.Message{TS: interval.Timestamp(w), WallTime: now, Tags: tg})
+		}
+	}
+	s.published = w
+	e.lastCommit.Store(w)
+	// Flush before waking successors so bus messages stay in timestamp
+	// order; the publish is an enqueue, never a blocking delivery.
+	if len(batch) > 0 {
+		e.bus.PublishBatch(batch)
+	}
+	s.turn.Broadcast()
+	s.mu.Unlock()
+}

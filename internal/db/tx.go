@@ -83,9 +83,20 @@ func (tx *Tx) Query(src string, args ...sql.Value) (*Result, error) {
 		return nil, fmt.Errorf("db: Query expects SELECT, got %T", st)
 	}
 	tx.e.statQueries.Add(1)
-	tx.e.mu.RLock()
-	defer tx.e.mu.RUnlock()
-	return tx.runSelect(sel, args)
+	// Lock only the tables the statement touches, shared: reads contend
+	// with nothing but commits to those same tables.
+	names := make([]string, 0, 1+len(sel.Joins))
+	names = append(names, sel.Table)
+	for _, jc := range sel.Joins {
+		names = append(names, jc.Table)
+	}
+	ls, err := tx.e.lockSetFor(names...)
+	if err != nil {
+		return nil, err
+	}
+	ls.rlock()
+	defer ls.runlock()
+	return tx.runSelect(sel, ls, args)
 }
 
 // Exec runs an INSERT, UPDATE, or DELETE and returns the number of rows
@@ -101,18 +112,31 @@ func (tx *Tx) Exec(src string, args ...sql.Value) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	tx.e.mu.RLock()
-	defer tx.e.mu.RUnlock()
+	// DML only buffers writes in the transaction's private write set; its
+	// reads (UPDATE/DELETE target scans) run under the table's shared lock
+	// like any query. Exclusive locks are taken only at commit.
+	var name string
+	var run func(t *Table) (int, error)
 	switch s := st.(type) {
 	case *sql.Insert:
-		return tx.runInsert(s, args)
+		name = s.Table
+		run = func(t *Table) (int, error) { return tx.runInsert(s, t, args) }
 	case *sql.Update:
-		return tx.runUpdate(s, args)
+		name = s.Table
+		run = func(t *Table) (int, error) { return tx.runUpdate(s, t, args) }
 	case *sql.Delete:
-		return tx.runDelete(s, args)
+		name = s.Table
+		run = func(t *Table) (int, error) { return tx.runDelete(s, t, args) }
 	default:
 		return 0, fmt.Errorf("db: Exec expects INSERT/UPDATE/DELETE, got %T", st)
 	}
+	ls, err := tx.e.lockSetFor(name)
+	if err != nil {
+		return 0, err
+	}
+	ls.rlock()
+	defer ls.runlock()
+	return run(ls.tables[0])
 }
 
 // Abort abandons the transaction.
@@ -124,11 +148,15 @@ func (tx *Tx) Abort() {
 	tx.e.Unpin(tx.snap)
 }
 
-// Commit finishes the transaction. For read/write transactions it validates
-// the write set under first-committer-wins, applies it, assigns the commit
-// timestamp, and publishes the invalidation message; the new timestamp is
-// returned. Read-only transactions just release their snapshot pin and
-// return their snapshot.
+// Commit finishes the transaction. For read/write transactions it locks
+// only the write set's tables (in sorted order), validates under
+// first-committer-wins, applies the writes at a freshly stamped
+// timestamp, and hands the commit to the sequencer, which makes commits
+// visible in timestamp order and publishes their invalidation messages in
+// batched groups; the new timestamp is returned. Commits whose write sets
+// touch disjoint tables run the lock/validate/apply stages concurrently.
+// Read-only transactions just release their snapshot pin and return their
+// snapshot.
 func (tx *Tx) Commit() (interval.Timestamp, error) {
 	if tx.done {
 		return 0, ErrTxDone
@@ -141,38 +169,52 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	}
 
 	e := tx.e
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	names := make([]string, 0, len(tx.writes)+len(tx.inserted))
+	for tname := range tx.writes {
+		names = append(names, tname)
+	}
+	for tname := range tx.inserted {
+		names = append(names, tname)
+	}
+	ls, err := e.lockSetFor(names...)
+	if err != nil {
+		return 0, err
+	}
+	ls.lock()
 
 	// Validate: every row in the write set must still have, as its latest
 	// version, the version visible to our snapshot (first-committer-wins).
+	// The exclusive table locks exclude every other commit that could
+	// touch these tables, so the check cannot race with a concurrent apply.
 	for tname, rows := range tx.writes {
-		t, err := e.table(tname)
-		if err != nil {
-			return 0, err
-		}
+		t := ls.byName[tname]
 		for id := range rows {
 			latest, ok := t.store.Latest(mvcc.RowID(id))
 			if !ok {
+				ls.unlock()
 				return 0, fmt.Errorf("db: written row %d of %q vanished", id, tname)
 			}
 			if latest.Created > tx.snap || latest.Deleted != interval.Infinity {
+				ls.unlock()
 				e.statConflict.Add(1)
 				return 0, ErrSerialization
 			}
 		}
 	}
 	// Unique-index checks for inserts and updates.
-	if err := tx.checkUnique(); err != nil {
+	if err := tx.checkUnique(ls); err != nil {
+		ls.unlock()
 		return 0, err
 	}
 
-	ts := e.LastCommit() + 1
+	// Stamp only after validation: every allocated timestamp is certain to
+	// commit, so the sequencer's pipeline never waits on an aborted slot.
+	ts := e.seq.allocate()
 	tags := newTagSet(e.wcLim)
 
 	// Apply updates and deletes.
 	for tname, rows := range tx.writes {
-		t := e.tables[tname]
+		t := ls.byName[tname]
 		for id, w := range rows {
 			old, _ := t.store.VisibleAt(mvcc.RowID(id), tx.snap)
 			oldRow := old.Data.([]sql.Value)
@@ -191,7 +233,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	}
 	// Apply inserts.
 	for tname, rows := range tx.inserted {
-		t := e.tables[tname]
+		t := ls.byName[tname]
 		for _, ins := range rows {
 			if ins.deleted {
 				continue
@@ -202,24 +244,25 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 			tags.addRow(t, ins.data)
 		}
 	}
+	// The new versions carry a timestamp above every reachable snapshot,
+	// so they stay invisible until the sequencer publishes ts; the table
+	// locks can drop before the (serialized) publish step.
+	ls.unlock()
 
-	e.lastCommit.Store(uint64(ts))
 	e.statCommits.Add(1)
+	var tagList []invalidation.Tag
 	if e.bus != nil {
-		e.bus.Publish(invalidation.Message{
-			TS:       ts,
-			WallTime: e.clk.Now(),
-			Tags:     tags.tags(),
-		})
+		tagList = tags.tags()
 	}
+	e.finishCommit(ts, tagList)
 	return ts, nil
 }
 
 // checkUnique enforces unique indexes against committed data and the write
-// set itself. Called with e.mu held exclusively.
-func (tx *Tx) checkUnique() error {
+// set itself. Called with the write set's table locks held exclusively.
+func (tx *Tx) checkUnique(ls tableLockSet) error {
 	for tname, rows := range tx.inserted {
-		t := tx.e.tables[tname]
+		t := ls.byName[tname]
 		for _, ins := range rows {
 			if ins.deleted {
 				continue
@@ -230,7 +273,7 @@ func (tx *Tx) checkUnique() error {
 		}
 	}
 	for tname, rows := range tx.writes {
-		t := tx.e.tables[tname]
+		t := ls.byName[tname]
 		for id, w := range rows {
 			if w.op != opUpdate {
 				continue

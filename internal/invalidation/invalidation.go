@@ -144,6 +144,23 @@ func (b *Bus) Publish(m Message) {
 	}
 }
 
+// PublishBatch delivers ms to all subscribers as one atomic, ordered
+// append: one bus lock acquisition for a whole commit group. The caller
+// (the database's commit sequencer) guarantees ms is in timestamp order.
+func (b *Bus) PublishBatch(ms []Message) {
+	if len(ms) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.keep {
+		b.log = append(b.log, ms...)
+	}
+	for _, s := range b.subs {
+		s.enqueue(ms...)
+	}
+}
+
 func (s *Subscription) enqueue(ms ...Message) {
 	s.mu.Lock()
 	s.queue = append(s.queue, ms...)

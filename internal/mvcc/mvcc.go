@@ -42,7 +42,9 @@ func (v Version) VisibleAt(ts interval.Timestamp) bool {
 // Store holds the version chains of one table. The caller (the database
 // engine) is responsible for serializing mutations; concurrent readers are
 // safe alongside each other but not alongside writers. The engine enforces
-// this with its commit lock.
+// this with the owning table's lock: commits and vacuum hold it exclusive,
+// scans hold it shared. The Store's own mutex only keeps the package
+// safe when used standalone.
 type Store struct {
 	mu     sync.RWMutex
 	nextID RowID

@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench fuzz-smoke
 
-ci: fmt vet build race
+ci: fmt vet build race fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -20,6 +20,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Concurrent-engine benchmarks (the CHANGES.md perf trajectory).
+# Short fuzz passes over the wire codec and the cache server's opcode
+# handlers: malformed frames must error, never panic. (`go test -fuzz`
+# accepts one target per invocation, hence three runs.)
+fuzz-smoke:
+	$(GO) test ./internal/wire -run xxx -fuzz FuzzReadFrame -fuzztime=10s
+	$(GO) test ./internal/wire -run xxx -fuzz FuzzDecoder -fuzztime=10s
+	$(GO) test ./internal/cacheserver -run xxx -fuzz FuzzHandle -fuzztime=10s
+
+# Concurrent-engine and cache-wire benchmarks (the CHANGES.md perf
+# trajectory).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallelCommit|BenchmarkReadersDuringCommits' -benchtime=2s .
+	$(GO) test -run xxx -bench BenchmarkCacheLookupTCP -benchtime=2s ./internal/cacheserver

@@ -56,8 +56,21 @@ func main() {
 		sub := bus.Subscribe()
 		go func(addr string) {
 			for m := range sub.C {
-				if err := cl.PushInvalidation(m); err != nil {
-					log.Printf("txcache-dbd: invalidation push to %s failed: %v", addr, err)
+				// The stream must be gapless and ordered. PushInvalidation
+				// is acked — nil means the node applied the message, not
+				// merely that bytes reached a socket buffer — so retrying
+				// every non-nil result until the ack arrives gives
+				// at-least-once in-order delivery, and the node's
+				// timestamp dedup makes that exactly-once.
+				for attempt := 0; ; attempt++ {
+					err := cl.PushInvalidation(m)
+					if err == nil {
+						break
+					}
+					if attempt == 0 {
+						log.Printf("txcache-dbd: invalidation push to %s failed (retrying): %v", addr, err)
+					}
+					time.Sleep(50 * time.Millisecond)
 				}
 			}
 		}(addr)

@@ -281,6 +281,67 @@ func Figure8(o Opts) ([]MissBreakdown, error) {
 	return out, nil
 }
 
+// ChurnResult is one point of the membership-churn experiment.
+type ChurnResult struct {
+	Label        string
+	Period       time.Duration // 0 = stable membership
+	Result       RunResult
+	NodesAdded   uint64
+	NodesRemoved uint64
+}
+
+// Churn measures how live cluster membership changes affect TxCache: the
+// same workload runs against a stable three-node cache cluster and against
+// one where a node is drained and replaced with a cold node every period.
+// Consistency is never at risk — the ring remaps keys and the joining
+// node's conservative horizon makes it serve nothing it cannot prove fresh
+// — so churn shows up purely as extra compulsory misses while the new node
+// warms. This is the cache-tier elasticity claim of paper §4 exercised
+// mid-workload, not a paper figure.
+func Churn(o Opts, period time.Duration) ([]ChurnResult, error) {
+	o.fill()
+	if period <= 0 {
+		period = 500 * time.Millisecond
+	}
+	o.printf("# Membership churn: node drain+join every %v vs stable cluster\n", period)
+	o.printf("%-12s %12s %8s %8s %8s\n", "cluster", "req/s", "hit%", "joined", "left")
+	var out []ChurnResult
+	for _, churn := range []bool{false, true} {
+		site, err := BuildSite(SiteConfig{
+			Mode: ModeTxCache, Scale: o.Scale, CacheBytes: 4 << 20,
+			CacheNodes: 3, Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var stop func()
+		if churn {
+			stop = site.StartChurn(period)
+		}
+		r := site.Run(o.Clients, o.Warm, o.Measure, o.Seed)
+		if stop != nil {
+			stop()
+		}
+		cs := site.Client.Stats()
+		site.Close()
+		label := "stable"
+		p := time.Duration(0)
+		if churn {
+			label = "churning"
+			p = period
+		}
+		cr := ChurnResult{
+			Label: label, Period: p, Result: r,
+			NodesAdded:   cs.NodesAdded.Load(),
+			NodesRemoved: cs.NodesRemoved.Load(),
+		}
+		out = append(out, cr)
+		o.printf("%-12s %12.0f %7.1f%% %8d %8d\n",
+			label, r.Throughput, 100*r.HitRate, cr.NodesAdded, cr.NodesRemoved)
+	}
+	return out, nil
+}
+
 func fmtBytes(n int64) string {
 	switch {
 	case n >= 1<<20:

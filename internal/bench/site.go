@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"txcache/internal/cacheserver"
@@ -79,13 +80,23 @@ type Site struct {
 	Cfg    SiteConfig
 	Engine *db.Engine
 	Bus    *invalidation.Bus
-	Nodes  []*cacheserver.Server
 	PC     *pincushion.Pincushion
 	Client *core.Client
 	App    *rubis.App
 
-	subs []*invalidation.Subscription
+	mu    sync.Mutex
+	nodes []*cacheserver.Server // all servers ever part of the site (churn keeps retirees for stats)
+	churn int                   // sequence number for churned-in node names
+
 	stop chan struct{}
+}
+
+// Nodes snapshots the site's cache servers (including churned-out ones,
+// whose counters remain part of the site totals).
+func (s *Site) Nodes() []*cacheserver.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*cacheserver.Server(nil), s.nodes...)
 }
 
 // BuildSite constructs and loads a deployment.
@@ -115,23 +126,19 @@ func BuildSite(cfg SiteConfig) (*Site, error) {
 
 	s := &Site{Cfg: cfg, Engine: engine, Bus: bus, PC: pc, stop: make(chan struct{})}
 
-	nodes := map[string]cacheserver.Node{}
+	// The client is created before any data loads so that nodes joined via
+	// AddNode subscribe to the invalidation stream before the first commit.
+	s.Client = core.NewClient(core.Config{
+		DB:                core.EngineDB{Engine: engine},
+		Pincushion:        pc,
+		Bus:               bus,
+		Clock:             clk,
+		FreshPinThreshold: scaled(5), // the paper's 5-second pin policy
+		NoConsistency:     cfg.Mode == ModeNoConsistency,
+	})
 	if cfg.Mode != ModeBaseline {
-		per := cfg.CacheBytes
-		if per > 0 {
-			per /= int64(cfg.CacheNodes)
-		}
 		for i := 0; i < cfg.CacheNodes; i++ {
-			n := cacheserver.New(cacheserver.Config{
-				CapacityBytes: per,
-				MaxStaleness:  2 * scaled(cfg.StalenessPaperSec+1),
-				Clock:         clk,
-			})
-			sub := bus.Subscribe()
-			go n.ConsumeStream(sub)
-			s.subs = append(s.subs, sub)
-			s.Nodes = append(s.Nodes, n)
-			nodes[fmt.Sprintf("cache%d", i)] = n
+			s.addCacheNode(fmt.Sprintf("cache%d", i))
 		}
 	}
 
@@ -142,18 +149,10 @@ func BuildSite(cfg SiteConfig) (*Site, error) {
 	// Seed each node's consistency horizon so still-valid entries are
 	// servable from the start (nodes subscribed before load, so they have
 	// replayed the stream; this is belt and braces for empty streams).
-	for _, n := range s.Nodes {
+	for _, n := range s.Nodes() {
 		n.SetHorizon(engine.LastCommit(), clk.Now())
 	}
 
-	s.Client = core.NewClient(core.Config{
-		DB:                core.EngineDB{Engine: engine},
-		Nodes:             nodes,
-		Pincushion:        pc,
-		Clock:             clk,
-		FreshPinThreshold: scaled(5), // the paper's 5-second pin policy
-		NoConsistency:     cfg.Mode == ModeNoConsistency,
-	})
 	s.App = rubis.NewApp(s.Client, ds)
 
 	// Background maintenance: pincushion sweeper and engine vacuum, the
@@ -174,18 +173,68 @@ func BuildSite(cfg SiteConfig) (*Site, error) {
 	return s, nil
 }
 
-// Close stops background maintenance.
+// addCacheNode creates one cache server and joins it to the client's ring;
+// core.Client.AddNode subscribes it to the invalidation stream.
+func (s *Site) addCacheNode(name string) *cacheserver.Server {
+	per := s.Cfg.CacheBytes
+	if per > 0 {
+		per /= int64(s.Cfg.CacheNodes)
+	}
+	n := cacheserver.New(cacheserver.Config{
+		CapacityBytes: per,
+		MaxStaleness:  2 * scaled(s.Cfg.StalenessPaperSec+1),
+		Clock:         clock.Real{},
+	})
+	s.Client.AddNode(name, n)
+	s.mu.Lock()
+	s.nodes = append(s.nodes, n)
+	s.mu.Unlock()
+	return n
+}
+
+// StartChurn exercises live membership: every period, the most recently
+// joined cache node is drained out of the ring and a fresh, cold node is
+// joined in its place, while the workload keeps running. The returned stop
+// function blocks until the churn loop exits.
+func (s *Site) StartChurn(period time.Duration) (stop func()) {
+	stopc := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		current := fmt.Sprintf("cache%d", s.Cfg.CacheNodes-1)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopc:
+				return
+			case <-t.C:
+			}
+			s.Client.RemoveNode(current)
+			s.mu.Lock()
+			s.churn++
+			current = fmt.Sprintf("churn%d", s.churn)
+			s.mu.Unlock()
+			n := s.addCacheNode(current)
+			// A joining node cannot replay history it never saw; seed its
+			// consistency horizon like an operator bootstrapping a node.
+			n.SetHorizon(s.Engine.LastCommit(), time.Now())
+		}
+	}()
+	return func() { close(stopc); <-done }
+}
+
+// Close stops background maintenance and drains the cache cluster (the
+// client owns every node's stream subscription and closes them).
 func (s *Site) Close() {
 	close(s.stop)
-	for _, sub := range s.subs {
-		sub.Close()
-	}
+	s.Client.Close()
 }
 
 // CacheStats sums the stats across cache nodes.
 func (s *Site) CacheStats() cacheserver.Stats {
 	var total cacheserver.Stats
-	for _, n := range s.Nodes {
+	for _, n := range s.Nodes() {
 		st := n.Stats()
 		total.Lookups += st.Lookups
 		total.Hits += st.Hits
@@ -207,7 +256,7 @@ func (s *Site) CacheStats() cacheserver.Stats {
 
 // ResetStats clears cache-node and library counters (after warmup).
 func (s *Site) ResetStats() {
-	for _, n := range s.Nodes {
+	for _, n := range s.Nodes() {
 		n.ResetStats()
 	}
 }

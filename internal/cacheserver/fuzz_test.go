@@ -1,0 +1,76 @@
+package cacheserver
+
+import (
+	"testing"
+	"time"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+	"txcache/internal/wire"
+)
+
+// fuzzSeedFrames returns one well-formed request frame per opcode, so the
+// fuzzer starts from inputs that reach every handler arm and mutates from
+// there into the interesting malformed neighborhood.
+func fuzzSeedFrames() [][]byte {
+	tag := invalidation.KeyTag("users", "id", "7")
+	lookup := wire.NewBuffer(opLookup)
+	lookup.U32(1).Str("k").U64(1).U64(10).U64(0).U64(100)
+	batch := wire.NewBuffer(opLookupBatch)
+	batch.U32(2).U32(2)
+	batch.Str("a").U64(1).U64(10).U64(0).U64(100)
+	batch.Str("b").U64(2).U64(20).U64(0).U64(100)
+	put := wire.NewBuffer(opPut)
+	put.U32(3).Str("k").U64(1).U64(uint64(interval.Infinity)).Bool(true).U64(1)
+	put.U32(1).Str(tag.Table).Str(tag.Key).Bool(tag.Wildcard)
+	put.Blob([]byte("value"))
+	stats := wire.NewBuffer(opStats)
+	stats.U32(4).Bool(false)
+	reset := wire.NewBuffer(opStats)
+	reset.U32(5).Bool(true)
+	msg := invalidation.Message{TS: 9, WallTime: time.Unix(1, 0), Tags: []invalidation.Tag{tag}}
+	raw := msg.Encode(opInval)
+	inval := append([]byte{raw[0], 0, 0, 0, 0}, raw[1:]...)
+	return [][]byte{
+		lookup.Bytes(), batch.Bytes(), put.Bytes(), stats.Bytes(), reset.Bytes(), inval,
+		{}, {opLookup}, {opPut, 1, 0, 0, 0}, {opLookupBatch, 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF},
+	}
+}
+
+// FuzzHandle drives the server's frame handler — every opcode arm — with
+// arbitrary payloads. Malformed or truncated frames must produce an error
+// frame (or be dropped, for fire-and-forget IDs), never a panic, and every
+// response must be addressed to the request's ID.
+func FuzzHandle(f *testing.F) {
+	for _, frame := range fuzzSeedFrames() {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		s := New(Config{HistoryLen: 8})
+		s.Put("seeded", []byte("v"), interval.Interval{Lo: 2, Hi: 5}, false, 0, nil)
+		resp := s.handle(frame)
+		if resp == nil {
+			return
+		}
+		d := wire.NewDecoder(resp)
+		op := d.Op()
+		id := d.U32()
+		if d.Err() != nil {
+			t.Fatalf("response frame shorter than its own header: %x", resp)
+		}
+		switch op {
+		case opLookupResp, opLookupBatchResp, opAck, opStatsResp, opErr:
+		default:
+			t.Fatalf("unknown response opcode %d", op)
+		}
+		if len(frame) >= 5 {
+			reqID := uint32(frame[1]) | uint32(frame[2])<<8 | uint32(frame[3])<<16 | uint32(frame[4])<<24
+			if id != reqID {
+				t.Fatalf("response addressed to %d, request was %d", id, reqID)
+			}
+		}
+		if id == 0 {
+			t.Fatal("fire-and-forget request (id 0) must not be answered")
+		}
+	})
+}

@@ -3,8 +3,13 @@ package cacheserver
 import (
 	"fmt"
 	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"txcache/internal/consistent"
 	"txcache/internal/interval"
 	"txcache/internal/invalidation"
 )
@@ -192,5 +197,459 @@ func TestServerMatchesModel(t *testing.T) {
 	st := s.Stats()
 	if st.Lookups == 0 || st.Puts == 0 || st.Invalidations == 0 {
 		t.Fatalf("vacuous run: %+v", st)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent pipelined model test.
+//
+// TestConcurrentPipelinedModel drives a 3-node TCP cluster with concurrent
+// pipelined lookups, asynchronous puts, batched lookups, an ordered
+// invalidation stream, and live node churn (clients torn down and redialed,
+// ring membership cycling), all against a fact oracle.
+//
+// The oracle exploits a determinism property of the node: with unbounded
+// history, a still-valid insert's final upper bound is the timestamp of the
+// FIRST matching invalidation after its generating snapshot, regardless of
+// the arrival interleaving of puts and stream messages (§4.2's ordering
+// machinery). Puts may be dropped (async queue overflow, churned
+// connections) — the cache is allowed to forget — so the invariant checked
+// is soundness: any version any node ever RETURNS must be a recorded fact
+// with exactly its deterministic validity interval. Completeness is checked
+// only in aggregate (the run must produce hits).
+// ---------------------------------------------------------------------------
+
+// cfact is one oracle fact: a put that was recorded before its frame was
+// handed to any client.
+type cfact struct {
+	key   string
+	lo    interval.Timestamp
+	hi    interval.Timestamp // Infinity for still-valid facts
+	still bool               // subscribed to invalidations (single key tag)
+}
+
+// cmsg is one invalidation-stream message of the concurrent model: at ts,
+// the given keys were invalidated (wild invalidates every key).
+type cmsg struct {
+	ts   interval.Timestamp
+	keys map[string]bool
+	wild bool
+}
+
+// coracle is the concurrent model's ground truth.
+type coracle struct {
+	mu    sync.Mutex
+	ts    interval.Timestamp // latest invalidation timestamp recorded
+	facts map[string]map[interval.Timestamp]cfact
+	msgs  []cmsg // ascending ts
+}
+
+func newCOracle() *coracle {
+	return &coracle{ts: 1, facts: make(map[string]map[interval.Timestamp]cfact)}
+}
+
+// allocStill records a still-valid fact at the current stream position,
+// returning ok=false when (key, lo) is already taken.
+func (o *coracle) allocStill(key string) (cfact, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	lo := o.ts
+	if _, dup := o.facts[key][lo]; dup {
+		return cfact{}, false
+	}
+	f := cfact{key: key, lo: lo, hi: interval.Infinity, still: true}
+	o.addLocked(f)
+	return f, true
+}
+
+// allocBounded records a closed historical version ending before the
+// current stream position.
+func (o *coracle) allocBounded(key string, span interval.Timestamp) (cfact, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	lo := o.ts
+	if _, dup := o.facts[key][lo]; dup {
+		return cfact{}, false
+	}
+	f := cfact{key: key, lo: lo, hi: lo + 1 + span, still: false}
+	o.addLocked(f)
+	return f, true
+}
+
+func (o *coracle) addLocked(f cfact) {
+	m := o.facts[f.key]
+	if m == nil {
+		m = make(map[interval.Timestamp]cfact)
+		o.facts[f.key] = m
+	}
+	m[f.lo] = f
+}
+
+// record appends the next invalidation message (ts strictly ascending) and
+// returns it; it must be recorded BEFORE being pushed so that any server
+// state reflecting it is explainable by the oracle.
+func (o *coracle) record(keys map[string]bool, wild bool) (interval.Timestamp, cmsg) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.ts++
+	m := cmsg{ts: o.ts, keys: keys, wild: wild}
+	o.msgs = append(o.msgs, m)
+	return o.ts, m
+}
+
+func (o *coracle) now() interval.Timestamp {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ts
+}
+
+// expectedHi returns the deterministic final upper bound of a fact: bounded
+// facts keep their interval; still facts are truncated at the first
+// matching message after their generating snapshot (== lo), else Infinity.
+// Must be called with o.mu held.
+func (o *coracle) expectedHiLocked(f cfact) (interval.Timestamp, bool) {
+	if !f.still {
+		return f.hi, false
+	}
+	for _, m := range o.msgs {
+		if m.ts > f.lo && (m.wild || m.keys[f.key]) {
+			return m.ts, false
+		}
+	}
+	return interval.Infinity, true
+}
+
+// cdata is the payload every put carries: derived from (key, lo), so a
+// multiplexing bug that cross-wires responses is caught by a data mismatch.
+func cdata(key string, lo interval.Timestamp) string {
+	return fmt.Sprintf("%s@%d", key, uint64(lo))
+}
+
+// checkFound validates one Found lookup result against the oracle. final
+// selects the stricter end-of-run checks (still-valid upper bounds are only
+// deterministic once the stream has quiesced).
+func (o *coracle) checkFound(t *testing.T, key string, reqLo, reqHi interval.Timestamp, r LookupResult, final bool) {
+	t.Helper()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	f, ok := o.facts[key][r.Validity.Lo]
+	if !ok {
+		t.Errorf("lookup(%q,[%d,%d]) returned fabricated version lo=%d", key, reqLo, reqHi, r.Validity.Lo)
+		return
+	}
+	if got, want := string(r.Data), cdata(key, f.lo); got != want {
+		t.Errorf("lookup(%q) returned cross-wired data %q, want %q", key, got, want)
+	}
+	if !r.Validity.OverlapsRange(reqLo, reqHi) {
+		t.Errorf("lookup(%q,[%d,%d]) returned non-overlapping validity %v", key, reqLo, reqHi, r.Validity)
+	}
+	wantHi, wantStill := o.expectedHiLocked(f)
+	if !r.Still {
+		// A truncated version's bound is final the moment it is reported:
+		// it must be exactly the first matching invalidation (which the
+		// oracle recorded before any server could have applied it).
+		if r.Validity.Hi != wantHi {
+			t.Errorf("lookup(%q) version lo=%d truncated at %d, oracle wants %d", key, f.lo, r.Validity.Hi, wantHi)
+		}
+		if final && wantStill {
+			t.Errorf("lookup(%q) version lo=%d reported closed, oracle says still-valid", key, f.lo)
+		}
+		return
+	}
+	// Still-valid: the server may not yet have applied a matching message,
+	// but it must never extend validity past one it could only know about
+	// if it had applied it.
+	if r.Validity.Hi != interval.Infinity && r.Validity.Hi > o.ts+1 {
+		t.Errorf("lookup(%q) effective hi %d beyond stream position %d", key, r.Validity.Hi, o.ts)
+	}
+	if final {
+		if !wantStill {
+			t.Errorf("lookup(%q) version lo=%d reported still-valid, oracle truncated it at %d", key, f.lo, wantHi)
+		} else if r.Validity.Hi != o.ts+1 {
+			t.Errorf("lookup(%q) still-valid hi %d, want horizon %d", key, r.Validity.Hi, o.ts+1)
+		}
+	}
+}
+
+// churnSet is the live cluster view: ring membership plus one client per
+// member. The churner swaps members out (closing their client mid-use) and
+// back in with fresh connections.
+type churnSet struct {
+	mu   sync.RWMutex
+	ring *consistent.Ring
+	m    map[string]*Client
+}
+
+func (cs *churnSet) pick(key string) *Client {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.m[cs.ring.Get(key)]
+}
+
+func (cs *churnSet) remove(name string) *Client {
+	cs.ring.Remove(name)
+	cs.mu.Lock()
+	c := cs.m[name]
+	delete(cs.m, name)
+	cs.mu.Unlock()
+	return c
+}
+
+func (cs *churnSet) add(name string, c *Client) {
+	cs.mu.Lock()
+	cs.m[name] = c
+	cs.mu.Unlock()
+	cs.ring.Add(name)
+}
+
+func TestConcurrentPipelinedModel(t *testing.T) {
+	const (
+		nodes    = 3
+		keyCount = 12
+		maxTS    = 1500 // < default HistoryLen, so replay never falls back to conservative closing
+	)
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+	}
+
+	servers := make([]*Server, nodes)
+	addrs := make([]string, nodes)
+	pushers := make([]*Client, nodes) // dedicated, never churned: the stream must be reliable and ordered
+	listeners := make([]net.Listener, nodes)
+	set := &churnSet{ring: consistent.New(64), m: make(map[string]*Client)}
+	for i := 0; i < nodes; i++ {
+		servers[i] = New(Config{})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		go servers[i].Serve(l)
+		addrs[i] = l.Addr().String()
+		p, err := Dial(addrs[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pushers[i] = p
+		c, err := Dial(addrs[i], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set.add(fmt.Sprintf("n%d", i), c)
+	}
+	defer func() {
+		for i := 0; i < nodes; i++ {
+			pushers[i].Close()
+			listeners[i].Close()
+		}
+	}()
+
+	o := newCOracle()
+	var stop atomic.Bool
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+
+	// Invalidation pusher: the single stream owner. Records each message in
+	// the oracle, then delivers it to every node in timestamp order.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for o.now() < maxTS {
+			tags := map[string]bool{}
+			wild := rng.Intn(40) == 0
+			if !wild {
+				for n := rng.Intn(2) + 1; n > 0; n-- {
+					tags[keys[rng.Intn(keyCount)]] = true
+				}
+			}
+			ts, m := o.record(tags, wild)
+			msg := invalidation.Message{TS: ts, WallTime: time.Unix(int64(ts), 0)}
+			if m.wild {
+				msg.Tags = []invalidation.Tag{invalidation.WildcardTag("t")}
+			} else {
+				for k := range m.keys {
+					msg.Tags = append(msg.Tags, invalidation.KeyTag("t", "k", k))
+				}
+			}
+			for i := range pushers {
+				for pushers[i].PushInvalidation(msg) != nil {
+					time.Sleep(time.Millisecond) // redialing; the stream may pause but not drop
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		stop.Store(true)
+	}()
+
+	// Put workers: still-valid and historical versions routed by the ring.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for !stop.Load() {
+				key := keys[rng.Intn(keyCount)]
+				c := set.pick(key)
+				if c == nil {
+					continue
+				}
+				if rng.Intn(3) > 0 {
+					f, ok := o.allocStill(key)
+					if !ok {
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					c.Put(key, []byte(cdata(key, f.lo)), interval.Interval{Lo: f.lo, Hi: interval.Infinity},
+						true, f.lo, []invalidation.Tag{invalidation.KeyTag("t", "k", key)})
+				} else {
+					f, ok := o.allocBounded(key, interval.Timestamp(rng.Intn(4)))
+					if !ok {
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					c.Put(key, []byte(cdata(key, f.lo)), interval.Interval{Lo: f.lo, Hi: f.hi}, false, 0, nil)
+				}
+			}
+		}(w)
+	}
+
+	// Lookup workers: pipelined single lookups and batched multi-key
+	// lookups, each answer validated against the oracle.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			for !stop.Load() {
+				now := o.now()
+				reqLo := interval.Timestamp(rng.Int63n(int64(now)) + 1)
+				reqHi := reqLo + interval.Timestamp(rng.Intn(8))
+				if rng.Intn(4) == 0 {
+					// Batched probe: group a few keys by their ring owner.
+					key := keys[rng.Intn(keyCount)]
+					c := set.pick(key)
+					if c == nil {
+						continue
+					}
+					reqs := []BatchLookup{{Key: key, Lo: reqLo, Hi: reqHi, OrigLo: 0, OrigHi: interval.Infinity}}
+					for n := rng.Intn(3); n > 0; n-- {
+						reqs = append(reqs, BatchLookup{Key: keys[rng.Intn(keyCount)], Lo: reqLo, Hi: reqHi, OrigLo: 0, OrigHi: interval.Infinity})
+					}
+					for i, r := range c.LookupBatch(reqs) {
+						if r.Found {
+							hits.Add(1)
+							o.checkFound(t, reqs[i].Key, reqLo, reqHi, r, false)
+						}
+					}
+					continue
+				}
+				key := keys[rng.Intn(keyCount)]
+				c := set.pick(key)
+				if c == nil {
+					continue
+				}
+				if r := c.Lookup(key, reqLo, reqHi, 0, interval.Infinity); r.Found {
+					hits.Add(1)
+					o.checkFound(t, key, reqLo, reqHi, r, false)
+				}
+			}
+		}(w)
+	}
+
+	// Churner: cycles nodes out of the ring (draining and closing their
+	// client mid-workload) and back in on a fresh connection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		for !stop.Load() {
+			time.Sleep(5 * time.Millisecond)
+			i := rng.Intn(nodes)
+			name := fmt.Sprintf("n%d", i)
+			if c := set.remove(name); c != nil {
+				c.Flush()
+				c.Close()
+			}
+			time.Sleep(2 * time.Millisecond)
+			nc, err := Dial(addrs[i], 2)
+			if err != nil {
+				t.Errorf("churn redial: %v", err)
+				return
+			}
+			set.add(name, nc)
+		}
+	}()
+
+	wg.Wait()
+
+	// Quiesce: flush async puts, then advance every node's horizon to a
+	// final sentinel timestamp so still-valid bounds are deterministic.
+	set.mu.Lock()
+	for _, c := range set.m {
+		c.Flush()
+		c.Close()
+	}
+	set.mu.Unlock()
+	finalTS, _ := o.record(nil, false)
+	final := invalidation.Message{TS: finalTS, WallTime: time.Unix(int64(finalTS), 0)}
+	for i := range pushers {
+		if err := pushers[i].PushInvalidation(final); err != nil {
+			t.Fatalf("final push: %v", err)
+		}
+	}
+	for i, s := range servers {
+		deadline := time.Now().Add(5 * time.Second)
+		for s.LastInvalidation() < finalTS {
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never reached sentinel %d (at %d)", i, finalTS, s.LastInvalidation())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Full sweep over fresh connections using batched lookups: probe every
+	// fact's generating timestamp on every node and validate whatever is
+	// returned. Nodes may have dropped puts; they may not invent versions
+	// or misreport validity.
+	o.mu.Lock()
+	var probes []BatchLookup
+	for key, m := range o.facts {
+		for lo := range m {
+			probes = append(probes, BatchLookup{Key: key, Lo: lo, Hi: lo, OrigLo: 0, OrigHi: interval.Infinity})
+		}
+	}
+	o.mu.Unlock()
+	swept := 0
+	for i := range servers {
+		c, err := Dial(addrs[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for start := 0; start < len(probes); start += MaxBatchLookup {
+			end := start + MaxBatchLookup
+			if end > len(probes) {
+				end = len(probes)
+			}
+			chunk := probes[start:end]
+			for j, r := range c.LookupBatch(chunk) {
+				if r.Found {
+					swept++
+					o.checkFound(t, chunk[j].Key, chunk[j].Lo, chunk[j].Hi, r, true)
+				}
+			}
+		}
+		c.Close()
+	}
+
+	var puts, invals uint64
+	for _, s := range servers {
+		st := s.Stats()
+		puts += st.Puts
+		invals += st.Invalidations
+	}
+	if puts == 0 || invals == 0 || hits.Load() == 0 || swept == 0 {
+		t.Fatalf("vacuous run: puts=%d invals=%d live-hits=%d swept=%d", puts, invals, hits.Load(), swept)
 	}
 }

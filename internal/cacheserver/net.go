@@ -1,9 +1,13 @@
 package cacheserver
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"log"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"txcache/internal/interval"
@@ -16,6 +20,7 @@ import (
 // and *Client implements it over TCP.
 type Node interface {
 	Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult
+	LookupBatch(reqs []BatchLookup) []LookupResult
 	Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.Tag)
 	Stats() Stats
 	ResetStats()
@@ -26,18 +31,38 @@ var (
 	_ Node = (*Client)(nil)
 )
 
-// Protocol opcodes.
+// BatchLookup is one probe of a multi-key lookup: the same parameters as
+// Lookup, resolved for a whole set of keys in one round trip.
+type BatchLookup struct {
+	Key                    string
+	Lo, Hi, OrigLo, OrigHi interval.Timestamp
+}
+
+// Protocol opcodes. Every frame payload is [op:1][reqID:4 LE][body]. A
+// request carrying a nonzero reqID receives exactly one response frame
+// tagged with the same reqID; reqID 0 marks fire-and-forget frames (async
+// puts, invalidation pushes) that are never answered. Responses may be
+// interleaved arbitrarily with other requests' responses, which is what
+// lets a client pipeline many requests over one connection.
 const (
-	opLookup     byte = 1
-	opLookupResp byte = 2
-	opPut        byte = 3
-	opAck        byte = 4
-	opStats      byte = 5
-	opStatsResp  byte = 6
-	opInval      byte = 7
-	opResetStats byte = 8
-	opErr        byte = 9
+	opLookup          byte = 1
+	opLookupResp      byte = 2
+	opPut             byte = 3
+	opAck             byte = 4
+	opStats           byte = 5
+	opStatsResp       byte = 6
+	opInval           byte = 7
+	opResetStats      byte = 8
+	opErr             byte = 9
+	opLookupBatch     byte = 10
+	opLookupBatchResp byte = 11
 )
+
+// MaxBatchLookup bounds the probes of one batched lookup so a corrupt
+// count prefix cannot cause a huge allocation. The response frame is
+// bounded separately: hits that would overflow the frame budget degrade to
+// capacity misses.
+const MaxBatchLookup = 4096
 
 // Serve accepts request connections on l until l is closed. A connection
 // carrying invalidation messages (opInval) is the stream from the database;
@@ -52,6 +77,13 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// serveConn processes frames in arrival order. Handling is deliberately
+// serial per connection: invalidation-stream messages must be applied in
+// send order, and request handlers only ever take the server mutex briefly,
+// so per-frame goroutines would buy reordering hazards without concurrency.
+// Pipelining still eliminates round-trip stalls — the client does not wait
+// for a response before sending the next request — and concurrency comes
+// from serving many connections.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	for {
@@ -69,10 +101,33 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // handle processes one request frame, returning the response frame (nil for
-// fire-and-forget invalidation pushes).
+// fire-and-forget frames). It must never panic on malformed input: every
+// decode is checked and every count prefix is bounded by the bytes that
+// actually remain in the payload.
 func (s *Server) handle(req []byte) []byte {
 	d := wire.NewDecoder(req)
-	switch op := d.Op(); op {
+	op := d.Op()
+	id := d.U32()
+	if d.Err() != nil {
+		return nil // too short to even address a reply
+	}
+	fail := func(err error) []byte {
+		if id == 0 {
+			return nil
+		}
+		return errFrame(id, err)
+	}
+	switch op {
+	case opLookup, opLookupBatch, opStats:
+		// Response-bearing requests need an address; with reqID 0 the reply
+		// could never be matched to a caller, so the frame is dropped
+		// unexecuted rather than answered in violation of the
+		// fire-and-forget rule.
+		if id == 0 {
+			return nil
+		}
+	}
+	switch op {
 	case opLookup:
 		key := d.Str()
 		lo := interval.Timestamp(d.U64())
@@ -80,17 +135,46 @@ func (s *Server) handle(req []byte) []byte {
 		origLo := interval.Timestamp(d.U64())
 		origHi := interval.Timestamp(d.U64())
 		if d.Err() != nil {
-			return errFrame(d.Err())
+			return fail(d.Err())
 		}
 		r := s.Lookup(key, lo, hi, origLo, origHi)
 		e := wire.NewBuffer(opLookupResp)
-		e.Bool(r.Found).U8(byte(r.Miss))
-		e.U64(uint64(r.Validity.Lo)).U64(uint64(r.Validity.Hi)).Bool(r.Still)
-		e.U32(uint32(len(r.Tags)))
-		for _, t := range r.Tags {
-			e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
+		e.U32(id)
+		encodeLookupResult(e, r)
+		return e.Bytes()
+	case opLookupBatch:
+		n := d.U32()
+		// Each probe is at least a 4-byte key length plus four timestamps.
+		if n > MaxBatchLookup || int(n) > d.Len()/(4+32)+1 {
+			return fail(fmt.Errorf("cacheserver: unreasonable batch size %d", n))
 		}
-		e.Blob(r.Data)
+		reqs := make([]BatchLookup, 0, n)
+		for i := uint32(0); i < n; i++ {
+			reqs = append(reqs, BatchLookup{
+				Key:    d.Str(),
+				Lo:     interval.Timestamp(d.U64()),
+				Hi:     interval.Timestamp(d.U64()),
+				OrigLo: interval.Timestamp(d.U64()),
+				OrigHi: interval.Timestamp(d.U64()),
+			})
+		}
+		if d.Err() != nil {
+			return fail(d.Err())
+		}
+		rs := s.LookupBatch(reqs)
+		e := wire.NewBuffer(opLookupBatchResp)
+		e.U32(id).U32(uint32(len(rs)))
+		// The response must stay under MaxFrame no matter how large the hit
+		// payloads are; results that would overflow the budget degrade to
+		// capacity misses (always safe — the caller just recomputes).
+		budget := wire.MaxFrame / 2
+		for _, r := range rs {
+			if len(e.Bytes())+encodedResultSize(r) > budget {
+				encodeLookupResult(e, LookupResult{Miss: MissCapacity})
+				continue
+			}
+			encodeLookupResult(e, r)
+		}
 		return e.Bytes()
 	case opPut:
 		key := d.Str()
@@ -99,24 +183,36 @@ func (s *Server) handle(req []byte) []byte {
 		still := d.Bool()
 		genSnap := interval.Timestamp(d.U64())
 		n := d.U32()
+		// Each tag is at least two length prefixes and a wildcard byte.
+		if int(n) > d.Len()/9+1 {
+			return fail(fmt.Errorf("cacheserver: unreasonable tag count %d", n))
+		}
 		tags := make([]invalidation.Tag, 0, n)
 		for i := uint32(0); i < n; i++ {
 			tags = append(tags, invalidation.Tag{Table: d.Str(), Key: d.Str(), Wildcard: d.Bool()})
 		}
 		data := d.Blob()
 		if d.Err() != nil {
-			return errFrame(d.Err())
+			return fail(d.Err())
 		}
 		// Copy data out of the request buffer before it is reused.
 		s.Put(key, append([]byte(nil), data...), interval.Interval{Lo: lo, Hi: hi}, still, genSnap, tags)
-		return wire.NewBuffer(opAck).Bytes()
+		if id == 0 {
+			return nil // async put: no ack
+		}
+		return wire.NewBuffer(opAck).U32(id).Bytes()
 	case opStats:
-		if d.Bool() { // reset flag
+		reset := d.Bool()
+		if d.Err() != nil {
+			return fail(d.Err())
+		}
+		if reset {
 			s.ResetStats()
-			return wire.NewBuffer(opAck).Bytes()
+			return wire.NewBuffer(opAck).U32(id).Bytes()
 		}
 		st := s.Stats()
 		e := wire.NewBuffer(opStatsResp)
+		e.U32(id)
 		e.U64(st.Lookups).U64(st.Hits)
 		e.U64(st.MissCompulsory).U64(st.MissConsistency).U64(st.MissStaleness).U64(st.MissCapacity)
 		e.U64(st.Puts).U64(st.Invalidations).U64(st.Invalidated)
@@ -126,149 +222,579 @@ func (s *Server) handle(req []byte) []byte {
 	case opInval:
 		m, err := invalidation.DecodeMessage(d)
 		if err != nil {
-			return errFrame(err)
+			return fail(err)
 		}
 		s.ApplyInvalidation(m)
-		return nil // stream pushes are not acknowledged
+		if id == 0 {
+			return nil // in-order fire-and-forget push (tests, local streams)
+		}
+		// Acked push: the stream owner retries until it sees the ack, which
+		// is what makes its at-least-once delivery gapless (duplicates are
+		// deduplicated here by timestamp).
+		return wire.NewBuffer(opAck).U32(id).Bytes()
 	default:
-		return errFrame(fmt.Errorf("cacheserver: unknown opcode %d", op))
+		return fail(fmt.Errorf("cacheserver: unknown opcode %d", op))
 	}
 }
 
-func errFrame(err error) []byte {
-	return wire.NewBuffer(opErr).Str(err.Error()).Bytes()
+// encodedResultSize bounds encodeLookupResult's output for r.
+func encodedResultSize(r LookupResult) int {
+	n := 2 + 8 + 8 + 1 + 4 + 4 + len(r.Data)
+	for _, t := range r.Tags {
+		n += 9 + len(t.Table) + len(t.Key)
+	}
+	return n
 }
 
-// Client is a TCP client for a cache node, usable concurrently: requests
-// are multiplexed over a small pool of connections.
-type Client struct {
-	addr string
-	pool chan net.Conn
+func encodeLookupResult(e *wire.Buffer, r LookupResult) {
+	e.Bool(r.Found).U8(byte(r.Miss))
+	e.U64(uint64(r.Validity.Lo)).U64(uint64(r.Validity.Hi)).Bool(r.Still)
+	e.U32(uint32(len(r.Tags)))
+	for _, t := range r.Tags {
+		e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
+	}
+	e.Blob(r.Data)
 }
 
-// DefaultPoolSize is the number of TCP connections a Client keeps per node.
-const DefaultPoolSize = 4
-
-// Dial connects to a cache node.
-func Dial(addr string, poolSize int) (*Client, error) {
-	if poolSize <= 0 {
-		poolSize = DefaultPoolSize
-	}
-	c := &Client{addr: addr, pool: make(chan net.Conn, poolSize)}
-	for i := 0; i < poolSize; i++ {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.pool <- conn
-	}
-	return c, nil
-}
-
-// Close tears down the connection pool.
-func (c *Client) Close() {
-	for {
-		select {
-		case conn := <-c.pool:
-			conn.Close()
-		default:
-			return
-		}
-	}
-}
-
-// roundTrip sends one frame and reads one response frame on a pooled
-// connection. Broken connections are redialed once.
-func (c *Client) roundTrip(req []byte) ([]byte, error) {
-	conn := <-c.pool
-	resp, err := func() ([]byte, error) {
-		if err := wire.WriteFrame(conn, req); err != nil {
-			return nil, err
-		}
-		return wire.ReadFrame(conn)
-	}()
-	if err != nil {
-		conn.Close()
-		conn, err2 := net.Dial("tcp", c.addr)
-		if err2 != nil {
-			// Put a dead placeholder back so the pool does not drain; the
-			// next user will redial again.
-			go func() {
-				if nc, e := net.Dial("tcp", c.addr); e == nil {
-					c.pool <- nc
-				} else {
-					c.pool <- deadConn{}
-				}
-			}()
-			return nil, err
-		}
-		c.pool <- conn
-		return nil, err
-	}
-	c.pool <- conn
-	if len(resp) > 0 && resp[0] == opErr {
-		d := wire.NewDecoder(resp)
-		d.Op()
-		return nil, errors.New(d.Str())
-	}
-	return resp, nil
-}
-
-// Lookup implements Node over TCP. Network errors degrade to a compulsory
-// miss: the cache is an optimization, never required for correctness.
-func (c *Client) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
-	e := wire.NewBuffer(opLookup)
-	e.Str(key).U64(uint64(lo)).U64(uint64(hi)).U64(uint64(origLo)).U64(uint64(origHi))
-	resp, err := c.roundTrip(e.Bytes())
-	if err != nil {
-		return LookupResult{Miss: MissCompulsory}
-	}
-	d := wire.NewDecoder(resp)
-	if d.Op() != opLookupResp {
-		return LookupResult{Miss: MissCompulsory}
-	}
+// decodeLookupResult parses one LookupResult positioned after op and reqID.
+func decodeLookupResult(d *wire.Decoder) (LookupResult, error) {
 	var r LookupResult
 	r.Found = d.Bool()
 	r.Miss = MissKind(d.U8())
 	r.Validity.Lo = interval.Timestamp(d.U64())
 	r.Validity.Hi = interval.Timestamp(d.U64())
 	r.Still = d.Bool()
-	if n := d.U32(); n > 0 && d.Err() == nil {
+	n := d.U32()
+	if d.Err() != nil {
+		return r, d.Err()
+	}
+	if int(n) > d.Len()/9+1 {
+		return r, fmt.Errorf("cacheserver: unreasonable tag count %d", n)
+	}
+	if n > 0 {
 		r.Tags = make([]invalidation.Tag, 0, n)
 		for i := uint32(0); i < n; i++ {
 			r.Tags = append(r.Tags, invalidation.Tag{Table: d.Str(), Key: d.Str(), Wildcard: d.Bool()})
 		}
 	}
 	r.Data = append([]byte(nil), d.Blob()...)
-	if d.Err() != nil {
+	return r, d.Err()
+}
+
+func errFrame(id uint32, err error) []byte {
+	return wire.NewBuffer(opErr).U32(id).Str(err.Error()).Bytes()
+}
+
+// Client errors.
+var (
+	errNotConnected = errors.New("cacheserver: not connected")
+	errConnLost     = errors.New("cacheserver: connection lost")
+	errTimeout      = errors.New("cacheserver: request timed out")
+	errClosed       = errors.New("cacheserver: client closed")
+)
+
+// Client defaults.
+const (
+	// DefaultPoolSize is the number of TCP connections a Client keeps per
+	// node. Requests are multiplexed — many in flight per connection — so
+	// the pool exists for send-side parallelism, not one-slot-per-request.
+	DefaultPoolSize = 4
+	// DefaultCallTimeout bounds one request/response exchange. Lookups that
+	// time out degrade to compulsory misses.
+	DefaultCallTimeout = 2 * time.Second
+	// DefaultPutQueue is the bound of the asynchronous put queue. When the
+	// queue is full, puts are dropped (and counted), never blocked on: the
+	// cache is an optimization.
+	DefaultPutQueue = 1024
+)
+
+// ClientStats are client-side transport counters: how the multiplexed
+// protocol is behaving, as opposed to Stats (the remote node's counters).
+type ClientStats struct {
+	Lookups      uint64 // single-key lookup requests sent
+	LookupErrors uint64 // lookups degraded to misses by transport errors
+	BatchLookups uint64 // batched lookup requests sent
+	BatchKeys    uint64 // total probes carried by batched lookups
+	PutsQueued   uint64 // puts accepted into the async queue
+	PutsSent     uint64 // puts written to a connection
+	PutsDropped  uint64 // puts dropped because the queue was full
+	PutErrors    uint64 // puts that failed on every connection
+	CallErrors   uint64 // Stats/ResetStats round trips that failed
+	Timeouts     uint64 // requests abandoned after DefaultCallTimeout
+	Reconnects   uint64 // connections re-established after a failure
+}
+
+// clientCounters is the atomic backing store for ClientStats.
+type clientCounters struct {
+	lookups, lookupErrors, batchLookups, batchKeys atomic.Uint64
+	putsQueued, putsSent, putsDropped, putErrors   atomic.Uint64
+	callErrors, timeouts, reconnects               atomic.Uint64
+}
+
+// Client is a TCP client for a cache node. It is safe for concurrent use:
+// requests are tagged with IDs and multiplexed over a small pool of
+// connections, so any number of lookups can be in flight at once, and puts
+// are queued and written asynchronously.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	conns []*mconn
+	rr    atomic.Uint32 // round-robin connection cursor
+
+	putq      chan putItem
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	counters clientCounters
+}
+
+type putItem struct {
+	frame []byte
+	ack   chan struct{} // Flush marker when non-nil; frame is ignored
+}
+
+// mconn is one multiplexed connection: a writer-side mutex, a pending table
+// mapping request IDs to response channels, and a reader goroutine that
+// dispatches responses and redials after failures.
+type mconn struct {
+	cl      *Client
+	mu      sync.Mutex // guards conn, pending, nextID, and frame writes
+	conn    net.Conn   // nil while disconnected
+	pending map[uint32]chan []byte
+	nextID  uint32
+}
+
+// Dial connects to a cache node. poolSize <= 0 selects DefaultPoolSize.
+func Dial(addr string, poolSize int) (*Client, error) {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	c := &Client{
+		addr:    addr,
+		timeout: DefaultCallTimeout,
+		putq:    make(chan putItem, DefaultPutQueue),
+		closed:  make(chan struct{}),
+	}
+	for i := 0; i < poolSize; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, &mconn{cl: c, conn: conn, pending: make(map[uint32]chan []byte)})
+	}
+	for _, m := range c.conns {
+		c.wg.Add(1)
+		go m.run()
+	}
+	c.wg.Add(1)
+	go c.putSender()
+	return c, nil
+}
+
+// Close tears down the connection pool, fails all in-flight requests, and
+// discards any queued puts. It is the "drain" half of removing a node from
+// a running cluster: callers should Flush first if queued puts matter.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		for _, m := range c.conns {
+			m.mu.Lock()
+			if m.conn != nil {
+				m.conn.Close()
+				m.conn = nil
+			}
+			for id, ch := range m.pending {
+				delete(m.pending, id)
+				close(ch)
+			}
+			m.mu.Unlock()
+		}
+	})
+	c.wg.Wait()
+}
+
+// ClientStats snapshots the transport counters.
+func (c *Client) ClientStats() ClientStats {
+	return ClientStats{
+		Lookups:      c.counters.lookups.Load(),
+		LookupErrors: c.counters.lookupErrors.Load(),
+		BatchLookups: c.counters.batchLookups.Load(),
+		BatchKeys:    c.counters.batchKeys.Load(),
+		PutsQueued:   c.counters.putsQueued.Load(),
+		PutsSent:     c.counters.putsSent.Load(),
+		PutsDropped:  c.counters.putsDropped.Load(),
+		PutErrors:    c.counters.putErrors.Load(),
+		CallErrors:   c.counters.callErrors.Load(),
+		Timeouts:     c.counters.timeouts.Load(),
+		Reconnects:   c.counters.reconnects.Load(),
+	}
+}
+
+// newReq starts a request frame with a placeholder request ID that call
+// patches once an ID is assigned.
+func newReq(op byte) *wire.Buffer {
+	e := wire.NewBuffer(op)
+	e.U32(0)
+	return e
+}
+
+// run is the per-connection reader: it dispatches response frames to the
+// pending table and owns redialing after a failure. Connection loss is
+// logged once per event, not once per affected request.
+func (m *mconn) run() {
+	defer m.cl.wg.Done()
+	backoff := 10 * time.Millisecond
+	for {
+		m.mu.Lock()
+		conn := m.conn
+		m.mu.Unlock()
+		if conn == nil {
+			select {
+			case <-m.cl.closed:
+				return
+			case <-time.After(backoff):
+			}
+			nc, err := net.Dial("tcp", m.cl.addr)
+			if err != nil {
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				continue
+			}
+			m.mu.Lock()
+			select {
+			case <-m.cl.closed:
+				// Close ran while we were dialing; installing the new
+				// connection now would leak it and block this reader (and
+				// Close's wg.Wait) forever.
+				m.mu.Unlock()
+				nc.Close()
+				return
+			default:
+			}
+			m.conn = nc
+			m.mu.Unlock()
+			m.cl.counters.reconnects.Add(1)
+			log.Printf("cacheserver: reconnected to %s (%d puts dropped, %d put errors so far)",
+				m.cl.addr, m.cl.counters.putsDropped.Load(), m.cl.counters.putErrors.Load())
+			backoff = 10 * time.Millisecond
+			continue
+		}
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			select {
+			case <-m.cl.closed:
+				return
+			default:
+			}
+			m.fail(conn, err)
+			continue
+		}
+		if len(payload) >= 5 {
+			id := binary.LittleEndian.Uint32(payload[1:5])
+			m.mu.Lock()
+			ch := m.pending[id]
+			delete(m.pending, id)
+			m.mu.Unlock()
+			if ch != nil {
+				ch <- payload
+			}
+		}
+	}
+}
+
+// fail tears down a broken connection and fails every request pending on
+// it; the reader loop will redial.
+func (m *mconn) fail(conn net.Conn, err error) {
+	conn.Close()
+	m.mu.Lock()
+	if m.conn == conn {
+		m.conn = nil
+	}
+	for id, ch := range m.pending {
+		delete(m.pending, id)
+		close(ch)
+	}
+	m.mu.Unlock()
+	log.Printf("cacheserver: connection to %s lost: %v", m.cl.addr, err)
+}
+
+// timerPool recycles timeout timers: one per in-flight call would
+// otherwise be the hot path's only steady allocation besides frames.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// call sends one request frame and waits for its tagged response.
+func (m *mconn) call(frame []byte) ([]byte, error) {
+	m.mu.Lock()
+	conn := m.conn
+	if conn == nil {
+		m.mu.Unlock()
+		return nil, errNotConnected
+	}
+	m.nextID++
+	if m.nextID == 0 {
+		m.nextID = 1
+	}
+	id := m.nextID
+	ch := make(chan []byte, 1)
+	m.pending[id] = ch
+	binary.LittleEndian.PutUint32(frame[1:5], id)
+	// The write happens under m.mu, so it must be bounded: without a
+	// deadline, a peer that stops reading while the TCP window fills would
+	// wedge every request on this connection with no timeout (the call
+	// timer is only armed after the write).
+	conn.SetWriteDeadline(time.Now().Add(m.cl.timeout)) //nolint:errcheck
+	err := wire.WriteFrame(conn, frame)
+	if err != nil {
+		delete(m.pending, id)
+		m.mu.Unlock()
+		conn.Close() // reader notices and redials
+		return nil, err
+	}
+	m.mu.Unlock()
+
+	t := getTimer(m.cl.timeout)
+	defer putTimer(t)
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, errConnLost
+		}
+		return resp, nil
+	case <-t.C:
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
+		m.cl.counters.timeouts.Add(1)
+		return nil, errTimeout
+	case <-m.cl.closed:
+		return nil, errClosed
+	}
+}
+
+// roundTrip issues the request on a connection chosen round-robin, trying
+// each pool member once while connections are down.
+func (c *Client) roundTrip(frame []byte) ([]byte, error) {
+	start := int(c.rr.Add(1))
+	var lastErr error = errNotConnected
+	for i := 0; i < len(c.conns); i++ {
+		m := c.conns[(start+i)%len(c.conns)]
+		resp, err := m.call(frame)
+		if err == nil {
+			if len(resp) > 0 && resp[0] == opErr {
+				d := wire.NewDecoder(resp)
+				d.Op()
+				d.U32()
+				return nil, errors.New(d.Str())
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if err == errClosed || err == errTimeout {
+			break // no point retrying elsewhere
+		}
+	}
+	return nil, lastErr
+}
+
+// Lookup implements Node over TCP. Network errors degrade to a compulsory
+// miss: the cache is an optimization, never required for correctness.
+func (c *Client) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
+	c.counters.lookups.Add(1)
+	e := newReq(opLookup)
+	e.Str(key).U64(uint64(lo)).U64(uint64(hi)).U64(uint64(origLo)).U64(uint64(origHi))
+	resp, err := c.roundTrip(e.Bytes())
+	if err != nil {
+		c.counters.lookupErrors.Add(1)
+		return LookupResult{Miss: MissCompulsory}
+	}
+	d := wire.NewDecoder(resp)
+	if d.Op() != opLookupResp {
+		c.counters.lookupErrors.Add(1)
+		return LookupResult{Miss: MissCompulsory}
+	}
+	d.U32() // request ID, already matched by the reader
+	r, err := decodeLookupResult(d)
+	if err != nil {
+		c.counters.lookupErrors.Add(1)
 		return LookupResult{Miss: MissCompulsory}
 	}
 	return r
 }
 
-// Put implements Node over TCP. Errors are ignored (best-effort insert).
+// LookupBatch implements Node over TCP: all probes travel in one frame and
+// return in one frame, preserving order. Transport errors degrade every
+// probe to a compulsory miss.
+func (c *Client) LookupBatch(reqs []BatchLookup) []LookupResult {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(reqs) > MaxBatchLookup {
+		out := make([]LookupResult, 0, len(reqs))
+		for len(reqs) > 0 {
+			n := len(reqs)
+			if n > MaxBatchLookup {
+				n = MaxBatchLookup
+			}
+			out = append(out, c.LookupBatch(reqs[:n])...)
+			reqs = reqs[n:]
+		}
+		return out
+	}
+	c.counters.batchLookups.Add(1)
+	c.counters.batchKeys.Add(uint64(len(reqs)))
+	e := newReq(opLookupBatch)
+	e.U32(uint32(len(reqs)))
+	for _, q := range reqs {
+		e.Str(q.Key).U64(uint64(q.Lo)).U64(uint64(q.Hi)).U64(uint64(q.OrigLo)).U64(uint64(q.OrigHi))
+	}
+	miss := func() []LookupResult {
+		c.counters.lookupErrors.Add(1)
+		out := make([]LookupResult, len(reqs))
+		for i := range out {
+			out[i] = LookupResult{Miss: MissCompulsory}
+		}
+		return out
+	}
+	resp, err := c.roundTrip(e.Bytes())
+	if err != nil {
+		return miss()
+	}
+	d := wire.NewDecoder(resp)
+	if d.Op() != opLookupBatchResp {
+		return miss()
+	}
+	d.U32() // request ID
+	n := d.U32()
+	if d.Err() != nil || int(n) != len(reqs) {
+		return miss()
+	}
+	out := make([]LookupResult, 0, n)
+	for i := uint32(0); i < n; i++ {
+		r, err := decodeLookupResult(d)
+		if err != nil {
+			return miss()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Put implements Node over TCP. The put is asynchronous: the frame enters a
+// bounded queue drained by a background sender, so the caller never blocks
+// on the network. Queue overflow drops the put (PutsDropped); write
+// failures on every connection count as PutErrors. Use Flush to wait for
+// the queue to drain.
 func (c *Client) Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.Tag) {
-	e := wire.NewBuffer(opPut)
+	e := newReq(opPut) // request ID stays 0: fire-and-forget
 	e.Str(key).U64(uint64(iv.Lo)).U64(uint64(iv.Hi)).Bool(still).U64(uint64(genSnap))
 	e.U32(uint32(len(tags)))
 	for _, t := range tags {
 		e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
 	}
 	e.Blob(data)
-	c.roundTrip(e.Bytes()) //nolint:errcheck // best effort
+	select {
+	case c.putq <- putItem{frame: e.Bytes()}:
+		c.counters.putsQueued.Add(1)
+	default:
+		c.counters.putsDropped.Add(1)
+	}
 }
 
-// Stats implements Node over TCP.
+// Flush blocks until every put queued before the call has been written (or
+// failed and been counted). It returns early if the client is closed.
+func (c *Client) Flush() {
+	ack := make(chan struct{})
+	select {
+	case c.putq <- putItem{ack: ack}:
+	case <-c.closed:
+		return
+	}
+	select {
+	case <-ack:
+	case <-c.closed:
+	}
+}
+
+// putSender drains the async put queue in order.
+func (c *Client) putSender() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case it := <-c.putq:
+			if it.ack != nil {
+				close(it.ack)
+				continue
+			}
+			if err := c.sendAsync(it.frame); err != nil {
+				c.counters.putErrors.Add(1)
+			} else {
+				c.counters.putsSent.Add(1)
+			}
+		}
+	}
+}
+
+// sendAsync writes a fire-and-forget frame on the first healthy connection.
+func (c *Client) sendAsync(frame []byte) error {
+	start := int(c.rr.Add(1))
+	for i := 0; i < len(c.conns); i++ {
+		m := c.conns[(start+i)%len(c.conns)]
+		m.mu.Lock()
+		conn := m.conn
+		if conn == nil {
+			m.mu.Unlock()
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+		err := wire.WriteFrame(conn, frame)
+		m.mu.Unlock()
+		if err != nil {
+			conn.Close() // reader notices and redials
+			continue
+		}
+		return nil
+	}
+	return errNotConnected
+}
+
+// Stats implements Node over TCP. Transport errors return zero stats and
+// are counted in ClientStats.CallErrors.
 func (c *Client) Stats() Stats {
-	resp, err := c.roundTrip(wire.NewBuffer(opStats).Bool(false).Bytes())
+	resp, err := c.roundTrip(newReq(opStats).Bool(false).Bytes())
 	if err != nil {
+		c.counters.callErrors.Add(1)
 		return Stats{}
 	}
 	d := wire.NewDecoder(resp)
 	if d.Op() != opStatsResp {
+		c.counters.callErrors.Add(1)
 		return Stats{}
 	}
+	d.U32() // request ID
 	var st Stats
 	st.Lookups = d.U64()
 	st.Hits = d.U64()
@@ -287,29 +813,41 @@ func (c *Client) Stats() Stats {
 	return st
 }
 
-// ResetStats implements Node over TCP.
+// ResetStats implements Node over TCP. Failures are counted in
+// ClientStats.CallErrors rather than silently discarded.
 func (c *Client) ResetStats() {
-	c.roundTrip(wire.NewBuffer(opStats).Bool(true).Bytes()) //nolint:errcheck
+	if _, err := c.roundTrip(newReq(opStats).Bool(true).Bytes()); err != nil {
+		c.counters.callErrors.Add(1)
+	}
 }
 
 // PushInvalidation delivers one stream message to the node (used by the
-// database daemon's stream fan-out).
+// database daemon's stream fan-out) and waits for the node's ack: a nil
+// return means the node applied (or had already applied) the message. A
+// kernel-buffered write is not delivery, so an unacked push must be
+// assumed lost — the stream owner retries it until acked; the node
+// deduplicates by timestamp, so at-least-once in-order delivery is exactly
+// the stream contract. Pushes always use the first pool connection and the
+// caller is expected to be a single goroutine per node, which preserves
+// send order.
 func (c *Client) PushInvalidation(m invalidation.Message) error {
-	conn := <-c.pool
-	defer func() { c.pool <- conn }()
-	return wire.WriteFrame(conn, m.Encode(opInval))
+	frame := m.Encode(opInval)
+	// Splice a request-ID placeholder in after the opcode; call assigns it.
+	tagged := make([]byte, 0, len(frame)+4)
+	tagged = append(tagged, frame[0], 0, 0, 0, 0)
+	tagged = append(tagged, frame[1:]...)
+	resp, err := c.conns[0].call(tagged)
+	if err != nil {
+		return err
+	}
+	if len(resp) == 0 || resp[0] != opAck {
+		if len(resp) > 0 && resp[0] == opErr {
+			d := wire.NewDecoder(resp)
+			d.Op()
+			d.U32()
+			return errors.New(d.Str())
+		}
+		return fmt.Errorf("cacheserver: unexpected push response opcode %d", resp[0])
+	}
+	return nil
 }
-
-// deadConn is a placeholder for a connection that could not be redialed.
-type deadConn struct{}
-
-func (deadConn) Read([]byte) (int, error)         { return 0, errors.New("cacheserver: dead connection") }
-func (deadConn) Write([]byte) (int, error)        { return 0, errors.New("cacheserver: dead connection") }
-func (deadConn) Close() error                     { return nil }
-func (deadConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
-func (deadConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
-func (deadConn) SetDeadline(time.Time) error      { return nil }
-func (deadConn) SetReadDeadline(time.Time) error  { return nil }
-func (deadConn) SetWriteDeadline(time.Time) error { return nil }
-
-var _ net.Conn = deadConn{}

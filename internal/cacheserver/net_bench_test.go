@@ -1,0 +1,89 @@
+package cacheserver
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+)
+
+// benchRig starts a TCP-served cache node preloaded with still-valid
+// entries and returns a connected client.
+func benchRig(b *testing.B, keys int) (*Client, func()) {
+	b.Helper()
+	s := New(Config{})
+	s.ApplyInvalidation(invalidation.Message{TS: 1 << 20, WallTime: time.Now()})
+	payload := make([]byte, 256)
+	for i := 0; i < keys; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), payload,
+			interval.Interval{Lo: interval.Timestamp(i + 1), Hi: interval.Infinity}, true,
+			interval.Timestamp(i+1), []invalidation.Tag{invalidation.KeyTag("t", "id", fmt.Sprint(i))})
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(l)
+	c, err := Dial(l.Addr().String(), 0)
+	if err != nil {
+		l.Close()
+		b.Fatal(err)
+	}
+	return c, func() { c.Close(); l.Close() }
+}
+
+// BenchmarkCacheLookupTCP measures cache lookups over TCP: sequential
+// lookups on one goroutine, pipelined lookups from parallel goroutines,
+// and (once the protocol supports it) batched multi-key lookups.
+func BenchmarkCacheLookupTCP(b *testing.B) {
+	const keys = 4096
+	b.Run("single", func(b *testing.B) {
+		c, stop := benchRig(b, keys)
+		defer stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := c.Lookup(fmt.Sprintf("key-%d", i%keys), 1<<19, 1<<21, 0, interval.Infinity)
+			if !r.Found {
+				b.Fatalf("miss at %d", i)
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		c, stop := benchRig(b, keys)
+		defer stop()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				r := c.Lookup(fmt.Sprintf("key-%d", i%keys), 1<<19, 1<<21, 0, interval.Infinity)
+				if !r.Found {
+					b.Fatalf("miss at %d", i)
+				}
+				i++
+			}
+		})
+	})
+	// batch16 resolves 16 probes per frame; ns/op is still per probe, so
+	// the batched/single ratio is the round-trip amortization.
+	b.Run("batch16", func(b *testing.B) {
+		c, stop := benchRig(b, keys)
+		defer stop()
+		const batch = 16
+		reqs := make([]BatchLookup, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			for j := range reqs {
+				reqs[j] = BatchLookup{Key: fmt.Sprintf("key-%d", (i+j)%keys),
+					Lo: 1 << 19, Hi: 1 << 21, OrigLo: 0, OrigHi: interval.Infinity}
+			}
+			for _, r := range c.LookupBatch(reqs) {
+				if !r.Found {
+					b.Fatalf("miss at %d", i)
+				}
+			}
+		}
+	})
+}

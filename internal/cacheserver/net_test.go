@@ -1,0 +1,252 @@
+package cacheserver
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+)
+
+// flakyProxy forwards TCP connections to a backend and can sever them all,
+// simulating a cache node crashing and coming back.
+type flakyProxy struct {
+	l       net.Listener
+	backend string
+	mu      sync.Mutex
+	conns   []net.Conn
+}
+
+func newFlakyProxy(t *testing.T, backend string) *flakyProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{l: l, backend: backend}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			b, err := net.Dial("tcp", backend)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, c, b)
+			p.mu.Unlock()
+			go func() { io.Copy(b, c); b.Close() }() //nolint:errcheck
+			go func() { io.Copy(c, b); c.Close() }() //nolint:errcheck
+		}
+	}()
+	t.Cleanup(func() { l.Close(); p.sever() })
+	return p
+}
+
+// sever kills every live proxied connection (new dials still succeed).
+func (p *flakyProxy) sever() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := New(Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { l.Close() })
+	return s, l.Addr().String()
+}
+
+// TestPushInvalidationAcked: a nil PushInvalidation return means the node
+// has applied the message (the push is a synchronous acked round trip,
+// which is what makes the daemon's retry loop gapless).
+func TestPushInvalidationAcked(t *testing.T) {
+	s, addr := startServer(t)
+	c, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for ts := interval.Timestamp(5); ts <= 15; ts += 5 {
+		if err := c.PushInvalidation(invalidation.Message{TS: ts, WallTime: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.LastInvalidation(); got != ts {
+			t.Fatalf("after acked push of %d, LastInvalidation = %d", ts, got)
+		}
+	}
+	// Duplicate delivery (a retry whose first attempt did arrive) is
+	// deduplicated, still acked.
+	if err := c.PushInvalidation(invalidation.Message{TS: 10, WallTime: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LastInvalidation(); got != 15 {
+		t.Fatalf("duplicate push regressed horizon to %d", got)
+	}
+}
+
+func TestAsyncPutFlushAndStats(t *testing.T) {
+	s, addr := startServer(t)
+	s.ApplyInvalidation(invalidation.Message{TS: 10, WallTime: time.Now()})
+	c, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.Put("k", []byte("v"), iv(5, interval.Infinity), true, 10, nil)
+	c.Flush()
+	st := c.ClientStats()
+	if st.PutsQueued != 1 || st.PutsSent != 1 || st.PutsDropped != 0 {
+		t.Fatalf("put stats after flush: %+v", st)
+	}
+	// Flush guarantees the frame was written, not yet applied; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if r := c.Lookup("k", 5, 50, 5, 50); r.Found {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("flushed put never became visible")
+}
+
+func TestBatchLookupTCP(t *testing.T) {
+	s, addr := startServer(t)
+	s.ApplyInvalidation(invalidation.Message{TS: 10, WallTime: time.Now()})
+	s.Put("a", []byte("va"), iv(1, interval.Infinity), true, 1, nil)
+	s.Put("b", []byte("vb"), iv(2, 8), false, 0, nil)
+	c, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rs := c.LookupBatch([]BatchLookup{
+		{Key: "a", Lo: 1, Hi: 50, OrigLo: 0, OrigHi: interval.Infinity},
+		{Key: "missing", Lo: 1, Hi: 50, OrigLo: 0, OrigHi: interval.Infinity},
+		{Key: "b", Lo: 3, Hi: 5, OrigLo: 0, OrigHi: interval.Infinity},
+	})
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if !rs[0].Found || string(rs[0].Data) != "va" || !rs[0].Still || rs[0].Validity != iv(1, 11) {
+		t.Fatalf("rs[0] = %+v", rs[0])
+	}
+	if rs[1].Found || rs[1].Miss != MissCompulsory {
+		t.Fatalf("rs[1] = %+v", rs[1])
+	}
+	if !rs[2].Found || string(rs[2].Data) != "vb" || rs[2].Validity != iv(2, 8) {
+		t.Fatalf("rs[2] = %+v", rs[2])
+	}
+	st := c.ClientStats()
+	if st.BatchLookups != 1 || st.BatchKeys != 3 {
+		t.Fatalf("batch stats: %+v", st)
+	}
+	if sst := s.Stats(); sst.Lookups != 3 {
+		t.Fatalf("server saw %d lookups, want 3", sst.Lookups)
+	}
+}
+
+// TestPipelinedLookupsShareConnections issues many concurrent lookups over
+// a single-connection client: multiplexing must keep them all correct.
+func TestPipelinedLookupsShareConnections(t *testing.T) {
+	s, addr := startServer(t)
+	s.ApplyInvalidation(invalidation.Message{TS: 1000, WallTime: time.Now()})
+	for i := 0; i < 64; i++ {
+		s.Put(string(rune('a'+i%26))+string(rune('0'+i/26)), []byte{byte(i)}, iv(interval.Timestamp(i+1), interval.Infinity), true, interval.Timestamp(i+1), nil)
+	}
+	c, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*7 + i) % 64
+				key := string(rune('a'+k%26)) + string(rune('0'+k/26))
+				r := c.Lookup(key, 1, 2000, 0, interval.Infinity)
+				if !r.Found || len(r.Data) != 1 || r.Data[0] != byte(k) {
+					t.Errorf("g%d i%d: wrong response for %q: %+v", g, i, key, r)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestClientReconnectAndErrorCounting(t *testing.T) {
+	s, addr := startServer(t)
+	s.ApplyInvalidation(invalidation.Message{TS: 10, WallTime: time.Now()})
+	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 10, nil)
+	proxy := newFlakyProxy(t, addr)
+	c, err := Dial(proxy.l.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if r := c.Lookup("k", 5, 50, 5, 50); !r.Found {
+		t.Fatalf("warm lookup missed: %+v", r)
+	}
+
+	proxy.sever()
+	// Until the pool redials, lookups degrade to misses and puts fail —
+	// both counted, neither blocking.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.Put("k2", []byte("v2"), iv(5, interval.Infinity), true, 10, nil)
+		c.Flush()
+		if r := c.Lookup("k", 5, 50, 5, 50); r.Found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after sever")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := c.ClientStats()
+	if st.Reconnects == 0 {
+		t.Fatalf("no reconnects counted: %+v", st)
+	}
+	if st.LookupErrors == 0 && st.PutErrors == 0 {
+		t.Fatalf("outage left no error trace: %+v", st)
+	}
+}
+
+// TestPutAfterCloseDropsSafely: puts against a closed client must neither
+// block nor panic, and must surface as drops once the queue fills.
+func TestPutAfterCloseDropsSafely(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	for i := 0; i < DefaultPutQueue+10; i++ {
+		c.Put("k", []byte("v"), iv(1, 2), false, 0, nil)
+	}
+	if st := c.ClientStats(); st.PutsDropped == 0 {
+		t.Fatalf("expected drops after close: %+v", st)
+	}
+	c.Flush() // must return immediately on a closed client
+}

@@ -200,6 +200,23 @@ type LookupResult struct {
 func (s *Server) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.lookupLocked(key, lo, hi, origLo, origHi)
+}
+
+// LookupBatch resolves many probes under one lock acquisition. Remote
+// clients send the whole batch in one frame, so a transaction's pin-set
+// probes cost one round trip instead of one per key.
+func (s *Server) LookupBatch(reqs []BatchLookup) []LookupResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]LookupResult, len(reqs))
+	for i, q := range reqs {
+		out[i] = s.lookupLocked(q.Key, q.Lo, q.Hi, q.OrigLo, q.OrigHi)
+	}
+	return out
+}
+
+func (s *Server) lookupLocked(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
 	s.stats.Lookups++
 
 	ent := s.entries[key]
@@ -513,12 +530,23 @@ func (s *Server) SweepStale() {
 // horizon is seeded from the database's current commit timestamp, the node
 // refuses to serve still-valid entries (their effective validity intervals
 // are empty), which is safe but useless. Regressions are ignored.
+//
+// Seeding the horizon also raises histFloor: the node has no history below
+// the seeded timestamp, so a still-valid insert generated at an older
+// snapshot cannot be checked against invalidations the node never saw and
+// must be conservatively closed at genSnap+1 (Put's histFloor path) rather
+// than served as valid through the horizon. A node that actually replayed
+// the stream has lastInval at the seed point already, making the call a
+// no-op that leaves its replayable history intact.
 func (s *Server) SetHorizon(ts interval.Timestamp, wall time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if ts > s.lastInval {
 		s.lastInval = ts
 		s.lastInvalWall = wall
+		if ts > s.histFloor {
+			s.histFloor = ts
+		}
 	}
 }
 

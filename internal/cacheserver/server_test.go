@@ -359,6 +359,32 @@ func TestLateInsertAfterMatchingInvalidation(t *testing.T) {
 	}
 }
 
+// TestSetHorizonBoundsUncheckableInserts is the regression test for the
+// node-join hole: a node bootstrapped with SetHorizon has no history below
+// the seeded timestamp, so a still-valid insert generated at an older
+// snapshot cannot be proven uninvalidated and must be conservatively
+// closed at genSnap+1 — never served as valid through the seeded horizon.
+func TestSetHorizonBoundsUncheckableInserts(t *testing.T) {
+	s := New(Config{})
+	s.SetHorizon(20, time.Unix(20, 0)) // operator bootstrap of a joining node
+	tag := invalidation.KeyTag("t", "id", "1")
+	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 5, []invalidation.Tag{tag})
+	r := s.Lookup("k", 5, 50, 5, 50)
+	if !r.Found || r.Still || r.Validity != iv(5, 6) {
+		t.Fatalf("pre-join insert must close at genSnap+1: %+v", r)
+	}
+	// A reader pinned past the horizon must not see it.
+	if r := s.Lookup("k", 25, 30, 5, 50); r.Found {
+		t.Fatalf("pre-join insert served to fresh reader: %+v", r)
+	}
+	// Inserts generated at or after the seeded horizon stay still-valid:
+	// the node will see every later invalidation on its stream.
+	s.Put("k2", []byte("v"), iv(20, interval.Infinity), true, 20, []invalidation.Tag{tag})
+	if r := s.Lookup("k2", 20, 50, 5, 50); !r.Found || !r.Still {
+		t.Fatalf("post-join insert should stay still-valid: %+v", r)
+	}
+}
+
 // TestLateInsertBeyondHistory: when the retained history no longer covers
 // the generating snapshot, the entry is conservatively closed at genSnap+1.
 func TestLateInsertBeyondHistory(t *testing.T) {

@@ -36,9 +36,8 @@ func MakeCacheable[T any](c *Client, name string, fn Cacheable[T]) Cacheable[T] 
 		}
 
 		key := cacheKey(name, args)
-		node := tx.c.node(key)
 
-		if data, ok := tx.lookup(node, key); ok {
+		if data, ok := tx.lookup(key); ok {
 			var out T
 			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err == nil {
 				return out, nil
@@ -60,11 +59,16 @@ func MakeCacheable[T any](c *Client, name string, fn Cacheable[T]) Cacheable[T] 
 		// and dependency set.
 		var buf bytes.Buffer
 		if encErr := gob.NewEncoder(&buf).Encode(&out); encErr == nil {
-			tx.put(node, key, buf.Bytes(), f)
+			tx.put(key, buf.Bytes(), f)
 		}
 		return out, nil
 	}
 }
+
+// CacheKey returns the cache key MakeCacheable derives for a call of the
+// named cacheable function with args. Applications use it to build the key
+// sets handed to Tx.Prefetch.
+func CacheKey(name string, args ...sql.Value) string { return cacheKey(name, args) }
 
 // cacheKey serializes the function name and arguments into the cache key.
 // Argument encoding is the self-delimiting ordenc form, so distinct
@@ -82,26 +86,62 @@ func cacheKey(name string, args []sql.Value) string {
 
 // lookup consults the cache and, on a hit, narrows the pin set. It rejects
 // (degrading to a miss) any value whose acceptance would empty the pin set.
-func (tx *Tx) lookup(node cacheserver.Node, key string) ([]byte, bool) {
+// Results staged by Tx.Prefetch are consumed first, saving the round trip.
+func (tx *Tx) lookup(key string) ([]byte, bool) {
 	lo, hi, ok := tx.bounds()
 	if !ok {
 		tx.c.stats.MissNoPins.Add(1)
 		return nil, false
 	}
-	r := node.Lookup(key, lo, hi, tx.origLo, interval.Infinity)
-	if !r.Found {
-		switch r.Miss {
-		case cacheserver.MissCompulsory:
-			tx.c.stats.MissCompulsory.Add(1)
-		case cacheserver.MissConsistency:
-			tx.c.stats.MissConsistency.Add(1)
-		case cacheserver.MissCapacity:
-			tx.c.stats.MissCapacity.Add(1)
-		default:
-			tx.c.stats.MissStaleness.Add(1)
+	if r, ok := tx.prefetched[key]; ok {
+		delete(tx.prefetched, key)
+		switch {
+		case !r.Found:
+			// Bounds only narrow after a prefetch, and anything missing the
+			// wider bounds misses every sub-range, so a prefetched miss is
+			// still a miss — no second round trip.
+			tx.countMiss(r.Miss)
+			return nil, false
+		case r.Validity.OverlapsRange(lo, hi):
+			if data, ok := tx.accept(r); ok {
+				tx.c.stats.PrefetchHits.Add(1)
+				return data, ok
+			}
+			return nil, false
 		}
+		// Found, but the pin set narrowed past the prefetched version since
+		// the probe: retry against the live node below.
+	}
+	node := tx.c.node(key)
+	if node == nil {
+		tx.c.stats.MissCompulsory.Add(1)
 		return nil, false
 	}
+	r := node.Lookup(key, lo, hi, tx.origLo, interval.Infinity)
+	if !r.Found {
+		tx.countMiss(r.Miss)
+		return nil, false
+	}
+	return tx.accept(r)
+}
+
+// countMiss attributes a miss to the library-side taxonomy counters.
+func (tx *Tx) countMiss(kind cacheserver.MissKind) {
+	switch kind {
+	case cacheserver.MissCompulsory:
+		tx.c.stats.MissCompulsory.Add(1)
+	case cacheserver.MissConsistency:
+		tx.c.stats.MissConsistency.Add(1)
+	case cacheserver.MissCapacity:
+		tx.c.stats.MissCapacity.Add(1)
+	default:
+		tx.c.stats.MissStaleness.Add(1)
+	}
+}
+
+// accept applies the consistency checks to a found cache result and, if it
+// passes, observes it (narrowing the pin set) and returns its data.
+func (tx *Tx) accept(r cacheserver.LookupResult) ([]byte, bool) {
 	if !tx.c.noCon {
 		// Defensive invariant-2 check: the returned interval must leave at
 		// least one serialization point. The paper's proof guarantees this
@@ -125,14 +165,65 @@ func (tx *Tx) lookup(node cacheserver.Node, key string) ([]byte, bool) {
 	return r.Data, true
 }
 
+// Prefetch resolves a set of cache keys (built with CacheKey) ahead of the
+// cacheable calls that will consume them: the probes are grouped by
+// responsible node and each group travels as one batched lookup frame, so a
+// transaction's whole pin-set probe costs one round trip per node instead
+// of one per key. Results are staged on the transaction and consumed by the
+// next matching cacheable call; staged hits are re-validated against the
+// pin set at consumption time, so prefetching never weakens consistency.
+// Returns the number of probes that found a candidate version.
+func (tx *Tx) Prefetch(keys ...string) int {
+	if tx == nil || tx.done || tx.rw || !tx.c.CacheEnabled() {
+		return 0
+	}
+	lo, hi, ok := tx.bounds()
+	if !ok {
+		return 0
+	}
+	groups := make(map[cacheserver.Node][]cacheserver.BatchLookup)
+	for _, key := range keys {
+		if _, dup := tx.prefetched[key]; dup {
+			continue
+		}
+		node := tx.c.node(key)
+		if node == nil {
+			continue
+		}
+		groups[node] = append(groups[node], cacheserver.BatchLookup{
+			Key: key, Lo: lo, Hi: hi, OrigLo: tx.origLo, OrigHi: interval.Infinity,
+		})
+	}
+	found := 0
+	for node, reqs := range groups {
+		tx.c.stats.Prefetches.Add(1)
+		for i, r := range node.LookupBatch(reqs) {
+			if tx.prefetched == nil {
+				tx.prefetched = make(map[string]cacheserver.LookupResult)
+			}
+			tx.prefetched[reqs[i].Key] = r
+			if r.Found {
+				found++
+			}
+		}
+	}
+	return found
+}
+
 // put installs a computed result. Still-valid results (unbounded validity)
 // carry their tag set so the invalidation stream can truncate them; bounded
 // results are immutable history and need no tags. The generating snapshot
 // (the timestamp the transaction's queries ran at) lets the node order the
 // insert against invalidations it has already processed.
-func (tx *Tx) put(node cacheserver.Node, key string, data []byte, f *frame) {
+// The responsible node is resolved at install time, not lookup time, so
+// after a membership change the entry lands on the key's current owner.
+func (tx *Tx) put(key string, data []byte, f *frame) {
 	if f.validity.Empty() {
 		return // conservative tracking produced nothing usable
+	}
+	node := tx.c.node(key)
+	if node == nil {
+		return // cluster emptied while we computed
 	}
 	still := f.validity.Unbounded()
 	var tags []invalidation.Tag

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"txcache/internal/consistent"
 	"txcache/internal/db"
 	"txcache/internal/interval"
+	"txcache/internal/invalidation"
 	"txcache/internal/pincushion"
 	"txcache/internal/sql"
 )
@@ -54,6 +56,11 @@ type Config struct {
 	// Pincushion tracks pinned snapshots (required unless Nodes is empty
 	// and all transactions are read/write).
 	Pincushion pincushion.Service
+	// Bus, when set, lets AddNode subscribe in-process cache servers to the
+	// invalidation stream, so nodes joining a running cluster start
+	// receiving invalidations without separate plumbing. Remote nodes get
+	// their stream from the database daemon's fan-out instead.
+	Bus *invalidation.Bus
 	// Clock supplies wall time; defaults to the real clock.
 	Clock clock.Clock
 	// FreshPinThreshold is the pin-creation policy knob of §6.2: when the
@@ -67,18 +74,39 @@ type Config struct {
 }
 
 // Client is the per-application-server TxCache library instance. It is safe
-// for concurrent use; each goroutine runs its own transactions.
+// for concurrent use; each goroutine runs its own transactions. The cache
+// cluster membership is dynamic: AddNode and RemoveNode reconfigure the
+// consistent-hash ring, connections, and stream subscriptions while
+// transactions are running.
 type Client struct {
 	db    DB
 	pc    pincushion.Service
 	clk   clock.Clock
 	ring  *consistent.Ring
-	nodes map[string]cacheserver.Node
+	bus   *invalidation.Bus
 	fresh time.Duration
 	noCon bool
 
+	mu    sync.RWMutex
+	nodes map[string]cacheserver.Node
+	subs  map[string]*invalidation.Subscription // subscriptions AddNode created
+
 	stats ClientStats
 }
+
+// streamConsumer is the interface of nodes that can consume the
+// invalidation bus directly (in-process *cacheserver.Server).
+type streamConsumer interface {
+	ConsumeStream(*invalidation.Subscription)
+}
+
+// drainable is the interface of nodes with buffered asynchronous writes
+// (*cacheserver.Client's put queue).
+type drainable interface{ Flush() }
+
+// closable is the interface of nodes holding network resources
+// (*cacheserver.Client's connection pool).
+type closable interface{ Close() }
 
 // ClientStats aggregates library-side counters across transactions.
 type ClientStats struct {
@@ -104,6 +132,16 @@ type ClientStats struct {
 	DBQueries  atomic.Uint64
 	CachePuts  atomic.Uint64
 	PinsPlaced atomic.Uint64
+
+	// Prefetches counts batched multi-key lookup round trips issued by
+	// Tx.Prefetch; PrefetchHits counts prefetched results later consumed as
+	// cache hits without a second round trip.
+	Prefetches   atomic.Uint64
+	PrefetchHits atomic.Uint64
+
+	// NodesAdded / NodesRemoved count live membership changes.
+	NodesAdded   atomic.Uint64
+	NodesRemoved atomic.Uint64
 }
 
 // Hits returns total cache hits.
@@ -137,11 +175,17 @@ func NewClient(cfg Config) *Client {
 		pc:    cfg.Pincushion,
 		clk:   cfg.Clock,
 		ring:  consistent.New(0),
-		nodes: cfg.Nodes,
+		bus:   cfg.Bus,
+		nodes: make(map[string]cacheserver.Node, len(cfg.Nodes)),
+		subs:  make(map[string]*invalidation.Subscription),
 		fresh: cfg.FreshPinThreshold,
 		noCon: cfg.NoConsistency,
 	}
-	for name := range cfg.Nodes {
+	// Initial nodes are assumed to be wired to the invalidation stream
+	// already (the usual bootstrap order subscribes them before any data is
+	// loaded), so NewClient does not subscribe them even when Bus is set.
+	for name, n := range cfg.Nodes {
+		c.nodes[name] = n
 		c.ring.Add(name)
 	}
 	return c
@@ -151,12 +195,87 @@ func NewClient(cfg Config) *Client {
 func (c *Client) Stats() *ClientStats { return &c.stats }
 
 // CacheEnabled reports whether any cache nodes are configured.
-func (c *Client) CacheEnabled() bool { return len(c.nodes) > 0 }
+func (c *Client) CacheEnabled() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes) > 0
+}
 
-// node returns the cache node responsible for key under consistent hashing.
+// node returns the cache node responsible for key under consistent hashing,
+// or nil when no node is responsible (empty cluster, or the ring briefly
+// naming a node that has just been removed). Callers treat nil as a
+// compulsory miss.
 func (c *Client) node(key string) cacheserver.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if len(c.nodes) == 0 {
 		return nil
 	}
 	return c.nodes[c.ring.Get(key)]
+}
+
+// NodeNames returns the current cache cluster membership in unspecified
+// order.
+func (c *Client) NodeNames() []string { return c.ring.Nodes() }
+
+// AddNode joins a cache node to the running cluster (idempotent): the node
+// is registered before the ring remaps keys onto it, so no lookup can route
+// to an unknown name. When Config.Bus is set and the node consumes the
+// stream in-process, AddNode subscribes it; the node serves conservatively
+// (still-valid entries unservable) until its consistency horizon advances,
+// which is safe.
+func (c *Client) AddNode(name string, node cacheserver.Node) {
+	c.mu.Lock()
+	if _, ok := c.nodes[name]; ok {
+		c.mu.Unlock()
+		return
+	}
+	c.nodes[name] = node
+	if c.bus != nil {
+		if sc, ok := node.(streamConsumer); ok {
+			sub := c.bus.Subscribe()
+			c.subs[name] = sub
+			go sc.ConsumeStream(sub)
+		}
+	}
+	c.mu.Unlock()
+	c.ring.Add(name)
+	c.stats.NodesAdded.Add(1)
+}
+
+// RemoveNode drains a cache node out of the running cluster (idempotent):
+// the ring stops routing new lookups to it, its stream subscription (if
+// AddNode created one) is closed, queued asynchronous puts are flushed, and
+// its connections are torn down. In-flight lookups against the node degrade
+// to misses. Reports whether the node was a member.
+func (c *Client) RemoveNode(name string) bool {
+	c.ring.Remove(name)
+	c.mu.Lock()
+	node, ok := c.nodes[name]
+	delete(c.nodes, name)
+	sub := c.subs[name]
+	delete(c.subs, name)
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if sub != nil {
+		sub.Close()
+	}
+	if d, ok := node.(drainable); ok {
+		d.Flush()
+	}
+	if cl, ok := node.(closable); ok {
+		cl.Close()
+	}
+	c.stats.NodesRemoved.Add(1)
+	return true
+}
+
+// Close removes every cache node, draining connections and stream
+// subscriptions the client owns. The database handle is not touched.
+func (c *Client) Close() {
+	for _, name := range c.NodeNames() {
+		c.RemoveNode(name)
+	}
 }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"txcache/internal/cacheserver"
+)
+
+// TestAddNodeJoinsLiveCluster: a node added to a running client must join
+// the ring, subscribe to the invalidation stream, and start absorbing the
+// keys remapped onto it — all without wrong answers during the transition.
+func TestAddNodeJoinsLiveCluster(t *testing.T) {
+	r := newRig(t, 2, nil)
+	setupAccounts(t, r, 16, 100)
+	get := getBalanceFn(r)
+
+	warm := func() {
+		for i := 0; i < 16; i++ {
+			tx := r.client.BeginRO(time.Minute)
+			if v, err := get(tx, int64(i)); err != nil || v != 100 {
+				t.Fatalf("get(%d) = %d, %v", i, v, err)
+			}
+			tx.Commit()
+		}
+	}
+	warm()
+
+	n2 := cacheserver.New(cacheserver.Config{Clock: r.clk})
+	r.client.AddNode("node2", n2)
+	if got := len(r.client.NodeNames()); got != 3 {
+		t.Fatalf("cluster size = %d, want 3", got)
+	}
+
+	// The join must have subscribed node2: a commit's invalidation message
+	// has to reach it.
+	r.exec(t, "UPDATE accounts SET balance = 100 WHERE id = 0")
+	want := r.engine.LastCommit()
+	deadline := time.Now().Add(5 * time.Second)
+	for n2.LastInvalidation() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("joined node never saw the stream (at %d, want %d)", n2.LastInvalidation(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Rewarm: keys remapped to the cold node recompute and install there.
+	warm()
+	if n2.Stats().Puts == 0 {
+		t.Fatal("no keys remapped onto the joined node")
+	}
+	if r.client.Stats().NodesAdded.Load() != 1 {
+		t.Fatalf("NodesAdded = %d", r.client.Stats().NodesAdded.Load())
+	}
+}
+
+// TestRemoveNodeDrains: removing nodes — down to an empty cluster — must
+// never produce wrong answers, and an empty cluster degrades to the
+// no-cache baseline.
+func TestRemoveNodeDrains(t *testing.T) {
+	r := newRig(t, 2, nil)
+	setupAccounts(t, r, 8, 100)
+	get := getBalanceFn(r)
+
+	check := func() {
+		for i := 0; i < 8; i++ {
+			tx := r.client.BeginRO(time.Minute)
+			if v, err := get(tx, int64(i)); err != nil || v != 100 {
+				t.Fatalf("get(%d) = %d, %v", i, v, err)
+			}
+			tx.Commit()
+		}
+	}
+	check()
+	if !r.client.RemoveNode("node0") {
+		t.Fatal("node0 was a member")
+	}
+	if r.client.RemoveNode("node0") {
+		t.Fatal("second remove must be a no-op")
+	}
+	check()
+	if !r.client.RemoveNode("node1") {
+		t.Fatal("node1 was a member")
+	}
+	if r.client.CacheEnabled() {
+		t.Fatal("empty cluster still reports cache enabled")
+	}
+	check() // no-cache baseline path
+	if got := r.client.Stats().NodesRemoved.Load(); got != 2 {
+		t.Fatalf("NodesRemoved = %d", got)
+	}
+}
+
+// TestMembershipChurnUnderLoad runs readers, a writer, and continuous node
+// churn concurrently (meant for -race): every read must return the correct
+// value no matter how the ring is shifting underneath it.
+func TestMembershipChurnUnderLoad(t *testing.T) {
+	r := newRig(t, 2, nil)
+	setupAccounts(t, r, 9, 100)
+	get := getBalanceFn(r)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writer churns account 0 (readers only touch 1..8, whose balances
+	// never change).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx, err := r.client.BeginRW()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := tx.Exec("UPDATE accounts SET balance = ? WHERE id = 0", int64(i)); err != nil {
+				t.Error(err)
+				tx.Abort()
+				return
+			}
+			if _, err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := int64(rng.Intn(8) + 1)
+				tx := r.client.BeginRO(time.Minute)
+				v, err := get(tx, id)
+				tx.Commit()
+				if err != nil || v != 100 {
+					t.Errorf("get(%d) = %d, %v", id, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Churner: joins a fresh node, then drains it, repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("churn%d", i)
+			r.client.AddNode(name, cacheserver.New(cacheserver.Config{Clock: r.clk}))
+			time.Sleep(2 * time.Millisecond)
+			r.client.RemoveNode(name)
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if r.client.Stats().NodesAdded.Load() == 0 || r.client.Stats().CacheHits.Load() == 0 {
+		t.Fatalf("vacuous churn run: %d added, %d hits",
+			r.client.Stats().NodesAdded.Load(), r.client.Stats().CacheHits.Load())
+	}
+}
+
+// TestPrefetchBatchesProbes: Tx.Prefetch resolves a key set in batched
+// round trips and the following cacheable calls consume the staged results
+// without touching the database or the nodes again.
+func TestPrefetchBatchesProbes(t *testing.T) {
+	r := newRig(t, 2, nil)
+	setupAccounts(t, r, 6, 100)
+	get := getBalanceFn(r)
+
+	for i := 0; i < 4; i++ {
+		tx := r.client.BeginRO(time.Minute)
+		if _, err := get(tx, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+	}
+
+	keys := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		keys = append(keys, CacheKey("getBalance", int64(i)))
+	}
+	q0 := r.client.Stats().DBQueries.Load()
+	tx := r.client.BeginRO(time.Minute)
+	if found := tx.Prefetch(keys...); found != 4 {
+		t.Fatalf("Prefetch found %d of 4 warm keys", found)
+	}
+	if got := r.client.Stats().Prefetches.Load(); got == 0 || got > 2 {
+		t.Fatalf("Prefetches = %d, want 1..2 (one per responsible node)", got)
+	}
+	for i := 0; i < 4; i++ {
+		if v, err := get(tx, int64(i)); err != nil || v != 100 {
+			t.Fatalf("get(%d) = %d, %v", i, v, err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.client.Stats().PrefetchHits.Load(); got != 4 {
+		t.Fatalf("PrefetchHits = %d, want 4", got)
+	}
+	if got := r.client.Stats().DBQueries.Load(); got != q0 {
+		t.Fatalf("prefetched reads still queried the database (%d -> %d)", q0, got)
+	}
+
+	// A prefetched miss is consumed as a miss; the call recomputes.
+	tx = r.client.BeginRO(time.Minute)
+	if found := tx.Prefetch(CacheKey("getBalance", int64(5))); found != 0 {
+		t.Fatalf("cold key reported found=%d", found)
+	}
+	if v, err := get(tx, int64(5)); err != nil || v != 100 {
+		t.Fatalf("get(5) = %d, %v", v, err)
+	}
+	tx.Commit()
+	if got := r.client.Stats().DBQueries.Load(); got == q0 {
+		t.Fatal("cold prefetch consumed without recompute")
+	}
+}

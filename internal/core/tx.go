@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"txcache/internal/cacheserver"
 	"txcache/internal/db"
 	"txcache/internal/interval"
 	"txcache/internal/invalidation"
@@ -43,6 +44,10 @@ type Tx struct {
 	dbSnap interval.Timestamp // snapshot the DB transaction runs at
 
 	frames []*frame // cacheable-call stack (innermost last)
+
+	// prefetched stages batched-lookup results keyed by cache key until the
+	// cacheable call that consumes them (Tx.Prefetch).
+	prefetched map[string]cacheserver.LookupResult
 }
 
 // frame accumulates the validity interval and invalidation tags of one

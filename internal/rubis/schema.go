@@ -128,6 +128,11 @@ func (d *Dataset) NewCommentID() int64 { return d.nextCmtID.Add(1) }
 // NewBuyNowID allocates a buy-now ID for StoreBuyNow.
 func (d *Dataset) NewBuyNowID() int64 { return d.nextBuyID.Add(1) }
 
+// loadEpoch anchors every Load in one process to a single wall-clock
+// instant: equal seeds must produce identical datasets, and a per-call
+// time.Now() breaks that whenever two loads straddle a second boundary.
+var loadEpoch = time.Now().Unix()
+
 // Load creates the schema and populates engine deterministically from seed.
 // It returns the dataset description. Loading uses batched read/write
 // transactions through the engine directly (the cache plays no role during
@@ -139,7 +144,7 @@ func Load(engine *db.Engine, sc Scale, seed int64) (*Dataset, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(seed))
-	now := time.Now().Unix()
+	now := loadEpoch
 
 	const batch = 500
 	var tx *db.Tx

@@ -120,6 +120,11 @@ func (d *Decoder) Op() byte { return d.U8() }
 // Err returns the first decoding error encountered, if any.
 func (d *Decoder) Err() error { return d.err }
 
+// Len returns the number of unconsumed payload bytes. Handlers use it to
+// sanity-check count prefixes before allocating: a count that implies more
+// bytes than remain in the payload is corrupt.
+func (d *Decoder) Len() int { return len(d.b) }
+
 func (d *Decoder) take(n int) []byte {
 	if d.err != nil {
 		return nil

@@ -94,6 +94,11 @@ func MakeCacheable[T any](c *Client, name string, fn core.Cacheable[T]) core.Cac
 	return core.MakeCacheable(c, name, fn)
 }
 
+// CacheKey derives the cache key of one cacheable call; applications build
+// key sets with it for Tx.Prefetch, which resolves them in batched
+// round trips (one per responsible cache node).
+func CacheKey(name string, args ...Value) string { return core.CacheKey(name, args...) }
+
 // Engine is the multiversion database substrate (paper §5).
 type Engine = db.Engine
 
@@ -130,11 +135,26 @@ type CacheNode = cacheserver.Node
 // CacheStats are cache-node counters, including the Figure 8 miss taxonomy.
 type CacheStats = cacheserver.Stats
 
+// CacheClient is the multiplexed TCP client for a remote cache node:
+// pipelined tagged requests over a small connection pool, asynchronous
+// puts, and batched multi-key lookups.
+type CacheClient = cacheserver.Client
+
+// CacheClientStats are client-side transport counters (put drops/errors,
+// reconnects, timeouts), as opposed to the remote node's CacheStats.
+type CacheClientStats = cacheserver.ClientStats
+
+// CacheBatchLookup is one probe of a batched multi-key lookup.
+type CacheBatchLookup = cacheserver.BatchLookup
+
+// CacheLookupResult is the reply to a cache lookup.
+type CacheLookupResult = cacheserver.LookupResult
+
 // NewCacheServer creates a cache node.
 func NewCacheServer(cfg CacheConfig) *CacheServer { return cacheserver.New(cfg) }
 
 // DialCache connects to a remote cache node.
-func DialCache(addr string, poolSize int) (*cacheserver.Client, error) {
+func DialCache(addr string, poolSize int) (*CacheClient, error) {
 	return cacheserver.Dial(addr, poolSize)
 }
 

@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench fuzz-smoke
+.PHONY: ci fmt vet build test race bench alloc-regression profile fuzz-smoke
 
-ci: fmt vet build race fuzz-smoke
+ci: fmt vet build race alloc-regression fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -33,3 +33,16 @@ fuzz-smoke:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallelCommit|BenchmarkReadersDuringCommits' -benchtime=2s .
 	$(GO) test -run xxx -bench BenchmarkCacheLookupTCP -benchtime=2s ./internal/cacheserver
+	$(GO) test -run xxx -bench 'BenchmarkQueryPointSelect|BenchmarkMakeCacheable|BenchmarkInvalidateApply' -benchtime=2s ./internal/db ./internal/core ./internal/cacheserver
+
+# Allocation-budget regression: the hot trio (point select, cacheable hit,
+# invalidation apply) must stay under their pinned allocs/op ceilings.
+alloc-regression:
+	$(GO) test -run 'TestAllocBudget' ./internal/db ./internal/core ./internal/cacheserver
+
+# CPU + allocation profiles of the Figure-5a workload; see EXPERIMENTS.md
+# for the reading methodology.
+profile:
+	$(GO) test -run xxx -bench 'BenchmarkFigure5a/txcache/cache=4096KB' -benchtime=3s \
+		-cpuprofile cpu.prof -memprofile mem.prof -o txcache.test .
+	$(GO) tool pprof -top -nodecount=20 txcache.test cpu.prof

@@ -234,7 +234,7 @@ func BenchmarkCacheServer(b *testing.B) {
 	for i := 0; i < 10000; i++ {
 		node.Put(fmt.Sprintf("key-%d", i), payload,
 			txcache.Interval{Lo: interval.Timestamp(i + 1), Hi: txcache.Infinity}, true, interval.Timestamp(i+1),
-			[]invalidation.Tag{invalidation.KeyTag("t", "id", fmt.Sprint(i))})
+			[]invalidation.TagID{invalidation.Intern(invalidation.KeyTag("t", "id", fmt.Sprint(i)))})
 	}
 	b.Run("lookup-hit", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -252,7 +252,7 @@ func BenchmarkCacheServer(b *testing.B) {
 			node.ApplyInvalidation(invalidation.Message{
 				TS:       interval.Timestamp(1<<21 + i),
 				WallTime: time.Now(),
-				Tags:     []invalidation.Tag{invalidation.KeyTag("t", "id", fmt.Sprint(i%10000))},
+				Tags:     []invalidation.TagID{invalidation.Intern(invalidation.KeyTag("t", "id", fmt.Sprint(i%10000)))},
 			})
 		}
 	})

@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"txcache/internal/bench"
@@ -32,7 +33,36 @@ func main() {
 	measure := flag.Duration("measure", 3*time.Second, "measurement per point")
 	scale := flag.String("scale", "inmem", "dataset scale: test, inmem, disk")
 	seed := flag.Int64("seed", 1, "workload seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("txcache-bench: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("txcache-bench: -cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Failures here must not Fatalf: this defer runs before the CPU
+		// profile's Stop defer, and os.Exit would discard that profile too.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("txcache-bench: -memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile shows live + cumulative accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Printf("txcache-bench: -memprofile: %v", err)
+			}
+		}()
+	}
 
 	o := bench.Opts{
 		Clients: *clients,

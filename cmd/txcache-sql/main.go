@@ -28,6 +28,7 @@ import (
 	"txcache/internal/core"
 	"txcache/internal/db"
 	"txcache/internal/db/dbnet"
+	"txcache/internal/invalidation"
 	"txcache/internal/sql"
 )
 
@@ -156,7 +157,7 @@ func printResult(r *db.Result) {
 	}
 	tags := make([]string, 0, len(r.Tags))
 	for _, t := range r.Tags {
-		tags = append(tags, t.String())
+		tags = append(tags, invalidation.TagOf(t).String())
 	}
 	fmt.Printf("(%d row(s); validity %v%s; tags %v)\n", len(r.Rows), r.Validity, extra, tags)
 }

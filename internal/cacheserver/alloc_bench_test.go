@@ -1,0 +1,81 @@
+package cacheserver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+)
+
+// Allocation-budget coverage for invalidation-stream processing: applying
+// one message must walk the inverted tag index and truncate the affected
+// versions without allocating — the per-message "affected" set is server
+// scratch, tag comparisons are integer compares, and no strings are built.
+
+// benchInvalServer seeds a node with still-valid versions, one per key tag.
+func benchInvalServer(tb testing.TB, n int) (*Server, []invalidation.TagID) {
+	tb.Helper()
+	s := New(Config{})
+	payload := make([]byte, 256)
+	tags := make([]invalidation.TagID, n)
+	for i := 0; i < n; i++ {
+		tags[i] = invalidation.Intern(invalidation.KeyTag("items", "id", fmt.Sprint(i)))
+		s.Put(fmt.Sprintf("key-%d", i), payload,
+			interval.Interval{Lo: interval.Timestamp(i + 1), Hi: interval.Infinity},
+			true, interval.Timestamp(i+1), tags[i:i+1])
+	}
+	return s, tags
+}
+
+// BenchmarkInvalidateApply measures one stream message that invalidates
+// one subscribed version (the version is re-installed each iteration so
+// the index never empties).
+func BenchmarkInvalidateApply(b *testing.B) {
+	const n = 4096
+	s, tags := benchInvalServer(b, n)
+	payload := make([]byte, 256)
+	wall := time.Unix(0, 0)
+	base := interval.Timestamp(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := base + interval.Timestamp(i)
+		k := i % n
+		s.ApplyInvalidation(invalidation.Message{TS: ts, WallTime: wall, Tags: tags[k : k+1]})
+		s.Put(fmt.Sprintf("key-%d", k), payload,
+			interval.Interval{Lo: ts, Hi: interval.Infinity}, true, ts, tags[k:k+1])
+	}
+}
+
+// invalidateAllocCeiling is the budget for applying one invalidation
+// message that truncates one version: the retained-history append, its
+// tag-index posting, and the staleness-queue append — all amortized — so
+// the average must stay below 3.
+const invalidateAllocCeiling = 3
+
+func TestAllocBudgetInvalidate(t *testing.T) {
+	const n = 1024
+	s, tags := benchInvalServer(t, n)
+	payload := make([]byte, 64)
+	wall := time.Unix(0, 0)
+	ts := interval.Timestamp(1 << 20)
+	apply := func() {
+		ts++
+		k := int(ts) % n
+		s.ApplyInvalidation(invalidation.Message{TS: ts, WallTime: wall, Tags: tags[k : k+1]})
+		s.Put(fmt.Sprintf("key-%d", k), payload,
+			interval.Interval{Lo: ts, Hi: interval.Infinity}, true, ts, tags[k:k+1])
+	}
+	apply()
+	// The Put (fmt.Sprintf + version struct + history replay) dominates the
+	// measured loop; subtract its budget by measuring it alone first.
+	avg := testing.AllocsPerRun(500, apply)
+	// Put allocates the key string, the version, and its LRU element;
+	// everything else is the invalidation path's budget.
+	const putCost = 5
+	if avg > invalidateAllocCeiling+putCost {
+		t.Fatalf("invalidate+reinstall allocates %.1f objects/op, budget is %d", avg, invalidateAllocCeiling+putCost)
+	}
+}

@@ -28,7 +28,7 @@ func fuzzSeedFrames() [][]byte {
 	stats.U32(4).Bool(false)
 	reset := wire.NewBuffer(opStats)
 	reset.U32(5).Bool(true)
-	msg := invalidation.Message{TS: 9, WallTime: time.Unix(1, 0), Tags: []invalidation.Tag{tag}}
+	msg := invalidation.Message{TS: 9, WallTime: time.Unix(1, 0), Tags: []invalidation.TagID{invalidation.Intern(tag)}}
 	raw := msg.Encode(opInval)
 	inval := append([]byte{raw[0], 0, 0, 0, 0}, raw[1:]...)
 	return [][]byte{

@@ -62,7 +62,8 @@ func (m *model) put(key string, lo interval.Timestamp, hi interval.Timestamp, st
 }
 
 func matches(msg invalidation.Message, tags []invalidation.Tag) bool {
-	for _, mt := range msg.Tags {
+	for _, mtID := range msg.Tags {
+		mt := invalidation.TagOf(mtID)
 		for _, vt := range tags {
 			if mt.Wildcard && mt.Table == vt.Table {
 				return true
@@ -152,7 +153,7 @@ func TestServerMatchesModel(t *testing.T) {
 					lo = 1
 				}
 				tags := randTags()
-				s.Put(key, []byte("v"), interval.Interval{Lo: lo, Hi: interval.Infinity}, true, lo, tags)
+				s.Put(key, []byte("v"), interval.Interval{Lo: lo, Hi: interval.Infinity}, true, lo, ids(tags))
 				m.put(key, lo, interval.Infinity, true, lo, tags)
 			} else {
 				// Historical closed version.
@@ -163,7 +164,7 @@ func TestServerMatchesModel(t *testing.T) {
 			}
 		case 3, 4: // invalidation (a committed update transaction)
 			ts++
-			msg := invalidation.Message{TS: ts, Tags: randTags()}
+			msg := invalidation.Message{TS: ts, Tags: ids(randTags())}
 			s.ApplyInvalidation(msg)
 			m.invalidate(msg)
 		default: // lookup
@@ -467,10 +468,10 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 			ts, m := o.record(tags, wild)
 			msg := invalidation.Message{TS: ts, WallTime: time.Unix(int64(ts), 0)}
 			if m.wild {
-				msg.Tags = []invalidation.Tag{invalidation.WildcardTag("t")}
+				msg.Tags = []invalidation.TagID{invalidation.Intern(invalidation.WildcardTag("t"))}
 			} else {
 				for k := range m.keys {
-					msg.Tags = append(msg.Tags, invalidation.KeyTag("t", "k", k))
+					msg.Tags = append(msg.Tags, invalidation.Intern(invalidation.KeyTag("t", "k", k)))
 				}
 			}
 			for i := range pushers {
@@ -502,7 +503,7 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 						continue
 					}
 					c.Put(key, []byte(cdata(key, f.lo)), interval.Interval{Lo: f.lo, Hi: interval.Infinity},
-						true, f.lo, []invalidation.Tag{invalidation.KeyTag("t", "k", key)})
+						true, f.lo, ids([]invalidation.Tag{invalidation.KeyTag("t", "k", key)}))
 				} else {
 					f, ok := o.allocBounded(key, interval.Timestamp(rng.Intn(4)))
 					if !ok {
@@ -652,4 +653,15 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 	if puts == 0 || invals == 0 || hits.Load() == 0 || swept == 0 {
 		t.Fatalf("vacuous run: puts=%d invals=%d live-hits=%d swept=%d", puts, invals, hits.Load(), swept)
 	}
+}
+
+// ids interns struct-form tags for the server API; the oracle itself keeps
+// the struct form, so these tests double as an equivalence check between
+// interned-ID matching and the paper's string-form tag semantics.
+func ids(tags []invalidation.Tag) []invalidation.TagID {
+	out := make([]invalidation.TagID, len(tags))
+	for i, t := range tags {
+		out[i] = invalidation.Intern(t)
+	}
+	return out
 }

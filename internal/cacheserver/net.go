@@ -21,7 +21,7 @@ import (
 type Node interface {
 	Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult
 	LookupBatch(reqs []BatchLookup) []LookupResult
-	Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.Tag)
+	Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.TagID)
 	Stats() Stats
 	ResetStats()
 }
@@ -187,10 +187,7 @@ func (s *Server) handle(req []byte) []byte {
 		if int(n) > d.Len()/9+1 {
 			return fail(fmt.Errorf("cacheserver: unreasonable tag count %d", n))
 		}
-		tags := make([]invalidation.Tag, 0, n)
-		for i := uint32(0); i < n; i++ {
-			tags = append(tags, invalidation.Tag{Table: d.Str(), Key: d.Str(), Wildcard: d.Bool()})
-		}
+		tags, _ := invalidation.DecodeTags(d, n) // d.Err() re-checked below
 		data := d.Blob()
 		if d.Err() != nil {
 			return fail(d.Err())
@@ -240,7 +237,8 @@ func (s *Server) handle(req []byte) []byte {
 // encodedResultSize bounds encodeLookupResult's output for r.
 func encodedResultSize(r LookupResult) int {
 	n := 2 + 8 + 8 + 1 + 4 + 4 + len(r.Data)
-	for _, t := range r.Tags {
+	for _, id := range r.Tags {
+		t := invalidation.TagOf(id)
 		n += 9 + len(t.Table) + len(t.Key)
 	}
 	return n
@@ -250,13 +248,15 @@ func encodeLookupResult(e *wire.Buffer, r LookupResult) {
 	e.Bool(r.Found).U8(byte(r.Miss))
 	e.U64(uint64(r.Validity.Lo)).U64(uint64(r.Validity.Hi)).Bool(r.Still)
 	e.U32(uint32(len(r.Tags)))
-	for _, t := range r.Tags {
+	for _, id := range r.Tags {
+		t := invalidation.TagOf(id)
 		e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
 	}
 	e.Blob(r.Data)
 }
 
-// decodeLookupResult parses one LookupResult positioned after op and reqID.
+// decodeLookupResult parses one LookupResult positioned after op and reqID,
+// interning tags as it goes.
 func decodeLookupResult(d *wire.Decoder) (LookupResult, error) {
 	var r LookupResult
 	r.Found = d.Bool()
@@ -271,11 +271,9 @@ func decodeLookupResult(d *wire.Decoder) (LookupResult, error) {
 	if int(n) > d.Len()/9+1 {
 		return r, fmt.Errorf("cacheserver: unreasonable tag count %d", n)
 	}
-	if n > 0 {
-		r.Tags = make([]invalidation.Tag, 0, n)
-		for i := uint32(0); i < n; i++ {
-			r.Tags = append(r.Tags, invalidation.Tag{Table: d.Str(), Key: d.Str(), Wildcard: d.Bool()})
-		}
+	var err error
+	if r.Tags, err = invalidation.DecodeTags(d, n); err != nil {
+		return r, err
 	}
 	r.Data = append([]byte(nil), d.Blob()...)
 	return r, d.Err()
@@ -706,11 +704,12 @@ func (c *Client) LookupBatch(reqs []BatchLookup) []LookupResult {
 // on the network. Queue overflow drops the put (PutsDropped); write
 // failures on every connection count as PutErrors. Use Flush to wait for
 // the queue to drain.
-func (c *Client) Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.Tag) {
+func (c *Client) Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.TagID) {
 	e := newReq(opPut) // request ID stays 0: fire-and-forget
 	e.Str(key).U64(uint64(iv.Lo)).U64(uint64(iv.Hi)).Bool(still).U64(uint64(genSnap))
 	e.U32(uint32(len(tags)))
-	for _, t := range tags {
+	for _, id := range tags {
+		t := invalidation.TagOf(id)
 		e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
 	}
 	e.Blob(data)

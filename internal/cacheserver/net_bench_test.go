@@ -20,7 +20,7 @@ func benchRig(b *testing.B, keys int) (*Client, func()) {
 	for i := 0; i < keys; i++ {
 		s.Put(fmt.Sprintf("key-%d", i), payload,
 			interval.Interval{Lo: interval.Timestamp(i + 1), Hi: interval.Infinity}, true,
-			interval.Timestamp(i+1), []invalidation.Tag{invalidation.KeyTag("t", "id", fmt.Sprint(i))})
+			interval.Timestamp(i+1), ids([]invalidation.Tag{invalidation.KeyTag("t", "id", fmt.Sprint(i))}))
 	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -48,7 +48,7 @@ type version struct {
 	key   string
 	iv    interval.Interval
 	still bool // still-valid: subscribed to invalidations
-	tags  []invalidation.Tag
+	tags  []invalidation.TagID
 	data  []byte
 	size  int64
 	lru   *list.Element
@@ -102,12 +102,16 @@ type Server struct {
 	lruList *list.List // *version; front = most recently used
 	used    int64
 
-	// Invalidation state.
+	// Invalidation state: the inverted tag→versions index. Keys are
+	// interned TagIDs — integer map probes, no per-registration or
+	// per-message string building. tableDeps and wildDeps are keyed by the
+	// table's wildcard TagID.
 	lastInval     interval.Timestamp
 	lastInvalWall time.Time
-	exact         map[string]map[*version]struct{} // key tag -> still-valid versions
-	tableDeps     map[string]map[*version]struct{} // table -> all still-valid versions with any tag on it
-	wildDeps      map[string]map[*version]struct{} // table -> still-valid versions with a wildcard tag on it
+	exact         map[invalidation.TagID]map[*version]struct{} // key tag -> still-valid versions
+	tableDeps     map[invalidation.TagID]map[*version]struct{} // table -> all still-valid versions with any tag on it
+	wildDeps      map[invalidation.TagID]map[*version]struct{} // table -> still-valid versions with a wildcard tag on it
+	affected      map[*version]struct{}                        // per-message scratch, cleared after use
 	msgCount      uint64
 
 	// hist retains recent stream messages so a still-valid insert that
@@ -120,6 +124,21 @@ type Server struct {
 	// conservatively.
 	hist      []invalidation.Message
 	histFloor interval.Timestamp
+
+	// The history is tag-indexed so Put's retroactive replay is a few
+	// binary searches instead of a pairwise scan over the whole ring:
+	// histExact posts each message's key tags, histWild posts wildcard
+	// tags, and histTable posts every tag under its table's wildcard ID.
+	// Posting lists are ascending timestamps (messages arrive in order).
+	histExact map[invalidation.TagID][]interval.Timestamp
+	histWild  map[invalidation.TagID][]interval.Timestamp
+	histTable map[invalidation.TagID][]interval.Timestamp
+
+	// staleQ holds invalidated versions in (approximate) invalidation-wall-
+	// time order, so the staleness sweep pops a prefix instead of walking
+	// every cached version. Entries evicted for other reasons are skipped
+	// (their lru element is nil).
+	staleQ []*version
 
 	stats Stats
 }
@@ -168,9 +187,13 @@ func New(cfg Config) *Server {
 		clk:       cfg.Clock,
 		entries:   make(map[string]*entry),
 		lruList:   list.New(),
-		exact:     make(map[string]map[*version]struct{}),
-		tableDeps: make(map[string]map[*version]struct{}),
-		wildDeps:  make(map[string]map[*version]struct{}),
+		exact:     make(map[invalidation.TagID]map[*version]struct{}),
+		tableDeps: make(map[invalidation.TagID]map[*version]struct{}),
+		wildDeps:  make(map[invalidation.TagID]map[*version]struct{}),
+		affected:  make(map[*version]struct{}),
+		histExact: make(map[invalidation.TagID][]interval.Timestamp),
+		histWild:  make(map[invalidation.TagID][]interval.Timestamp),
+		histTable: make(map[invalidation.TagID][]interval.Timestamp),
 	}
 }
 
@@ -187,8 +210,9 @@ type LookupResult struct {
 	// Tags are the version's invalidation tags, returned for still-valid
 	// hits so nested cacheable calls can attach the dependencies to their
 	// enclosing functions (paper §6.3). Nil for invalidated versions,
-	// whose bounded validity already says everything.
-	Tags []invalidation.Tag
+	// whose bounded validity already says everything. The slice is shared
+	// with the cache entry and must be treated as immutable.
+	Tags []invalidation.TagID
 	Miss MissKind // when !Found
 }
 
@@ -259,7 +283,9 @@ func (s *Server) lookupLocked(key string, lo, hi, origLo, origHi interval.Timest
 		Still:    best.still,
 	}
 	if best.still {
-		r.Tags = append([]invalidation.Tag(nil), best.tags...)
+		// Shared, not copied: tag slices are immutable once installed, so a
+		// hit costs no per-lookup allocation.
+		r.Tags = best.tags
 	}
 	return r
 }
@@ -276,7 +302,7 @@ func (s *Server) lookupLocked(key string, lo, hi, origLo, origHi interval.Timest
 // a matching message truncates the entry retroactively; if the history no
 // longer reaches back to genSnap, the entry is conservatively closed at
 // genSnap+1 — correct for past readers, merely less reusable.
-func (s *Server) Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.Tag) {
+func (s *Server) Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.TagID) {
 	if iv.Empty() && !still {
 		return
 	}
@@ -321,14 +347,20 @@ func (s *Server) Put(key string, data []byte, iv interval.Interval, still bool, 
 			v.still = false
 			v.iv.Hi = genSnap + 1
 		default:
-			// History is sorted by timestamp: replay only (genSnap, ...].
-			start := sort.Search(len(s.hist), func(i int) bool { return s.hist[i].TS > genSnap })
-			for _, m := range s.hist[start:] {
-				if messageMatches(m, tags) {
-					v.still = false
-					v.iv.Hi = m.TS
-					v.hiWall = m.WallTime
-					break
+			// Replay (genSnap, lastInval] against the tag-indexed history:
+			// the earliest posted timestamp after genSnap on any of the
+			// entry's tags (or their table wildcards) truncates it. A few
+			// binary searches replace the old pairwise scan over the whole
+			// retained ring, which was the server's hottest code path.
+			if ts := s.histFirstMatch(tags, genSnap); ts != interval.Infinity {
+				v.still = false
+				v.iv.Hi = ts
+				i := sort.Search(len(s.hist), func(i int) bool { return s.hist[i].TS >= ts })
+				if i < len(s.hist) && s.hist[i].TS == ts {
+					v.hiWall = s.hist[i].WallTime
+				}
+				if s.cfg.MaxStaleness > 0 {
+					s.staleQ = append(s.staleQ, v)
 				}
 			}
 		}
@@ -370,66 +402,106 @@ func (s *Server) evict(v *version, capacity bool) {
 		s.stats.EvictedStale++
 	}
 	s.lruList.Remove(v.lru)
+	v.lru = nil // marks the version dead for the staleness queue
 	s.used -= v.size
 	if v.still {
 		s.unregisterTags(v)
 	}
+	// Drop the payload now: the staleness queue may keep the version
+	// header reachable until the sweep passes it, and a dead header must
+	// not pin the data. In-flight lookup results hold their own slice
+	// headers and are unaffected.
+	v.data = nil
+	v.tags = nil
 }
 
 func (s *Server) registerTags(v *version) {
 	for _, t := range v.tags {
-		if t.Wildcard {
-			addDep(s.wildDeps, t.Table, v)
+		w := invalidation.WildOf(t)
+		if t == w {
+			addDep(s.wildDeps, w, v)
 		} else {
-			k := t.String()
-			set := s.exact[k]
-			if set == nil {
-				set = make(map[*version]struct{})
-				s.exact[k] = set
-			}
-			set[v] = struct{}{}
+			addDep(s.exact, t, v)
 		}
-		addDep(s.tableDeps, t.Table, v)
+		addDep(s.tableDeps, w, v)
 	}
 }
 
 func (s *Server) unregisterTags(v *version) {
 	for _, t := range v.tags {
-		if t.Wildcard {
-			delDep(s.wildDeps, t.Table, v)
+		w := invalidation.WildOf(t)
+		if t == w {
+			delDep(s.wildDeps, w, v)
 		} else {
-			k := t.String()
-			if set := s.exact[k]; set != nil {
-				delete(set, v)
-				if len(set) == 0 {
-					delete(s.exact, k)
-				}
-			}
+			delDep(s.exact, t, v)
 		}
-		delDep(s.tableDeps, t.Table, v)
+		delDep(s.tableDeps, w, v)
 	}
 }
 
-// messageMatches reports whether any tag of the message matches any of the
-// entry's dependency tags, honoring wildcards in both directions.
-func messageMatches(m invalidation.Message, tags []invalidation.Tag) bool {
-	for _, mt := range m.Tags {
-		for _, vt := range tags {
-			if mt.Wildcard && mt.Table == vt.Table {
-				return true
-			}
-			if vt.Wildcard && vt.Table == mt.Table {
-				return true
-			}
-			if mt == vt {
-				return true
-			}
+// histFirstMatch returns the timestamp of the earliest retained history
+// message after genSnap whose tags affect an entry carrying tags, honoring
+// dual granularity in both directions (a key tag is hit by its exact tag
+// or its table's wildcard; a wildcard tag is hit by any tag of its table).
+// Infinity means no match.
+func (s *Server) histFirstMatch(tags []invalidation.TagID, genSnap interval.Timestamp) interval.Timestamp {
+	best := interval.Infinity
+	for _, vt := range tags {
+		w := invalidation.WildOf(vt)
+		if vt == w {
+			best = minTS(best, firstAfter(s.histTable[w], genSnap))
+			continue
 		}
+		best = minTS(best, firstAfter(s.histExact[vt], genSnap))
+		best = minTS(best, firstAfter(s.histWild[w], genSnap))
 	}
-	return false
+	return best
 }
 
-func addDep(m map[string]map[*version]struct{}, k string, v *version) {
+// firstAfter returns the first timestamp in the ascending posting list
+// strictly greater than ts, or Infinity.
+func firstAfter(posts []interval.Timestamp, ts interval.Timestamp) interval.Timestamp {
+	i := sort.Search(len(posts), func(i int) bool { return posts[i] > ts })
+	if i == len(posts) {
+		return interval.Infinity
+	}
+	return posts[i]
+}
+
+func minTS(a, b interval.Timestamp) interval.Timestamp {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// indexHistMessage posts a retained message's tags into the history index.
+func (s *Server) indexHistMessage(m invalidation.Message) {
+	for _, t := range m.Tags {
+		w := invalidation.WildOf(t)
+		if t == w {
+			s.histWild[w] = append(s.histWild[w], m.TS)
+		} else {
+			s.histExact[t] = append(s.histExact[t], m.TS)
+		}
+		// Dedup per message: several tags of one table post one entry.
+		if tp := s.histTable[w]; len(tp) == 0 || tp[len(tp)-1] != m.TS {
+			s.histTable[w] = append(s.histTable[w], m.TS)
+		}
+	}
+}
+
+// rebuildHistIndex reindexes the retained window after compaction.
+func (s *Server) rebuildHistIndex() {
+	clear(s.histExact)
+	clear(s.histWild)
+	clear(s.histTable)
+	for _, m := range s.hist {
+		s.indexHistMessage(m)
+	}
+}
+
+func addDep(m map[invalidation.TagID]map[*version]struct{}, k invalidation.TagID, v *version) {
 	set := m[k]
 	if set == nil {
 		set = make(map[*version]struct{})
@@ -438,7 +510,7 @@ func addDep(m map[string]map[*version]struct{}, k string, v *version) {
 	set[v] = struct{}{}
 }
 
-func delDep(m map[string]map[*version]struct{}, k string, v *version) {
+func delDep(m map[invalidation.TagID]map[*version]struct{}, k invalidation.TagID, v *version) {
 	if set := m[k]; set != nil {
 		delete(set, v)
 		if len(set) == 0 {
@@ -459,20 +531,24 @@ func (s *Server) ApplyInvalidation(m invalidation.Message) {
 		return
 	}
 	s.stats.Invalidations++
-	affected := make(map[*version]struct{})
+	// The scratch set dedupes versions reached through several of the
+	// message's tags; it is cleared after use so steady-state invalidation
+	// processing allocates nothing.
+	affected := s.affected
 	for _, t := range m.Tags {
-		if t.Wildcard {
-			for v := range s.tableDeps[t.Table] {
+		w := invalidation.WildOf(t)
+		if t == w {
+			for v := range s.tableDeps[w] {
 				affected[v] = struct{}{}
 			}
 			continue
 		}
-		for v := range s.exact[t.String()] {
+		for v := range s.exact[t] {
 			affected[v] = struct{}{}
 		}
 		// A cached value that depends on a scan of the table is affected by
 		// any change to the table (dual granularity).
-		for v := range s.wildDeps[t.Table] {
+		for v := range s.wildDeps[w] {
 			affected[v] = struct{}{}
 		}
 	}
@@ -481,18 +557,28 @@ func (s *Server) ApplyInvalidation(m invalidation.Message) {
 		v.still = false
 		v.hiWall = m.WallTime
 		s.unregisterTags(v)
+		// The staleness queue exists only for the sweep; without a
+		// MaxStaleness bound the sweep never runs and the queue would just
+		// pin evicted payloads forever.
+		if s.cfg.MaxStaleness > 0 {
+			s.staleQ = append(s.staleQ, v)
+		}
 		s.stats.Invalidated++
 	}
+	clear(affected)
 	s.lastInval = m.TS
 	s.lastInvalWall = m.WallTime
 
 	// Retain the message for late still-valid inserts. Compaction is
-	// deferred until the slice doubles so its cost amortizes to O(1).
+	// deferred until the slice doubles so its cost (including the history
+	// tag index rebuild) amortizes to O(1) per message.
 	s.hist = append(s.hist, m)
+	s.indexHistMessage(m)
 	if len(s.hist) > 2*s.cfg.HistoryLen {
 		drop := len(s.hist) - s.cfg.HistoryLen
 		s.histFloor = s.hist[drop-1].TS
 		s.hist = append(s.hist[:0:0], s.hist[drop:]...)
+		s.rebuildHistIndex()
 	}
 
 	// Periodic eager staleness sweep (§4.1).
@@ -502,18 +588,31 @@ func (s *Server) ApplyInvalidation(m invalidation.Message) {
 	}
 }
 
-// sweepStaleLocked drops versions invalidated longer than MaxStaleness ago.
+// sweepStaleLocked drops versions invalidated longer than MaxStaleness
+// ago. It pops the staleness queue's expired prefix instead of walking
+// every cached version; the queue is in message order, so wall times are
+// (near-)monotone — a rare out-of-order entry from a retroactive Put
+// truncation just waits for the queue front to pass the cutoff.
 func (s *Server) sweepStaleLocked() {
 	cutoff := s.clk.Now().Add(-s.cfg.MaxStaleness)
-	var victims []*version
-	for e := s.lruList.Back(); e != nil; e = e.Prev() {
-		v := e.Value.(*version)
-		if !v.still && !v.hiWall.IsZero() && v.hiWall.Before(cutoff) {
-			victims = append(victims, v)
+	i := 0
+	for ; i < len(s.staleQ); i++ {
+		v := s.staleQ[i]
+		if v.lru == nil || v.hiWall.IsZero() {
+			// Already evicted, or invalidated by a message with no wall
+			// time (the zero time is before every cutoff and must not mean
+			// "instantly stale").
+			continue
 		}
-	}
-	for _, v := range victims {
+		if !v.hiWall.Before(cutoff) {
+			break
+		}
 		s.evict(v, false)
+	}
+	if i > 0 {
+		n := copy(s.staleQ, s.staleQ[i:])
+		clear(s.staleQ[n:])
+		s.staleQ = s.staleQ[:n]
 	}
 }
 

@@ -92,21 +92,21 @@ func TestInvalidationByKeyTag(t *testing.T) {
 	s := New(Config{})
 	advanceTo(s, 10)
 	tag := invalidation.KeyTag("users", "id", "7")
-	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 5, []invalidation.Tag{tag})
+	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 5, ids([]invalidation.Tag{tag}))
 
 	// Unrelated tag leaves it valid (and advances the horizon).
-	s.ApplyInvalidation(invalidation.Message{TS: 20, Tags: []invalidation.Tag{invalidation.KeyTag("users", "id", "8")}})
+	s.ApplyInvalidation(invalidation.Message{TS: 20, Tags: ids([]invalidation.Tag{invalidation.KeyTag("users", "id", "8")})})
 	if r := s.Lookup("k", 5, 50, 5, 50); !r.Found || !r.Still {
 		t.Fatalf("unrelated invalidation truncated entry: %+v", r)
 	}
 	// Matching tag truncates at the message timestamp.
-	s.ApplyInvalidation(invalidation.Message{TS: 30, Tags: []invalidation.Tag{tag}})
+	s.ApplyInvalidation(invalidation.Message{TS: 30, Tags: ids([]invalidation.Tag{tag})})
 	r := s.Lookup("k", 5, 50, 5, 50)
 	if !r.Found || r.Still || r.Validity != iv(5, 30) {
 		t.Fatalf("r = %+v", r)
 	}
 	// A later insert of the recomputed value coexists as a second version.
-	s.Put("k", []byte("v2"), iv(30, interval.Infinity), true, 30, []invalidation.Tag{tag})
+	s.Put("k", []byte("v2"), iv(30, interval.Infinity), true, 30, ids([]invalidation.Tag{tag}))
 	r = s.Lookup("k", 30, 50, 5, 50)
 	if !r.Found || string(r.Data) != "v2" {
 		t.Fatalf("r = %+v", r)
@@ -118,19 +118,19 @@ func TestWildcardInvalidationBothDirections(t *testing.T) {
 	advanceTo(s, 10)
 	// Entry tagged with a key tag is hit by a table wildcard invalidation.
 	s.Put("a", []byte("a"), iv(5, interval.Infinity), true, 10,
-		[]invalidation.Tag{invalidation.KeyTag("items", "id", "1")})
+		ids([]invalidation.Tag{invalidation.KeyTag("items", "id", "1")}))
 	// Entry tagged with a wildcard (it depends on a scan) is hit by any
 	// key invalidation on the table.
 	s.Put("b", []byte("b"), iv(5, interval.Infinity), true, 10,
-		[]invalidation.Tag{invalidation.WildcardTag("items")})
+		ids([]invalidation.Tag{invalidation.WildcardTag("items")}))
 
-	s.ApplyInvalidation(invalidation.Message{TS: 20, Tags: []invalidation.Tag{invalidation.WildcardTag("items")}})
+	s.ApplyInvalidation(invalidation.Message{TS: 20, Tags: ids([]invalidation.Tag{invalidation.WildcardTag("items")})})
 	if r := s.Lookup("a", 5, 50, 5, 50); r.Still || r.Validity.Hi != 20 {
 		t.Fatalf("wildcard msg must invalidate key-tagged entry: %+v", r)
 	}
 	s.Put("c", []byte("c"), iv(20, interval.Infinity), true, 20,
-		[]invalidation.Tag{invalidation.WildcardTag("items")})
-	s.ApplyInvalidation(invalidation.Message{TS: 30, Tags: []invalidation.Tag{invalidation.KeyTag("items", "id", "9")}})
+		ids([]invalidation.Tag{invalidation.WildcardTag("items")}))
+	s.ApplyInvalidation(invalidation.Message{TS: 30, Tags: ids([]invalidation.Tag{invalidation.KeyTag("items", "id", "9")})})
 	if r := s.Lookup("c", 20, 50, 5, 50); r.Still || r.Validity.Hi != 30 {
 		t.Fatalf("key msg must invalidate scan-tagged entry: %+v", r)
 	}
@@ -143,13 +143,13 @@ func TestAtomicMultiTagInvalidation(t *testing.T) {
 	s := New(Config{})
 	advanceTo(s, 10)
 	s.Put("x", []byte("x"), iv(5, interval.Infinity), true, 10,
-		[]invalidation.Tag{invalidation.KeyTag("t", "id", "1")})
+		ids([]invalidation.Tag{invalidation.KeyTag("t", "id", "1")}))
 	s.Put("y", []byte("y"), iv(5, interval.Infinity), true, 10,
-		[]invalidation.Tag{invalidation.KeyTag("t", "id", "2")})
+		ids([]invalidation.Tag{invalidation.KeyTag("t", "id", "2")}))
 	// One transaction touched both; both must be truncated at the same ts.
-	s.ApplyInvalidation(invalidation.Message{TS: 42, Tags: []invalidation.Tag{
+	s.ApplyInvalidation(invalidation.Message{TS: 42, Tags: ids([]invalidation.Tag{
 		invalidation.KeyTag("t", "id", "1"), invalidation.KeyTag("t", "id", "2"),
-	}})
+	})})
 	rx := s.Lookup("x", 5, 50, 5, 50)
 	ry := s.Lookup("y", 5, 50, 5, 50)
 	if rx.Validity.Hi != 42 || ry.Validity.Hi != 42 {
@@ -221,8 +221,8 @@ func TestEagerStalenessSweep(t *testing.T) {
 	base := clk.Now()
 	s.ApplyInvalidation(invalidation.Message{TS: 5, WallTime: base})
 	tag := invalidation.KeyTag("t", "id", "1")
-	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 5, []invalidation.Tag{tag})
-	s.ApplyInvalidation(invalidation.Message{TS: 10, WallTime: base.Add(time.Second), Tags: []invalidation.Tag{tag}})
+	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 5, ids([]invalidation.Tag{tag}))
+	s.ApplyInvalidation(invalidation.Message{TS: 10, WallTime: base.Add(time.Second), Tags: ids([]invalidation.Tag{tag})})
 
 	clk.Advance(30 * time.Second)
 	s.SweepStale()
@@ -270,7 +270,7 @@ func TestServeOverTCP(t *testing.T) {
 	if err := c.PushInvalidation(invalidation.Message{TS: 10, WallTime: time.Now()}); err != nil {
 		t.Fatal(err)
 	}
-	tags := []invalidation.Tag{invalidation.KeyTag("users", "id", "1"), invalidation.WildcardTag("extra")}
+	tags := ids([]invalidation.Tag{invalidation.KeyTag("users", "id", "1"), invalidation.WildcardTag("extra")})
 	c.Put("k", []byte("hello"), iv(5, interval.Infinity), true, 10, tags)
 
 	deadline := time.Now().Add(2 * time.Second)
@@ -287,7 +287,7 @@ func TestServeOverTCP(t *testing.T) {
 	}
 
 	if err := c.PushInvalidation(invalidation.Message{TS: 20, WallTime: time.Now(),
-		Tags: []invalidation.Tag{invalidation.KeyTag("users", "id", "1")}}); err != nil {
+		Tags: ids([]invalidation.Tag{invalidation.KeyTag("users", "id", "1")})}); err != nil {
 		t.Fatal(err)
 	}
 	for time.Now().Before(deadline) {
@@ -340,11 +340,11 @@ func TestLateInsertAfterMatchingInvalidation(t *testing.T) {
 	tag := invalidation.KeyTag("accounts", "id", "1")
 
 	// The invalidation (a later write to the account) is processed first...
-	s.ApplyInvalidation(invalidation.Message{TS: 15, Tags: []invalidation.Tag{tag}})
+	s.ApplyInvalidation(invalidation.Message{TS: 15, Tags: ids([]invalidation.Tag{tag})})
 	advanceTo(s, 25)
 	// ...then the slow application server's insert arrives, computed at
 	// snapshot 10 with validity starting at 5.
-	s.Put("bal", []byte("old"), iv(5, interval.Infinity), true, 10, []invalidation.Tag{tag})
+	s.Put("bal", []byte("old"), iv(5, interval.Infinity), true, 10, ids([]invalidation.Tag{tag}))
 
 	r := s.Lookup("bal", 5, 50, 5, 50)
 	if !r.Found {
@@ -368,7 +368,7 @@ func TestSetHorizonBoundsUncheckableInserts(t *testing.T) {
 	s := New(Config{})
 	s.SetHorizon(20, time.Unix(20, 0)) // operator bootstrap of a joining node
 	tag := invalidation.KeyTag("t", "id", "1")
-	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 5, []invalidation.Tag{tag})
+	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 5, ids([]invalidation.Tag{tag}))
 	r := s.Lookup("k", 5, 50, 5, 50)
 	if !r.Found || r.Still || r.Validity != iv(5, 6) {
 		t.Fatalf("pre-join insert must close at genSnap+1: %+v", r)
@@ -379,7 +379,7 @@ func TestSetHorizonBoundsUncheckableInserts(t *testing.T) {
 	}
 	// Inserts generated at or after the seeded horizon stay still-valid:
 	// the node will see every later invalidation on its stream.
-	s.Put("k2", []byte("v"), iv(20, interval.Infinity), true, 20, []invalidation.Tag{tag})
+	s.Put("k2", []byte("v"), iv(20, interval.Infinity), true, 20, ids([]invalidation.Tag{tag}))
 	if r := s.Lookup("k2", 20, 50, 5, 50); !r.Found || !r.Still {
 		t.Fatalf("post-join insert should stay still-valid: %+v", r)
 	}
@@ -396,7 +396,7 @@ func TestLateInsertBeyondHistory(t *testing.T) {
 	}
 	// History now covers only recent messages; genSnap 10 predates it.
 	tag := invalidation.KeyTag("t", "id", "1")
-	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 10, []invalidation.Tag{tag})
+	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 10, ids([]invalidation.Tag{tag}))
 	r := s.Lookup("k", 5, 50, 5, 50)
 	if !r.Found || r.Still || r.Validity != iv(5, 11) {
 		t.Fatalf("uncheckable insert must close at genSnap+1: %+v", r)

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
+	"strings"
 
 	"txcache/internal/cacheserver"
 	"txcache/internal/interval"
@@ -21,7 +20,15 @@ type Cacheable[T any] func(tx *Tx, args ...sql.Value) (T, error)
 // with the transaction's pin set; on a miss it runs fn, accumulating the
 // validity intervals and invalidation tags of every query fn makes, and
 // installs the result. name must uniquely identify the function across the
-// application (it is the cache-key prefix). T must be gob-encodable.
+// application (it is the cache-key prefix).
+//
+// Results are serialized with the fast binary codec (see codec.go) when T
+// is a scalar, a flat struct of scalar fields, a slice of either, or row
+// data ([]sql.Value / [][]sql.Value / db.Result); other types fall back to
+// gob, so T must then be gob-encodable. Encode failures skip the install
+// and undecodable hits recompute — both silently for the caller, but
+// counted in ClientStats.EncodeErrors / DecodeErrors so a misconfigured
+// type shows up in monitoring instead of as a mutely cold cache.
 func MakeCacheable[T any](c *Client, name string, fn Cacheable[T]) Cacheable[T] {
 	return func(tx *Tx, args ...sql.Value) (T, error) {
 		var zero T
@@ -39,11 +46,12 @@ func MakeCacheable[T any](c *Client, name string, fn Cacheable[T]) Cacheable[T] 
 
 		if data, ok := tx.lookup(key); ok {
 			var out T
-			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err == nil {
+			if err := decodeCacheable(data, &out); err == nil {
 				return out, nil
 			}
 			// Undecodable cached bytes (e.g. the type changed across a
 			// deploy): fall through and recompute.
+			tx.c.stats.DecodeErrors.Add(1)
 		}
 
 		// Miss: execute the implementation under a fresh frame.
@@ -57,9 +65,10 @@ func MakeCacheable[T any](c *Client, name string, fn Cacheable[T]) Cacheable[T] 
 
 		// Install the result tagged with the accumulated validity interval
 		// and dependency set.
-		var buf bytes.Buffer
-		if encErr := gob.NewEncoder(&buf).Encode(&out); encErr == nil {
-			tx.put(key, buf.Bytes(), f)
+		if data, encErr := encodeCacheable(&out); encErr == nil {
+			tx.put(key, data, f)
+		} else {
+			tx.c.stats.EncodeErrors.Add(1)
 		}
 		return out, nil
 	}
@@ -143,6 +152,15 @@ func (tx *Tx) countMiss(kind cacheserver.MissKind) {
 // passes, observes it (narrowing the pin set) and returns its data.
 func (tx *Tx) accept(r cacheserver.LookupResult) ([]byte, bool) {
 	if !tx.c.noCon {
+		// Once a database snapshot is reified, every accepted value must be
+		// valid at it (paper §6.2: the transaction now runs at a specific
+		// timestamp). Live lookups already send [dbSnap, dbSnap] bounds;
+		// this guards results staged by Prefetch under the wider pre-
+		// selection bounds.
+		if tx.dbSnap != 0 && !r.Validity.Contains(tx.dbSnap) {
+			tx.c.stats.MissDefensive.Add(1)
+			return nil, false
+		}
 		// Defensive invariant-2 check: the returned interval must leave at
 		// least one serialization point. The paper's proof guarantees this
 		// when the generating snapshot is still pinned and fresh; under
@@ -226,10 +244,10 @@ func (tx *Tx) put(key string, data []byte, f *frame) {
 		return // cluster emptied while we computed
 	}
 	still := f.validity.Unbounded()
-	var tags []invalidation.Tag
-	if still {
-		tags = make([]invalidation.Tag, 0, len(f.tags))
-		for _, t := range f.tags {
+	var tags []invalidation.TagID
+	if still && len(f.tags) > 0 {
+		tags = make([]invalidation.TagID, 0, len(f.tags))
+		for t := range f.tags {
 			tags = append(tags, t)
 		}
 	}
@@ -240,23 +258,25 @@ func (tx *Tx) put(key string, data []byte, f *frame) {
 // String renders a human-readable description of the transaction state for
 // debugging ("pins [3 7 9] ★" style).
 func (tx *Tx) String() string {
+	var b strings.Builder
 	mode := "RO"
 	if tx.rw {
 		mode = "RW"
 	}
-	s := fmt.Sprintf("Tx{%s pins=[", mode)
+	fmt.Fprintf(&b, "Tx{%s pins=[", mode)
 	for i, p := range tx.pinSet {
 		if i > 0 {
-			s += " "
+			b.WriteByte(' ')
 		}
-		s += p.TS.String()
+		b.WriteString(p.TS.String())
 	}
-	s += "]"
+	b.WriteByte(']')
 	if tx.star {
-		s += " ★"
+		b.WriteString(" ★")
 	}
 	if tx.dbSnap != 0 {
-		s += fmt.Sprintf(" @%s", tx.dbSnap)
+		fmt.Fprintf(&b, " @%s", tx.dbSnap)
 	}
-	return s + "}"
+	b.WriteByte('}')
+	return b.String()
 }

@@ -133,6 +133,15 @@ type ClientStats struct {
 	CachePuts  atomic.Uint64
 	PinsPlaced atomic.Uint64
 
+	// EncodeErrors counts cacheable results that could not be serialized
+	// (the result was returned to the caller but never cached);
+	// DecodeErrors counts cache hits whose bytes could not be decoded into
+	// the caller's type (recomputed as a miss). Both were previously
+	// silent, making a misconfigured type look like a mysteriously cold
+	// cache.
+	EncodeErrors atomic.Uint64
+	DecodeErrors atomic.Uint64
+
 	// Prefetches counts batched multi-key lookup round trips issued by
 	// Tx.Prefetch; PrefetchHits counts prefetched results later consumed as
 	// cache hits without a second round trip.

@@ -51,14 +51,29 @@ type Tx struct {
 }
 
 // frame accumulates the validity interval and invalidation tags of one
-// in-flight cacheable function (paper §6.1, §6.3).
+// in-flight cacheable function (paper §6.1, §6.3). Tags are interned IDs,
+// so merging a dependency is an integer map insert; the map itself is
+// allocated on the first tag.
 type frame struct {
 	validity interval.Interval
-	tags     map[string]invalidation.Tag
+	tags     map[invalidation.TagID]struct{}
 }
 
 func newFrame() *frame {
-	return &frame{validity: interval.All, tags: make(map[string]invalidation.Tag)}
+	return &frame{validity: interval.All}
+}
+
+// addTags merges interned tags into the frame's dependency set.
+func (f *frame) addTags(tags []invalidation.TagID) {
+	if len(tags) == 0 {
+		return
+	}
+	if f.tags == nil {
+		f.tags = make(map[invalidation.TagID]struct{}, 8)
+	}
+	for _, t := range tags {
+		f.tags[t] = struct{}{}
+	}
 }
 
 // BeginRO starts a read-only transaction that sees a consistent snapshot at
@@ -266,15 +281,13 @@ func (tx *Tx) insertPin(p pincushion.Pin) {
 // with a value it just saw (invariant 1 of §6.2.1), removes ★ once any data
 // has been observed, and intersects the validity interval (and merges the
 // tags) into every open cacheable-function frame (§6.3).
-func (tx *Tx) observe(iv interval.Interval, tags []invalidation.Tag) {
+func (tx *Tx) observe(iv interval.Interval, tags []invalidation.TagID) {
 	if tx.c.noCon {
 		// §8.3 comparator: no consistency maintained; frames still
 		// accumulate validity so entries carry honest intervals.
 		for _, f := range tx.frames {
 			f.validity = f.validity.Intersect(iv)
-			for _, t := range tags {
-				f.tags[t.String()] = t
-			}
+			f.addTags(tags)
 		}
 		return
 	}
@@ -288,18 +301,28 @@ func (tx *Tx) observe(iv interval.Interval, tags []invalidation.Tag) {
 	tx.star = false
 	for _, f := range tx.frames {
 		f.validity = f.validity.Intersect(iv)
-		for _, t := range tags {
-			f.tags[t.String()] = t
-		}
+		f.addTags(tags)
 	}
 }
 
 // bounds returns the inclusive lookup bounds of the pin set (paper §6.2:
 // "the bounds of the pin set, excluding ★"), and whether any exist. In
 // no-consistency mode the bounds are the whole freshness window.
+//
+// Once the transaction has been forced to select a database snapshot
+// (ensureDBTx set dbSnap), the bounds collapse to exactly that timestamp:
+// every database read is anchored at dbSnap, so accepting a cached value
+// not valid at dbSnap would let one transaction mix two snapshots. (This
+// closed the long-standing torn-sum race: a cache hit valid only at an
+// older pin could evict dbSnap from the pin set, after which further
+// database queries — still executing at dbSnap — silently disagreed with
+// the accepted hit.)
 func (tx *Tx) bounds() (lo, hi interval.Timestamp, ok bool) {
 	if tx.c.noCon {
 		return tx.origLo, interval.Infinity, tx.origLo != interval.Infinity
+	}
+	if tx.dbSnap != 0 {
+		return tx.dbSnap, tx.dbSnap, true
 	}
 	if len(tx.pinSet) == 0 {
 		return 0, 0, false

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"txcache/internal/btree"
+	"txcache/internal/invalidation"
 	"txcache/internal/mvcc"
 	"txcache/internal/sql"
 )
@@ -25,6 +26,10 @@ type Table struct {
 	store   *mvcc.Store
 	indexes map[string]*Index // by column name
 	primary string            // primary key column, "" if none
+
+	// wildTag is the table's interned wildcard invalidation tag, resolved
+	// once at creation so scans never re-intern it.
+	wildTag invalidation.TagID
 
 	// mu orders access to the table's data (version store, index trees,
 	// rowCount): statements reading the table hold it shared; commits whose
@@ -57,6 +62,7 @@ func newTable(ct *sql.CreateTable) (*Table, error) {
 		colPos:  make(map[string]int, len(ct.Cols)),
 		store:   mvcc.NewStore(),
 		indexes: make(map[string]*Index),
+		wildTag: invalidation.InternWildcard(ct.Name),
 	}
 	for i, c := range ct.Cols {
 		if _, dup := t.colPos[c.Name]; dup {

@@ -411,7 +411,7 @@ func TestCreateIndexDuringTraffic(t *testing.T) {
 		t.Fatalf("indexed lookup after concurrent backfill = %v", r.Rows[0][0])
 	}
 	// The lookup must have used the new index: key tag, not wildcard.
-	if len(r.Tags) != 1 || r.Tags[0].Wildcard {
+	if len(r.Tags) != 1 || invalidation.IsWildcard(r.Tags[0]) {
 		t.Fatalf("expected key tag from new index, got %v", r.Tags)
 	}
 }

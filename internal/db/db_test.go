@@ -76,7 +76,7 @@ func TestBasicInsertSelect(t *testing.T) {
 	if !r.StillValid() {
 		t.Fatalf("fresh query should be still-valid: %v", r.Validity)
 	}
-	if len(r.Tags) != 1 || r.Tags[0].String() != "users:id=1" {
+	if len(r.Tags) != 1 || tagStr(r.Tags[0]) != "users:id=1" {
 		t.Fatalf("tags = %v", r.Tags)
 	}
 }
@@ -125,7 +125,7 @@ func TestEmptyResultValidityAndPhantoms(t *testing.T) {
 	}
 	found := false
 	for _, tag := range r.Tags {
-		if tag.String() == "users:name=bob" {
+		if tagStr(tag) == "users:name=bob" {
 			found = true
 		}
 	}
@@ -176,7 +176,7 @@ func TestJoinAndTags(t *testing.T) {
 	want := map[string]bool{"items:category=2": true, "users:id=1": true, "users:id=2": true}
 	got := map[string]bool{}
 	for _, tag := range r.Tags {
-		got[tag.String()] = true
+		got[tagStr(tag)] = true
 	}
 	for k := range want {
 		if !got[k] {
@@ -190,7 +190,7 @@ func TestSeqScanWildcardTag(t *testing.T) {
 	mustExec(t, e, "INSERT INTO users (id, name, rating, region) VALUES (1, 'alice', 10, 3)")
 	r := queryAt(t, e, 0, "SELECT id FROM users WHERE rating > 5")
 	// rating is unindexed: sequential scan, wildcard tag.
-	if len(r.Tags) != 1 || r.Tags[0].String() != "users:?" {
+	if len(r.Tags) != 1 || tagStr(r.Tags[0]) != "users:?" {
 		t.Fatalf("tags = %v", r.Tags)
 	}
 }
@@ -335,7 +335,7 @@ func TestInvalidationMessages(t *testing.T) {
 	}
 	got := map[string]bool{}
 	for _, tag := range m.Tags {
-		got[tag.String()] = true
+		got[tagStr(tag)] = true
 	}
 	if !got["users:id=1"] || !got["users:name=alice"] {
 		t.Fatalf("insert tags = %v", m.Tags)
@@ -345,7 +345,7 @@ func TestInvalidationMessages(t *testing.T) {
 	m = <-sub.C
 	got = map[string]bool{}
 	for _, tag := range m.Tags {
-		got[tag.String()] = true
+		got[tagStr(tag)] = true
 	}
 	// Update must tag both old and new index keys.
 	if !got["users:name=alice"] || !got["users:name=bob"] || !got["users:id=1"] {
@@ -372,7 +372,7 @@ func TestWildcardAggregation(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := <-sub.C
-	if len(m.Tags) != 1 || !m.Tags[0].Wildcard || m.Tags[0].Table != "t" {
+	if len(m.Tags) != 1 || invalidation.TagOf(m.Tags[0]).String() != "t:?" {
 		t.Fatalf("bulk commit should aggregate to wildcard, got %v", m.Tags)
 	}
 }
@@ -436,7 +436,7 @@ func TestInClause(t *testing.T) {
 	// One key tag per probed value.
 	got := map[string]bool{}
 	for _, tag := range r.Tags {
-		got[tag.String()] = true
+		got[tagStr(tag)] = true
 	}
 	for _, want := range []string{"items:id=1", "items:id=3", "items:id=99"} {
 		if !got[want] {
@@ -570,7 +570,7 @@ func TestTagSoundness(t *testing.T) {
 		{"SELECT price FROM items WHERE id = 2", nil},
 	}
 	type snap struct {
-		tags map[string]invalidation.Tag
+		tags []invalidation.TagID
 		rows string
 	}
 	takeSnap := func() []snap {
@@ -580,24 +580,14 @@ func TestTagSoundness(t *testing.T) {
 			if !r.StillValid() {
 				t.Fatalf("expected still-valid result for %q", q.src)
 			}
-			m := map[string]invalidation.Tag{}
-			for _, tag := range r.Tags {
-				m[tag.String()] = tag
-			}
-			out = append(out, snap{m, fmt.Sprintf("%v", r.Rows)})
+			out = append(out, snap{r.Tags, fmt.Sprintf("%v", r.Rows)})
 		}
 		return out
 	}
-	matches := func(tags map[string]invalidation.Tag, m invalidation.Message) bool {
+	matches := func(tags []invalidation.TagID, m invalidation.Message) bool {
 		for _, mt := range m.Tags {
 			for _, qt := range tags {
-				if mt.Wildcard && mt.Table == qt.Table {
-					return true
-				}
-				if qt.Wildcard && qt.Table == mt.Table {
-					return true
-				}
-				if mt == qt {
+				if invalidation.Affects(mt, qt) {
 					return true
 				}
 			}
@@ -689,3 +679,6 @@ func TestEagerVisibilityAblation(t *testing.T) {
 		t.Fatalf("predicate-first result should be still-valid, got %v", rPred.Validity)
 	}
 }
+
+// tagStr renders an interned tag for assertions.
+func tagStr(id invalidation.TagID) string { return invalidation.TagOf(id).String() }

@@ -189,7 +189,8 @@ func encodeResult(r *db.Result) []byte {
 	}
 	e.U64(uint64(r.Validity.Lo)).U64(uint64(r.Validity.Hi))
 	e.U32(uint32(len(r.Tags)))
-	for _, t := range r.Tags {
+	for _, id := range r.Tags {
+		t := invalidation.TagOf(id)
 		e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
 	}
 	return e.Bytes()
@@ -406,8 +407,9 @@ func decodeResult(resp []byte) (*db.Result, error) {
 	r.Validity.Lo = interval.Timestamp(d.U64())
 	r.Validity.Hi = interval.Timestamp(d.U64())
 	nt := d.U32()
-	for i := uint32(0); i < nt && d.Err() == nil; i++ {
-		r.Tags = append(r.Tags, invalidation.Tag{Table: d.Str(), Key: d.Str(), Wildcard: d.Bool()})
+	if d.Err() != nil {
+		return r, d.Err()
 	}
+	r.Tags, _ = invalidation.DecodeTags(d, nt)
 	return r, d.Err()
 }

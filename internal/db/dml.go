@@ -42,6 +42,9 @@ func (tx *Tx) runInsert(ins *sql.Insert, t *Table, args []sql.Value) (int, error
 		if err := t.checkRow(row); err != nil {
 			return 0, err
 		}
+		if tx.inserted == nil {
+			tx.inserted = make(map[string][]*insertedRow)
+		}
 		tx.inserted[t.name] = append(tx.inserted[t.name], &insertedRow{
 			tempID: syntheticBit | uint64(len(tx.inserted[t.name])+1),
 			data:   row,
@@ -56,7 +59,8 @@ func (tx *Tx) runInsert(ins *sql.Insert, t *Table, args []sql.Value) (int, error
 // table lock shared.
 func (tx *Tx) runUpdate(u *sql.Update, t *Table, args []sql.Value) (int, error) {
 	x := tx.newExecCtx(args)
-	local, rest, err := x.bindLocal(t, u.Table, u.Where)
+	local, rest, err := x.bindLocal(x.sc.condBuf[:0], t, u.Table, u.Where)
+	x.sc.condBuf = local
 	if err != nil {
 		return 0, err
 	}
@@ -93,7 +97,8 @@ func (tx *Tx) runUpdate(u *sql.Update, t *Table, args []sql.Value) (int, error) 
 	}
 
 	count := 0
-	for _, sr := range x.scanTable(t, local) {
+	x.sc.rowBuf = x.scanTableInto(x.sc.rowBuf[:0], t, local)
+	for _, sr := range x.sc.rowBuf {
 		newData := make([]sql.Value, len(sr.data))
 		copy(newData, sr.data)
 		for _, a := range assigns {
@@ -126,7 +131,8 @@ func (tx *Tx) runUpdate(u *sql.Update, t *Table, args []sql.Value) (int, error) 
 // table lock shared.
 func (tx *Tx) runDelete(d *sql.Delete, t *Table, args []sql.Value) (int, error) {
 	x := tx.newExecCtx(args)
-	local, rest, err := x.bindLocal(t, d.Table, d.Where)
+	local, rest, err := x.bindLocal(x.sc.condBuf[:0], t, d.Table, d.Where)
+	x.sc.condBuf = local
 	if err != nil {
 		return 0, err
 	}
@@ -134,7 +140,8 @@ func (tx *Tx) runDelete(d *sql.Delete, t *Table, args []sql.Value) (int, error) 
 		return 0, fmt.Errorf("db: DELETE WHERE must reference only %s", d.Table)
 	}
 	count := 0
-	for _, sr := range x.scanTable(t, local) {
+	x.sc.rowBuf = x.scanTableInto(x.sc.rowBuf[:0], t, local)
+	for _, sr := range x.sc.rowBuf {
 		if sr.id&syntheticBit != 0 {
 			for _, ins := range tx.inserted[t.name] {
 				if ins.tempID == sr.id {
@@ -151,6 +158,9 @@ func (tx *Tx) runDelete(d *sql.Delete, t *Table, args []sql.Value) (int, error) 
 }
 
 func (tx *Tx) write(table string, id uint64, w *rowWrite) {
+	if tx.writes == nil {
+		tx.writes = make(map[string]map[uint64]*rowWrite)
+	}
 	m := tx.writes[table]
 	if m == nil {
 		m = make(map[uint64]*rowWrite)

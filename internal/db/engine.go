@@ -79,6 +79,12 @@ type Engine struct {
 	// order (the pipelined commit path).
 	seq commitSequencer
 
+	// planCache memoizes projection plans per parsed SELECT (*sql.Select →
+	// *selPlan). Keyed per engine: statement ASTs are shared process-wide
+	// by the parse cache, but column positions depend on this engine's
+	// schema.
+	planCache sync.Map
+
 	lastCommit atomic.Uint64 // interval.Timestamp of the newest published commit
 
 	// pinMu guards pins and serializes pin acquisition against vacuum
@@ -268,12 +274,13 @@ func (e *Engine) Begin(readOnly bool, snap interval.Timestamp) (*Tx, error) {
 	// from under it even if the pincushion unpins concurrently.
 	e.pins[snap]++
 	e.pinMu.Unlock()
+	// Write-set maps are allocated lazily on first write; the execution
+	// scratch comes from the engine-wide pool (returned at Commit/Abort).
 	return &Tx{
-		e:        e,
-		ro:       readOnly,
-		snap:     snap,
-		writes:   make(map[string]map[uint64]*rowWrite),
-		inserted: make(map[string][]*insertedRow),
+		e:    e,
+		ro:   readOnly,
+		snap: snap,
+		sc:   getScratch(),
 	}, nil
 }
 

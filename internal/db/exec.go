@@ -6,32 +6,41 @@ import (
 	"strings"
 
 	"txcache/internal/interval"
-	"txcache/internal/invalidation"
 	"txcache/internal/mvcc"
 	"txcache/internal/sql"
 )
 
 // execCtx carries per-statement state: parameters plus, for tracked
 // read-only queries, the accumulating result-tuple validity, invalidity
-// mask, and tag set (paper §5.2–5.3).
+// mask, and tag set (paper §5.2–5.3). It lives inside the transaction's
+// pooled scratch and is reset in place per statement.
 type execCtx struct {
 	tx    *Tx
+	sc    *txScratch
 	args  []sql.Value
 	track bool
 
 	resultIV interval.Interval
 	mask     interval.Mask
-	tags     *tagSet
+	tags     tagSet
+
+	// Scan emission state (set by scanTableInto for the duration of one
+	// table scan, so per-row emission needs no closure allocation).
+	emitTable *Table
+	emitConds []localCond
+	emitDst   []scanRow
 }
 
 func (tx *Tx) newExecCtx(args []sql.Value) *execCtx {
-	x := &execCtx{
-		tx: tx, args: args,
-		track:    tx.ro && tx.e.track,
-		resultIV: interval.All,
-	}
+	x := &tx.sc.exec
+	x.tx = tx
+	x.sc = tx.sc
+	x.args = args
+	x.track = tx.ro && tx.e.track
+	x.resultIV = interval.All
+	x.mask.Reset()
 	if x.track {
-		x.tags = newTagSet(tx.e.wcLim)
+		x.tags.reset(tx.e.wcLim)
 	}
 	return x
 }
@@ -49,12 +58,6 @@ func (x *execCtx) observeVisible(iv interval.Interval) {
 func (x *execCtx) observeInvisible(iv interval.Interval) {
 	if x.track {
 		x.mask.Add(iv)
-	}
-}
-
-func (x *execCtx) addTag(t invalidation.Tag) {
-	if x.track {
-		x.tags.add(t)
 	}
 }
 
@@ -151,8 +154,11 @@ func evalLocal(conds []localCond, row []sql.Value) bool {
 }
 
 // bindLocal converts sql.Conds that reference only table t (under alias) to
-// localConds. Conds referencing other bindings are returned in rest.
-func (x *execCtx) bindLocal(t *Table, alias string, conds []sql.Cond) (local []localCond, rest []sql.Cond, err error) {
+// localConds, appending to dst (a reusable scratch slice for the common
+// single-table statement). Conds referencing other bindings are returned in
+// rest.
+func (x *execCtx) bindLocal(dst []localCond, t *Table, alias string, conds []sql.Cond) (local []localCond, rest []sql.Cond, err error) {
+	local = dst
 	for _, c := range conds {
 		if c.Left.Kind != sql.ECol {
 			return nil, nil, fmt.Errorf("db: WHERE condition must start with a column reference")
@@ -213,18 +219,22 @@ type scanRow struct {
 	data []sql.Value
 }
 
-// scanTable returns the rows of t matching conds, visible at the
-// transaction's snapshot with the transaction's own writes overlaid. For
-// tracked queries it also accumulates validity intervals, the invalidity
-// mask, and access-path invalidation tags.
+// scanTableInto appends the rows of t matching conds to dst, visible at
+// the transaction's snapshot with the transaction's own writes overlaid,
+// and returns the extended slice. Callers pass a reusable scratch buffer;
+// the row payloads alias the version store, never the buffer, so buffers
+// can be recycled as soon as their scanRow headers have been consumed. For
+// tracked queries the scan also accumulates validity intervals, the
+// invalidity mask, and access-path invalidation tags.
 //
 // Per paper §5.2, the predicate is evaluated before the visibility check so
 // that predicate-failing dead tuples do not pollute the invalidity mask.
-func (x *execCtx) scanTable(t *Table, conds []localCond) []scanRow {
+func (x *execCtx) scanTableInto(dst []scanRow, t *Table, conds []localCond) []scanRow {
 	// Plan: pick an index-equality access if possible, then an index range,
 	// otherwise a sequential scan.
 	var eqIdx *Index
 	var eqVals []sql.Value
+	var eqOne [1]sql.Value
 	var rangeIdx *Index
 	var rangeLo, rangeHi []byte
 	for _, c := range conds {
@@ -237,7 +247,8 @@ func (x *execCtx) scanTable(t *Table, conds []localCond) []scanRow {
 			continue
 		}
 		if c.op == sql.OpEq && c.in == nil && c.val != nil {
-			eqIdx, eqVals = idx, []sql.Value{c.val}
+			eqOne[0] = c.val
+			eqIdx, eqVals = idx, eqOne[:]
 			break // equality is always the best choice
 		}
 		if len(c.in) > 0 {
@@ -255,81 +266,50 @@ func (x *execCtx) scanTable(t *Table, conds []localCond) []scanRow {
 		}
 	}
 
-	var out []scanRow
-	emit := func(id uint64, chain []mvcc.Version) {
-		x.touchRow(t, id)
-		if w, ok := x.tx.writes[t.name][id]; ok {
-			// Overlay: this transaction already rewrote the row.
-			if w.op == opUpdate && evalLocal(conds, w.data) {
-				out = append(out, scanRow{id, w.data})
-			}
-			return
-		}
-		for i := range chain {
-			v := &chain[i]
-			if x.tx.e.eagerVis {
-				// Stock ordering (ablation): visibility first. Every
-				// invisible tuple scanned widens the invalidity mask.
-				if !v.VisibleAt(x.tx.snap) {
-					x.observeInvisible(v.Interval())
-					continue
-				}
-				if evalLocal(conds, v.Data.([]sql.Value)) {
-					out = append(out, scanRow{id, v.Data.([]sql.Value)})
-					x.observeVisible(v.Interval())
-				}
-				continue
-			}
-			if !evalLocal(conds, v.Data.([]sql.Value)) {
-				continue // predicate first (§5.2)
-			}
-			if v.VisibleAt(x.tx.snap) {
-				out = append(out, scanRow{id, v.Data.([]sql.Value)})
-				x.observeVisible(v.Interval())
-			} else {
-				x.observeInvisible(v.Interval())
-			}
-		}
-	}
+	x.emitTable, x.emitConds, x.emitDst = t, conds, dst
 
 	switch {
 	case eqIdx != nil:
-		seen := map[uint64]bool{}
+		x.sc.seen.reset()
 		for _, v := range eqVals {
 			if v == nil {
 				continue
 			}
-			x.addTag(invalidation.KeyTag(t.name, eqIdx.column, sql.FormatValue(v)))
-			ids := eqIdx.tree.Get(sql.EncodeKey(nil, v))
+			if x.track {
+				x.tags.addKey(t.name, eqIdx.column, v)
+			}
+			x.sc.keyBuf = sql.EncodeKey(x.sc.keyBuf[:0], v)
+			ids := eqIdx.tree.Get(x.sc.keyBuf)
 			for _, id := range ids {
-				if seen[id] {
-					continue
+				if x.sc.seen.insert(id) {
+					x.withChain(t, id)
 				}
-				seen[id] = true
-				x.withChain(t, id, emit)
 			}
 		}
 	case rangeIdx != nil:
 		// Index range scans receive a wildcard tag: a new row anywhere in
 		// the range (indeed, anywhere in the table) may change the result.
-		x.addTag(invalidation.WildcardTag(t.name))
-		var ids []uint64
+		if x.track {
+			x.tags.add(t.wildTag)
+		}
+		ids := x.sc.idBuf[:0]
 		rangeIdx.tree.AscendRange(rangeLo, rangeHi, func(_ []byte, posts []uint64) bool {
 			ids = append(ids, posts...)
 			return true
 		})
-		seen := map[uint64]bool{}
+		x.sc.idBuf = ids
+		x.sc.seen.reset()
 		for _, id := range ids {
-			if seen[id] {
-				continue
+			if x.sc.seen.insert(id) {
+				x.withChain(t, id)
 			}
-			seen[id] = true
-			x.withChain(t, id, emit)
 		}
 	default:
-		x.addTag(invalidation.WildcardTag(t.name))
+		if x.track {
+			x.tags.add(t.wildTag)
+		}
 		t.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
-			emit(uint64(id), chain)
+			x.emit(uint64(id), chain)
 			return true
 		})
 	}
@@ -337,22 +317,65 @@ func (x *execCtx) scanTable(t *Table, conds []localCond) []scanRow {
 	// The transaction's own uncommitted inserts.
 	for _, ins := range x.tx.inserted[t.name] {
 		if !ins.deleted && evalLocal(conds, ins.data) {
-			out = append(out, scanRow{ins.tempID, ins.data})
+			x.emitDst = append(x.emitDst, scanRow{ins.tempID, ins.data})
 		}
 	}
-	return out
+	dst = x.emitDst
+	x.emitTable, x.emitConds, x.emitDst = nil, nil, nil
+	return dst
 }
 
-// withChain fetches a row's version chain and passes it to emit. Index scans
-// may reference rows concurrently vacuumed away; those are skipped.
-func (x *execCtx) withChain(t *Table, id uint64, emit func(uint64, []mvcc.Version)) {
-	var chain []mvcc.Version
+// emit filters one row's version chain into the scan output (see
+// scanTableInto). It is a method rather than a closure so per-scan setup
+// stays off the heap.
+func (x *execCtx) emit(id uint64, chain []mvcc.Version) {
+	t, conds := x.emitTable, x.emitConds
+	x.touchRow(t, id)
+	if w, ok := x.tx.writes[t.name][id]; ok {
+		// Overlay: this transaction already rewrote the row.
+		if w.op == opUpdate && evalLocal(conds, w.data) {
+			x.emitDst = append(x.emitDst, scanRow{id, w.data})
+		}
+		return
+	}
+	for i := range chain {
+		v := &chain[i]
+		if x.tx.e.eagerVis {
+			// Stock ordering (ablation): visibility first. Every
+			// invisible tuple scanned widens the invalidity mask.
+			if !v.VisibleAt(x.tx.snap) {
+				x.observeInvisible(v.Interval())
+				continue
+			}
+			if evalLocal(conds, v.Data.([]sql.Value)) {
+				x.emitDst = append(x.emitDst, scanRow{id, v.Data.([]sql.Value)})
+				x.observeVisible(v.Interval())
+			}
+			continue
+		}
+		if !evalLocal(conds, v.Data.([]sql.Value)) {
+			continue // predicate first (§5.2)
+		}
+		if v.VisibleAt(x.tx.snap) {
+			x.emitDst = append(x.emitDst, scanRow{id, v.Data.([]sql.Value)})
+			x.observeVisible(v.Interval())
+		} else {
+			x.observeInvisible(v.Interval())
+		}
+	}
+}
+
+// withChain stages a row's version chain in scratch and emits it. Index
+// scans may reference rows concurrently vacuumed away; those are skipped.
+func (x *execCtx) withChain(t *Table, id uint64) {
+	chain := x.sc.chainBuf[:0]
 	t.store.Versions(mvcc.RowID(id), func(v mvcc.Version) bool {
 		chain = append(chain, v)
 		return true
 	})
+	x.sc.chainBuf = chain
 	if len(chain) > 0 {
-		emit(id, chain)
+		x.emit(id, chain)
 	}
 }
 
@@ -383,7 +406,7 @@ func (tx *Tx) runSelect(sel *sql.Select, ls tableLockSet, args []sql.Value) (*Re
 	if err != nil {
 		return nil, err
 	}
-	bindings := []binding{{base, aliasOf(sel.Table, sel.Alias)}}
+	bindings := append(x.sc.bindBuf[:0], binding{base, aliasOf(sel.Table, sel.Alias)})
 	for _, jc := range sel.Joins {
 		jt, err := ls.get(jc.Table)
 		if err != nil {
@@ -391,25 +414,44 @@ func (tx *Tx) runSelect(sel *sql.Select, ls tableLockSet, args []sql.Value) (*Re
 		}
 		bindings = append(bindings, binding{jt, aliasOf(jc.Table, jc.Alias)})
 	}
+	x.sc.bindBuf = bindings
 
 	// Split WHERE into per-binding local conditions; leftovers are
-	// cross-binding conditions evaluated after the joins.
+	// cross-binding conditions evaluated after the joins. The base
+	// binding's conditions live in scratch (joins are the rare case).
 	remaining := sel.Where
-	localFor := make([][]localCond, len(bindings))
+	localFor := x.sc.localFor[:0]
 	for i, b := range bindings {
+		var dst []localCond
+		if i == 0 {
+			dst = x.sc.condBuf[:0]
+		}
 		var local []localCond
-		local, remaining, err = x.bindLocal(b.t, b.alias, remaining)
+		local, remaining, err = x.bindLocal(dst, b.t, b.alias, remaining)
 		if err != nil {
 			return nil, err
 		}
-		localFor[i] = local
+		if i == 0 {
+			x.sc.condBuf = local
+		}
+		localFor = append(localFor, local)
 	}
+	x.sc.localFor = localFor
 
-	// Base scan.
-	rows := make([]jrow, 0, 64)
-	for _, sr := range x.scanTable(base, localFor[0]) {
-		rows = append(rows, jrow{vals: [][]sql.Value{sr.data}})
+	// Base scan. The jrow headers for the single-binding case are carved
+	// out of one scratch arena instead of one allocation per row.
+	x.sc.rowBuf = x.scanTableInto(x.sc.rowBuf[:0], base, localFor[0])
+	srs := x.sc.rowBuf
+	rows := x.sc.rows[:0]
+	arena := x.sc.arena[:0]
+	if cap(arena) < len(srs) {
+		arena = make([][]sql.Value, 0, len(srs))
 	}
+	for _, sr := range srs {
+		arena = append(arena, sr.data)
+		rows = append(rows, jrow{vals: arena[len(arena)-1:]})
+	}
+	x.sc.arena = arena
 
 	// Nested-loop joins, inner side by index when available.
 	for ji, jc := range sel.Joins {
@@ -429,16 +471,24 @@ func (tx *Tx) runSelect(sel *sql.Select, ls tableLockSet, args []sql.Value) (*Re
 			return nil, fmt.Errorf("db: JOIN ON column %s does not belong to %s", innerCol, inner.alias)
 		}
 
+		// The probe condition vector is built once per join; only the
+		// probed value changes per outer row.
+		probe := append(x.sc.probeBuf[:0], localCond{colPos: innerPos, op: sql.OpEq, valCol: -1})
+		probe = append(probe, localFor[bi]...)
+		x.sc.probeBuf = probe
+
 		var next []jrow
 		for _, r := range rows {
 			v := r.vals[outerBind][outerPos]
 			if v == nil {
 				continue
 			}
-			// scanTable plans each probe: an equality index on the inner
-			// join column when one exists, a sequential scan otherwise.
-			conds := append([]localCond{{colPos: innerPos, op: sql.OpEq, val: v, valCol: -1}}, localFor[bi]...)
-			for _, m := range x.scanTable(inner.t, conds) {
+			// scanTableInto plans each probe: an equality index on the
+			// inner join column when one exists, a sequential scan
+			// otherwise.
+			probe[0].val = v
+			x.sc.joinBuf = x.scanTableInto(x.sc.joinBuf[:0], inner.t, probe)
+			for _, m := range x.sc.joinBuf {
 				nv := make([][]sql.Value, len(r.vals)+1)
 				copy(nv, r.vals)
 				nv[len(r.vals)] = m.data
@@ -463,13 +513,18 @@ func (tx *Tx) runSelect(sel *sql.Select, ls tableLockSet, args []sql.Value) (*Re
 		rows = kept
 	}
 
+	// Retain the (possibly regrown) working set for the next statement.
+	if sel.Joins == nil {
+		x.sc.rows = rows
+	}
+
 	res := &Result{}
 	if hasAggregates(sel) {
 		if err := projectAggregates(sel, bindings, rows, res); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := projectRows(sel, bindings, rows, res); err != nil {
+		if err := x.projectRows(sel, bindings, rows, res); err != nil {
 			return nil, err
 		}
 	}
@@ -663,45 +718,74 @@ func projectAggregates(sel *sql.Select, bindings []binding, rows []jrow, res *Re
 	return nil
 }
 
-func projectRows(sel *sql.Select, bindings []binding, rows []jrow, res *Result) error {
-	// Output schema.
-	type proj struct {
-		bi, pos int
+// proj addresses one output column: binding index and column position.
+type proj struct {
+	bi, pos int
+}
+
+// selPlan is the cached projection plan for one parsed SELECT against one
+// engine: output column names, projection positions, and ORDER BY keys.
+// Parsed statements are shared and immutable, and every execution of a
+// given *sql.Select against the same engine resolves to the same tables,
+// so the plan is computed once and reused — the per-query Cols and projs
+// allocations disappear. Plans are cached per engine because the same
+// statement text (and thus the same shared AST) may run against engines
+// with different schemas.
+type selPlan struct {
+	cols      []string // shared across Results; callers must not mutate
+	projs     []proj
+	orderKeys []proj
+}
+
+// selPlanFor returns the cached plan for sel, computing it on first use.
+func (x *execCtx) selPlanFor(sel *sql.Select, bindings []binding) (*selPlan, error) {
+	if p, ok := x.tx.e.planCache.Load(sel); ok {
+		return p.(*selPlan), nil
 	}
-	var projs []proj
+	p := &selPlan{}
 	if sel.Star {
 		for bi, b := range bindings {
 			for pos, c := range b.t.cols {
-				projs = append(projs, proj{bi, pos})
-				res.Cols = append(res.Cols, c.Name)
+				p.projs = append(p.projs, proj{bi, pos})
+				p.cols = append(p.cols, c.Name)
 			}
 		}
 	} else {
 		for _, se := range sel.Exprs {
 			bi, pos, err := resolveCol(bindings, se.Col)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			projs = append(projs, proj{bi, pos})
+			p.projs = append(p.projs, proj{bi, pos})
 			name := se.Col.Column
 			if se.Alias != "" {
 				name = se.Alias
 			}
-			res.Cols = append(res.Cols, name)
+			p.cols = append(p.cols, name)
 		}
 	}
+	for _, ob := range sel.OrderBy {
+		bi, pos, err := resolveCol(bindings, ob.Col)
+		if err != nil {
+			return nil, err
+		}
+		p.orderKeys = append(p.orderKeys, proj{bi, pos})
+	}
+	x.tx.e.planCache.Store(sel, p)
+	return p, nil
+}
+
+func (x *execCtx) projectRows(sel *sql.Select, bindings []binding, rows []jrow, res *Result) error {
+	plan, err := x.selPlanFor(sel, bindings)
+	if err != nil {
+		return err
+	}
+	projs := plan.projs
+	res.Cols = plan.cols
 
 	// ORDER BY before projection so sort keys need not be selected.
-	if len(sel.OrderBy) > 0 {
-		type key struct{ bi, pos int }
-		keys := make([]key, len(sel.OrderBy))
-		for i, ob := range sel.OrderBy {
-			bi, pos, err := resolveCol(bindings, ob.Col)
-			if err != nil {
-				return err
-			}
-			keys[i] = key{bi, pos}
-		}
+	if len(plan.orderKeys) > 0 {
+		keys := plan.orderKeys
 		sort.SliceStable(rows, func(a, b int) bool {
 			for i, k := range keys {
 				cmp := sql.Compare(rows[a].vals[k.bi][k.pos], rows[b].vals[k.bi][k.pos])

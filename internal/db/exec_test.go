@@ -3,6 +3,8 @@ package db
 import (
 	"strings"
 	"testing"
+
+	"txcache/internal/invalidation"
 )
 
 // exec_test.go covers executor corners beyond db_test.go's core paths:
@@ -121,7 +123,7 @@ func TestIndexRangeScan(t *testing.T) {
 	}
 	hasWildcard := false
 	for _, tag := range r.Tags {
-		if tag.Wildcard && tag.Table == "items" {
+		if invalidation.TagOf(tag).String() == "items:?" {
 			hasWildcard = true
 		}
 	}
@@ -221,7 +223,7 @@ func TestTagLimitCollapsesQueryTags(t *testing.T) {
 	if len(r.Rows) != 6 {
 		t.Fatalf("rows = %v", r.Rows)
 	}
-	if len(r.Tags) != 1 || !r.Tags[0].Wildcard {
+	if len(r.Tags) != 1 || !invalidation.IsWildcard(r.Tags[0]) {
 		t.Fatalf("tags should collapse to wildcard, got %v", r.Tags)
 	}
 }

@@ -2,7 +2,7 @@ package db
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // tableLockSet is the set of tables one statement or one commit touches,
@@ -10,19 +10,21 @@ import (
 // slice is name-sorted and deduplicated, and both shared and exclusive
 // acquisition walk it in that order, so any two lock sets — reader vs
 // reader, reader vs committer, committer vs committer — acquire their
-// common tables in the same order and can never deadlock.
+// common tables in the same order and can never deadlock. Statements touch
+// at most a handful of tables, so member lookup is a linear walk over the
+// slice rather than a per-statement map allocation.
 type tableLockSet struct {
 	tables []*Table
-	byName map[string]*Table
 }
 
-// lockSetFor resolves names under the catalog lock. The catalog lock is
-// released before any table lock is taken (tables are never dropped, so
+// lockSetFor resolves names under the catalog lock, appending the resolved
+// tables to buf (callers pass a reusable scratch slice). The catalog lock
+// is released before any table lock is taken (tables are never dropped, so
 // the resolved pointers stay valid), preserving the catalog → table lock
 // order that DDL relies on.
-func (e *Engine) lockSetFor(names ...string) (tableLockSet, error) {
-	sort.Strings(names)
-	ls := tableLockSet{byName: make(map[string]*Table, len(names))}
+func (e *Engine) lockSetFor(buf []*Table, names ...string) (tableLockSet, error) {
+	slices.Sort(names)
+	ls := tableLockSet{tables: buf}
 	e.catMu.RLock()
 	defer e.catMu.RUnlock()
 	for i, n := range names {
@@ -34,18 +36,29 @@ func (e *Engine) lockSetFor(names ...string) (tableLockSet, error) {
 			return tableLockSet{}, fmt.Errorf("db: no table %q", n)
 		}
 		ls.tables = append(ls.tables, t)
-		ls.byName[n] = t
 	}
 	return ls, nil
 }
 
 // get returns the resolved table, which must be part of the lock set.
 func (ls tableLockSet) get(name string) (*Table, error) {
-	t, ok := ls.byName[name]
-	if !ok {
-		return nil, fmt.Errorf("db: no table %q", name)
+	for _, t := range ls.tables {
+		if t.name == name {
+			return t, nil
+		}
 	}
-	return t, nil
+	return nil, fmt.Errorf("db: no table %q", name)
+}
+
+// mustGet returns a member table; the caller has already resolved name
+// through the same lock set, so absence is impossible.
+func (ls tableLockSet) mustGet(name string) *Table {
+	for _, t := range ls.tables {
+		if t.name == name {
+			return t
+		}
+	}
+	panic("db: table " + name + " not in lock set")
 }
 
 // rlock takes every table's lock shared, for statement execution.

@@ -33,16 +33,16 @@ type commitSequencer struct {
 	last atomic.Uint64 // most recently allocated commit timestamp
 
 	mu        sync.Mutex
-	turn      sync.Cond                     // signaled when published advances
-	published uint64                        // every commit <= published is visible
-	ready     map[uint64][]invalidation.Tag // applied commits awaiting publish
+	turn      sync.Cond                       // signaled when published advances
+	published uint64                          // every commit <= published is visible
+	ready     map[uint64][]invalidation.TagID // applied commits awaiting publish
 }
 
 func (s *commitSequencer) init(start uint64) {
 	s.last.Store(start)
 	s.published = start
 	s.turn.L = &s.mu
-	s.ready = make(map[uint64][]invalidation.Tag)
+	s.ready = make(map[uint64][]invalidation.TagID)
 }
 
 // allocate stamps a validated commit. Called with the write set's table
@@ -59,7 +59,7 @@ func (s *commitSequencer) allocate() interval.Timestamp {
 // bus as a single ordered batch — the bus is outside every table critical
 // section, and a burst of commits costs one bus append instead of one per
 // commit.
-func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.Tag) {
+func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID) {
 	s := &e.seq
 	t := uint64(ts)
 	s.mu.Lock()

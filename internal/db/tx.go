@@ -39,14 +39,18 @@ type insertedRow struct {
 // read/write transactions (which bypass the cache) Validity is empty and
 // Tags is nil.
 type Result struct {
+	// Cols names the output columns. The slice is shared with the
+	// statement's cached projection plan (and thus with other Results of
+	// the same statement); treat it as read-only.
 	Cols []string
 	Rows [][]sql.Value
 	// Validity is the query's validity interval: the maximal interval
 	// containing the snapshot over which re-running the query yields the
 	// same rows. Unbounded (Hi == Infinity) means still valid, in which
-	// case Tags carry the dependency set for future invalidations.
+	// case Tags carry the dependency set for future invalidations, as
+	// interned tag IDs (invalidation.TagOf recovers the string form).
 	Validity interval.Interval
-	Tags     []invalidation.Tag
+	Tags     []invalidation.TagID
 }
 
 // StillValid reports whether the result reflects the latest database state.
@@ -59,8 +63,25 @@ type Tx struct {
 	snap interval.Timestamp
 	done bool
 
+	// sc is the transaction's pooled execution scratch (buffers, tag sets,
+	// the reusable execCtx). It is borrowed from the engine's pool at Begin
+	// and returned when the transaction finishes; every entry point checks
+	// done first, so no method can touch a released scratch.
+	sc *txScratch
+
+	// writes and inserted are allocated lazily on first write, so read-only
+	// transactions never pay for them.
 	writes   map[string]map[uint64]*rowWrite // table -> rowID -> write
 	inserted map[string][]*insertedRow
+}
+
+// release returns the transaction's scratch to the engine pool.
+func (tx *Tx) release() {
+	if tx.sc != nil {
+		tx.sc.exec.tx = nil
+		putScratch(tx.sc)
+		tx.sc = nil
+	}
 }
 
 // Snapshot returns the transaction's snapshot timestamp.
@@ -85,15 +106,16 @@ func (tx *Tx) Query(src string, args ...sql.Value) (*Result, error) {
 	tx.e.statQueries.Add(1)
 	// Lock only the tables the statement touches, shared: reads contend
 	// with nothing but commits to those same tables.
-	names := make([]string, 0, 1+len(sel.Joins))
-	names = append(names, sel.Table)
+	names := append(tx.sc.names[:0], sel.Table)
 	for _, jc := range sel.Joins {
 		names = append(names, jc.Table)
 	}
-	ls, err := tx.e.lockSetFor(names...)
+	tx.sc.names = names
+	ls, err := tx.e.lockSetFor(tx.sc.tbls[:0], names...)
 	if err != nil {
 		return nil, err
 	}
+	tx.sc.tbls = ls.tables
 	ls.rlock()
 	defer ls.runlock()
 	return tx.runSelect(sel, ls, args)
@@ -130,10 +152,11 @@ func (tx *Tx) Exec(src string, args ...sql.Value) (int, error) {
 	default:
 		return 0, fmt.Errorf("db: Exec expects INSERT/UPDATE/DELETE, got %T", st)
 	}
-	ls, err := tx.e.lockSetFor(name)
+	ls, err := tx.e.lockSetFor(tx.sc.tbls[:0], name)
 	if err != nil {
 		return 0, err
 	}
+	tx.sc.tbls = ls.tables
 	ls.rlock()
 	defer ls.runlock()
 	return run(ls.tables[0])
@@ -145,6 +168,7 @@ func (tx *Tx) Abort() {
 		return
 	}
 	tx.done = true
+	tx.release()
 	tx.e.Unpin(tx.snap)
 }
 
@@ -162,6 +186,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 		return 0, ErrTxDone
 	}
 	tx.done = true
+	defer tx.release()
 	defer tx.e.Unpin(tx.snap)
 
 	if tx.ro || (len(tx.writes) == 0 && len(tx.inserted) == 0) {
@@ -169,17 +194,19 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	}
 
 	e := tx.e
-	names := make([]string, 0, len(tx.writes)+len(tx.inserted))
+	names := tx.sc.names[:0]
 	for tname := range tx.writes {
 		names = append(names, tname)
 	}
 	for tname := range tx.inserted {
 		names = append(names, tname)
 	}
-	ls, err := e.lockSetFor(names...)
+	tx.sc.names = names
+	ls, err := e.lockSetFor(tx.sc.tbls[:0], names...)
 	if err != nil {
 		return 0, err
 	}
+	tx.sc.tbls = ls.tables
 	ls.lock()
 
 	// Validate: every row in the write set must still have, as its latest
@@ -187,7 +214,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	// The exclusive table locks exclude every other commit that could
 	// touch these tables, so the check cannot race with a concurrent apply.
 	for tname, rows := range tx.writes {
-		t := ls.byName[tname]
+		t := ls.mustGet(tname)
 		for id := range rows {
 			latest, ok := t.store.Latest(mvcc.RowID(id))
 			if !ok {
@@ -210,11 +237,12 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	// Stamp only after validation: every allocated timestamp is certain to
 	// commit, so the sequencer's pipeline never waits on an aborted slot.
 	ts := e.seq.allocate()
-	tags := newTagSet(e.wcLim)
+	tags := &tx.sc.commitTags
+	tags.reset(e.wcLim)
 
 	// Apply updates and deletes.
 	for tname, rows := range tx.writes {
-		t := ls.byName[tname]
+		t := ls.mustGet(tname)
 		for id, w := range rows {
 			old, _ := t.store.VisibleAt(mvcc.RowID(id), tx.snap)
 			oldRow := old.Data.([]sql.Value)
@@ -233,7 +261,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	}
 	// Apply inserts.
 	for tname, rows := range tx.inserted {
-		t := ls.byName[tname]
+		t := ls.mustGet(tname)
 		for _, ins := range rows {
 			if ins.deleted {
 				continue
@@ -250,7 +278,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	ls.unlock()
 
 	e.statCommits.Add(1)
-	var tagList []invalidation.Tag
+	var tagList []invalidation.TagID
 	if e.bus != nil {
 		tagList = tags.tags()
 	}
@@ -262,7 +290,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 // set itself. Called with the write set's table locks held exclusively.
 func (tx *Tx) checkUnique(ls tableLockSet) error {
 	for tname, rows := range tx.inserted {
-		t := ls.byName[tname]
+		t := ls.mustGet(tname)
 		for _, ins := range rows {
 			if ins.deleted {
 				continue
@@ -273,7 +301,7 @@ func (tx *Tx) checkUnique(ls tableLockSet) error {
 		}
 	}
 	for tname, rows := range tx.writes {
-		t := ls.byName[tname]
+		t := ls.mustGet(tname)
 		for id, w := range rows {
 			if w.op != opUpdate {
 				continue
@@ -295,7 +323,8 @@ func (tx *Tx) checkUniqueRow(t *Table, row []sql.Value, selfID uint64) error {
 		if v == nil {
 			continue // NULLs never collide
 		}
-		key := sql.EncodeKey(nil, v)
+		tx.sc.keyBuf = sql.EncodeKey(tx.sc.keyBuf[:0], v)
+		key := tx.sc.keyBuf
 		for _, cand := range idx.tree.Get(key) {
 			if cand == selfID {
 				continue
@@ -319,69 +348,90 @@ func (tx *Tx) checkUniqueRow(t *Table, row []sql.Value, selfID uint64) error {
 	return nil
 }
 
-// tagSet accumulates invalidation tags for one commit, collapsing a table's
-// tags into a wildcard once the per-table limit is exceeded (paper §5.3).
+// tagSet accumulates interned invalidation tags for one query or one
+// commit, collapsing a table's tags into its wildcard once the per-table
+// limit is exceeded (paper §5.3). The maps are allocated lazily on first
+// use and, because tag sets live in the pooled transaction scratch, are
+// cleared and reused across statements — after warmup the set performs no
+// steady-state allocation (the output slice of tags() being the one
+// deliberate exception: it escapes into Result and the invalidation bus).
 type tagSet struct {
 	limit    int
-	keys     map[string]invalidation.Tag // by String() form
-	perTable map[string]int
-	wildcard map[string]bool
+	ids      map[invalidation.TagID]struct{} // key tags
+	perTable map[invalidation.TagID]int      // key-tag count, by table wildcard ID
+	wildcard map[invalidation.TagID]struct{} // wildcard IDs emitted
+	vbuf     []byte                          // FormatValue scratch
+	kbuf     []byte                          // interner lookup-key scratch
 }
 
-// newTagSet allocates lazily: most queries emit one or two tags, and the
-// maps are the dominant cost of validity tracking when eagerly allocated.
-func newTagSet(limit int) *tagSet {
-	return &tagSet{limit: limit}
+// reset prepares the set for a new statement or commit, keeping its maps.
+func (s *tagSet) reset(limit int) {
+	s.limit = limit
+	clear(s.ids)
+	clear(s.perTable)
+	clear(s.wildcard)
 }
 
 // addRow emits one key tag per index of t for the row's indexed values.
 func (s *tagSet) addRow(t *Table, row []sql.Value) {
 	for _, idx := range t.indexes {
-		s.add(invalidation.KeyTag(t.name, idx.column, sql.FormatValue(row[idx.colPos])))
+		s.addKey(t.name, idx.column, row[idx.colPos])
 	}
 }
 
-func (s *tagSet) add(tag invalidation.Tag) {
-	if s.wildcard[tag.Table] {
-		return
-	}
-	if tag.Wildcard {
-		if s.wildcard == nil {
-			s.wildcard = make(map[string]bool, 2)
-		}
-		s.wildcard[tag.Table] = true
-		return
-	}
-	k := tag.String()
-	if _, dup := s.keys[k]; dup {
-		return
-	}
-	if s.perTable[tag.Table]+1 > s.limit {
-		if s.wildcard == nil {
-			s.wildcard = make(map[string]bool, 2)
-		}
-		s.wildcard[tag.Table] = true
-		return
-	}
-	if s.keys == nil {
-		s.keys = make(map[string]invalidation.Tag, 4)
-		s.perTable = make(map[string]int, 2)
-	}
-	s.keys[k] = tag
-	s.perTable[tag.Table]++
+// addKey interns and adds the tag table:column=value.
+func (s *tagSet) addKey(table, column string, v sql.Value) {
+	s.vbuf = sql.AppendFormat(s.vbuf[:0], v)
+	var id invalidation.TagID
+	id, s.kbuf = invalidation.InternKeyBytes(s.kbuf, table, column, s.vbuf)
+	s.add(id)
 }
 
-func (s *tagSet) tags() []invalidation.Tag {
-	out := make([]invalidation.Tag, 0, len(s.keys)+len(s.wildcard))
-	for table := range s.wildcard {
-		out = append(out, invalidation.WildcardTag(table))
+func (s *tagSet) add(id invalidation.TagID) {
+	w := invalidation.WildOf(id)
+	if _, covered := s.wildcard[w]; covered {
+		return
 	}
-	for k, tag := range s.keys {
-		if s.wildcard[tag.Table] {
-			delete(s.keys, k)
+	if id == w { // wildcard tag
+		if s.wildcard == nil {
+			s.wildcard = make(map[invalidation.TagID]struct{}, 2)
+		}
+		s.wildcard[w] = struct{}{}
+		return
+	}
+	if _, dup := s.ids[id]; dup {
+		return
+	}
+	if s.perTable[w]+1 > s.limit {
+		if s.wildcard == nil {
+			s.wildcard = make(map[invalidation.TagID]struct{}, 2)
+		}
+		s.wildcard[w] = struct{}{}
+		return
+	}
+	if s.ids == nil {
+		s.ids = make(map[invalidation.TagID]struct{}, 8)
+		s.perTable = make(map[invalidation.TagID]int, 2)
+	}
+	s.ids[id] = struct{}{}
+	s.perTable[w]++
+}
+
+// tags materializes the set as a fresh slice (safe to retain after the
+// scratch is reused): wildcards first, then key tags of uncovered tables.
+func (s *tagSet) tags() []invalidation.TagID {
+	if len(s.ids) == 0 && len(s.wildcard) == 0 {
+		return nil
+	}
+	out := make([]invalidation.TagID, 0, len(s.ids)+len(s.wildcard))
+	for w := range s.wildcard {
+		out = append(out, w)
+	}
+	for id := range s.ids {
+		if _, covered := s.wildcard[invalidation.WildOf(id)]; covered {
 			continue
 		}
-		out = append(out, tag)
+		out = append(out, id)
 	}
 	return out
 }

@@ -95,7 +95,10 @@ type Mask struct {
 	ivs []Interval
 }
 
-// Add unions iv into the mask.
+// Add unions iv into the mask. The update is in place — the backing array
+// is reused (growing only when a disjoint interval is inserted into a full
+// one), so a mask that is reset and refilled per query settles into zero
+// steady-state allocation.
 func (m *Mask) Add(iv Interval) {
 	if iv.Empty() {
 		return
@@ -109,12 +112,20 @@ func (m *Mask) Add(iv Interval) {
 		merged.Hi = max(merged.Hi, m.ivs[j].Hi)
 		j++
 	}
-	out := make([]Interval, 0, len(m.ivs)-(j-i)+1)
-	out = append(out, m.ivs[:i]...)
-	out = append(out, merged)
-	out = append(out, m.ivs[j:]...)
-	m.ivs = out
+	switch {
+	case i == j:
+		// Disjoint: open a slot at i.
+		m.ivs = append(m.ivs, Interval{})
+		copy(m.ivs[i+1:], m.ivs[i:])
+	case j > i+1:
+		// Swallowed several intervals: close the gap.
+		m.ivs = append(m.ivs[:i+1], m.ivs[j:]...)
+	}
+	m.ivs[i] = merged
 }
+
+// Reset empties the mask, keeping its backing array for reuse.
+func (m *Mask) Reset() { m.ivs = m.ivs[:0] }
 
 // AddMask unions every interval of o into m.
 func (m *Mask) AddMask(o Mask) {

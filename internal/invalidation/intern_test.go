@@ -1,0 +1,129 @@
+package invalidation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// oldMatch is the pre-interning pairwise matching rule, verbatim: equal
+// tags match, a wildcard matches every tag of its table, and a key change
+// matches the table's wildcard dependents. It is the oracle the interned
+// form must reproduce exactly.
+func oldMatch(mt, vt Tag) bool {
+	if mt.Wildcard && mt.Table == vt.Table {
+		return true
+	}
+	if vt.Wildcard && vt.Table == mt.Table {
+		return true
+	}
+	return mt == vt
+}
+
+// randTag draws from a small universe so collisions (equal tags) are
+// frequent enough to exercise both branches.
+func randTag(rng *rand.Rand) Tag {
+	table := fmt.Sprintf("t%d", rng.Intn(4))
+	if rng.Intn(4) == 0 {
+		return WildcardTag(table)
+	}
+	col := fmt.Sprintf("c%d", rng.Intn(3))
+	return KeyTag(table, col, fmt.Sprint(rng.Intn(6)))
+}
+
+// TestInternPreservesEquality: for tags built through the public
+// constructors, TagID equality is exactly Tag equality, and TagOf is a
+// left inverse of Intern.
+func TestInternPreservesEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b := randTag(rng), randTag(rng)
+		ia, ib := Intern(a), Intern(b)
+		if (ia == ib) != (a == b) {
+			t.Fatalf("ID equality diverged: %v/%v -> %d/%d", a, b, ia, ib)
+		}
+		if got := TagOf(ia); got != a {
+			t.Fatalf("TagOf(Intern(%v)) = %v", a, got)
+		}
+	}
+}
+
+// TestAffectsMatchesOldSemantics: the integer-compare matching rule is
+// extensionally equal to the string-form rule for every pair in the
+// universe.
+func TestAffectsMatchesOldSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		mt, vt := randTag(rng), randTag(rng)
+		got := Affects(Intern(mt), Intern(vt))
+		want := oldMatch(mt, vt)
+		if got != want {
+			t.Fatalf("Affects(%v, %v) = %v, old semantics say %v", mt, vt, got, want)
+		}
+	}
+}
+
+// TestWildOf: the wildcard pointer is the table's wildcard for key tags
+// and the identity for wildcards; distinct tables never share one.
+func TestWildOf(t *testing.T) {
+	k := Intern(KeyTag("orders", "id", "1"))
+	w := Intern(WildcardTag("orders"))
+	if WildOf(k) != w {
+		t.Fatalf("WildOf(key) = %d, want %d", WildOf(k), w)
+	}
+	if WildOf(w) != w || !IsWildcard(w) || IsWildcard(k) {
+		t.Fatal("wildcard identity broken")
+	}
+	other := Intern(WildcardTag("users2"))
+	if other == w {
+		t.Fatal("distinct tables share a wildcard ID")
+	}
+}
+
+// TestInternPartsBinaryKeys: key values are arbitrary bytes (string column
+// values); NULs and '=' inside values must not collide distinct tags.
+func TestInternPartsBinaryKeys(t *testing.T) {
+	a, _ := InternParts(nil, "t", "c=a\x00b", false)
+	b, _ := InternParts(nil, "t", "c=a", false)
+	c, _ := InternParts(nil, "t", "c=a\x00b", false)
+	if a == b {
+		t.Fatal("distinct binary keys collided")
+	}
+	if a != c {
+		t.Fatal("equal binary keys did not intern to one ID")
+	}
+}
+
+// TestInternConcurrent hammers the interner from many goroutines; the race
+// detector plus the post-condition (one ID per tag) covers the
+// copy-on-write entries snapshot.
+func TestInternConcurrent(t *testing.T) {
+	done := make(chan map[Tag]TagID, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			seen := make(map[Tag]TagID)
+			for i := 0; i < 2000; i++ {
+				tag := randTag(rng)
+				id := Intern(tag)
+				if prev, ok := seen[tag]; ok && prev != id {
+					t.Errorf("tag %v interned to %d then %d", tag, prev, id)
+				}
+				seen[tag] = id
+				if TagOf(id) != tag {
+					t.Errorf("TagOf(%d) = %v, want %v", id, TagOf(id), tag)
+				}
+			}
+			done <- seen
+		}(int64(g))
+	}
+	merged := make(map[Tag]TagID)
+	for g := 0; g < 8; g++ {
+		for tag, id := range <-done {
+			if prev, ok := merged[tag]; ok && prev != id {
+				t.Fatalf("tag %v has two IDs across goroutines: %d, %d", tag, prev, id)
+			}
+			merged[tag] = id
+		}
+	}
+}

@@ -43,29 +43,71 @@ func (t Tag) String() string {
 }
 
 // Message is one entry of the invalidation stream: the timestamp of a
-// committed read/write transaction and every tag it affected. Messages are
-// produced for every update transaction even if its tag set is empty, so
-// that cache nodes' notion of "now" (the last invalidation processed)
-// advances with the database.
+// committed read/write transaction and every tag it affected, as interned
+// TagIDs. Messages are produced for every update transaction even if their
+// tag set is empty, so that cache nodes' notion of "now" (the last
+// invalidation processed) advances with the database.
 type Message struct {
 	TS       interval.Timestamp
 	WallTime time.Time
-	Tags     []Tag
+	Tags     []TagID
 }
 
-// Encode serializes the message for the wire using the given opcode.
+// TagList materializes the message's tags in struct form (debugging,
+// logging); the hot paths stay on the IDs.
+func (m Message) TagList() []Tag {
+	out := make([]Tag, len(m.Tags))
+	for i, id := range m.Tags {
+		out[i] = TagOf(id)
+	}
+	return out
+}
+
+// Encode serializes the message for the wire using the given opcode. TagIDs
+// are process-local, so the wire carries the string form; the receiving
+// process re-interns at decode.
 func (m Message) Encode(op byte) []byte {
 	e := wire.NewBuffer(op)
 	e.U64(uint64(m.TS))
 	e.I64(m.WallTime.UnixNano())
 	e.U32(uint32(len(m.Tags)))
-	for _, t := range m.Tags {
+	for _, id := range m.Tags {
+		t := TagOf(id)
 		e.Str(t.Table).Str(t.Key).Bool(t.Wildcard)
 	}
 	return e.Bytes()
 }
 
-// DecodeMessage parses a message payload positioned after the opcode.
+// DecodeTags reads n wire-form (table, key, wildcard) tag triples from d,
+// interning each. It is the shared inner loop of every protocol that
+// carries tags (invalidation messages, cache puts and lookup results,
+// dbnet query results). On a decode error the tags read so far and the
+// error are returned.
+func DecodeTags(d *wire.Decoder, n uint32) ([]TagID, error) {
+	if n == 0 {
+		return nil, d.Err()
+	}
+	// Pre-size from the count but cap the initial allocation: a corrupt
+	// count prefix must fail on decode, not on a giant make.
+	tags := make([]TagID, 0, min(n, 4096))
+	var scratch [64]byte
+	buf := scratch[:0]
+	for i := uint32(0); i < n; i++ {
+		table := d.Str()
+		key := d.Str()
+		wild := d.Bool()
+		if d.Err() != nil {
+			return tags, d.Err()
+		}
+		var id TagID
+		id, buf = InternParts(buf, table, key, wild)
+		tags = append(tags, id)
+	}
+	return tags, d.Err()
+}
+
+// DecodeMessage parses a message payload positioned after the opcode,
+// interning the tags as it goes.
 func DecodeMessage(d *wire.Decoder) (Message, error) {
 	var m Message
 	m.TS = interval.Timestamp(d.U64())
@@ -77,13 +119,9 @@ func DecodeMessage(d *wire.Decoder) (Message, error) {
 	if n > 1<<20 {
 		return m, fmt.Errorf("invalidation: unreasonable tag count %d", n)
 	}
-	m.Tags = make([]Tag, n)
-	for i := range m.Tags {
-		m.Tags[i].Table = d.Str()
-		m.Tags[i].Key = d.Str()
-		m.Tags[i].Wildcard = d.Bool()
-	}
-	return m, d.Err()
+	var err error
+	m.Tags, err = DecodeTags(d, n)
+	return m, err
 }
 
 // Bus is an ordered, reliable fan-out of the invalidation stream to any

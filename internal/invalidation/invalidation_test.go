@@ -21,10 +21,10 @@ func TestMessageEncodeDecode(t *testing.T) {
 	m := Message{
 		TS:       42,
 		WallTime: time.Unix(100, 250),
-		Tags: []Tag{
-			KeyTag("users", "id", "7"),
-			WildcardTag("items"),
-			{},
+		Tags: []TagID{
+			Intern(KeyTag("users", "id", "7")),
+			Intern(WildcardTag("items")),
+			Intern(Tag{}),
 		},
 	}
 	b := m.Encode(0x10)
@@ -47,7 +47,7 @@ func TestMessageEncodeDecode(t *testing.T) {
 }
 
 func TestMessageDecodeTruncated(t *testing.T) {
-	m := Message{TS: 1, Tags: []Tag{KeyTag("t", "c", "v")}}
+	m := Message{TS: 1, Tags: []TagID{Intern(KeyTag("t", "c", "v"))}}
 	b := m.Encode(1)
 	d := wire.NewDecoder(b[:len(b)-3])
 	d.Op()

@@ -27,20 +27,33 @@ func Parse(src string) (Statement, error) {
 }
 
 // cache memoizes parse results by statement text; applications issue the
-// same parameterized statements repeatedly.
-var cache sync.Map // string -> Statement (error results are not cached)
+// same parameterized statements repeatedly. A plain RWMutex-guarded map
+// beats sync.Map here: Load(any) would box the string key on every probe,
+// and the cache-hit probe is on the per-query hot path.
+var cache struct {
+	sync.RWMutex
+	m map[string]Statement // error results are not cached
+}
 
 // ParseCached is Parse with memoization. The returned Statement is shared;
 // callers must not mutate it.
 func ParseCached(src string) (Statement, error) {
-	if st, ok := cache.Load(src); ok {
-		return st.(Statement), nil
+	cache.RLock()
+	st, ok := cache.m[src]
+	cache.RUnlock()
+	if ok {
+		return st, nil
 	}
 	st, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	cache.Store(src, st)
+	cache.Lock()
+	if cache.m == nil {
+		cache.m = make(map[string]Statement, 64)
+	}
+	cache.m[src] = st
+	cache.Unlock()
 	return st, nil
 }
 

@@ -127,6 +127,29 @@ func FormatValue(v Value) string {
 	}
 }
 
+// AppendFormat appends FormatValue's rendering of v to dst. It is the
+// allocation-free form the executor uses to spell invalidation-tag keys
+// into reusable scratch buffers.
+func AppendFormat(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, "NULL"...)
+	case bool:
+		if x {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case float64:
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+	case string:
+		return append(dst, x...)
+	default:
+		panic(fmt.Sprintf("sql: unsupported value type %T", v))
+	}
+}
+
 // EncodeKey appends the order-preserving encoding of v for index keys.
 func EncodeKey(dst []byte, v Value) []byte {
 	switch x := v.(type) {

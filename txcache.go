@@ -178,6 +178,16 @@ type Bus = invalidation.Bus
 // InvalidationTag is a dependency tag ("table:column=key" or "table:?").
 type InvalidationTag = invalidation.Tag
 
+// TagID is an interned invalidation tag (the compact form the hot paths
+// carry; see invalidation.TagID).
+type TagID = invalidation.TagID
+
+// InternTag returns the TagID for a tag, assigning one on first sight.
+func InternTag(t InvalidationTag) TagID { return invalidation.Intern(t) }
+
+// TagOf recovers the struct form of an interned tag.
+func TagOf(id TagID) InvalidationTag { return invalidation.TagOf(id) }
+
 // NewBus creates an invalidation bus; keepHistory replays messages to late
 // subscribers.
 func NewBus(keepHistory bool) *Bus { return invalidation.NewBus(keepHistory) }

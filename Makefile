@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench alloc-regression profile fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-write alloc-regression profile fuzz-smoke
 
-ci: fmt vet build race alloc-regression fuzz-smoke
+ci: fmt vet build race alloc-regression bench-write fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -35,10 +35,17 @@ bench:
 	$(GO) test -run xxx -bench BenchmarkCacheLookupTCP -benchtime=2s ./internal/cacheserver
 	$(GO) test -run xxx -bench 'BenchmarkQueryPointSelect|BenchmarkMakeCacheable|BenchmarkInvalidateApply' -benchtime=2s ./internal/db ./internal/core ./internal/cacheserver
 
-# Allocation-budget regression: the hot trio (point select, cacheable hit,
-# invalidation apply) must stay under their pinned allocs/op ceilings.
+# Allocation-budget regression: the hot paths (point select, cacheable hit,
+# invalidation apply, single-row commit, vacuum pass) must stay under their
+# pinned allocs/op ceilings.
 alloc-regression:
 	$(GO) test -run 'TestAllocBudget' ./internal/db ./internal/core ./internal/cacheserver
+
+# Write-path smoke: a short pass over the commit-pipeline and vacuum
+# benchmarks (the instruments for the storage write-path refactor; see
+# EXPERIMENTS.md for the measured trajectory).
+bench-write:
+	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkVacuum' -benchtime=200ms ./internal/db
 
 # CPU + allocation profiles of the Figure-5a workload; see EXPERIMENTS.md
 # for the reading methodology.

@@ -160,6 +160,46 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteHeavy drives the update/insert-skewed mix (60% read/write)
+// against the full deployment, with and without extra write-hot secondary
+// indexes — the commit-path counterpart of BenchmarkFigure5a. The
+// experiment-harness form (with commit/vacuum rates) is
+// `txcache-bench -exp writeheavy`.
+func BenchmarkWriteHeavy(b *testing.B) {
+	for _, extra := range []int{0, 3} {
+		b.Run(fmt.Sprintf("extraIdx=%d", extra), func(b *testing.B) {
+			site := buildSite(b, bench.SiteConfig{
+				Mode: bench.ModeTxCache, CacheBytes: 4 << 20,
+				Mix: &rubis.WriteHeavyMix, ExtraWriteIndexes: extra,
+			})
+			staleness := time.Duration(30 * bench.TimeScale * float64(time.Second))
+			rubis.RunEmulator(site.App, rubis.EmulatorConfig{
+				Clients: 8, Staleness: staleness, Duration: 300 * time.Millisecond,
+				Seed: 42, Mix: &rubis.WriteHeavyMix,
+			})
+			site.ResetStats()
+			c0 := site.Engine.Stats().Commits
+			var seed atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(1000 + seed.Add(1)))
+				user := int64(rng.Intn(site.App.DS.Scale.Users))
+				for pb.Next() {
+					kind := rubis.PickFrom(rng, &rubis.WriteHeavyMix)
+					_ = site.App.DoInteraction(rng, user, kind, staleness)
+				}
+			})
+			b.StopTimer()
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "req/s")
+				b.ReportMetric(float64(site.Engine.Stats().Commits-c0)/elapsed, "commits/s")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationVisibilityOrder measures §5.2's design choice of
 // evaluating scan predicates before visibility checks. The eager (stock)
 // ordering pollutes invalidity masks with unrelated dead tuples, shrinking

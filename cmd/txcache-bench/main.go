@@ -26,8 +26,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, concurrency, churn, all")
+	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, concurrency, churn, writeheavy, all")
 	churnPeriod := flag.Duration("churn-period", 500*time.Millisecond, "cache-node drain+join period for -exp churn")
+	indexes := flag.Int("indexes", 3, "extra write-hot secondary indexes for -exp writeheavy")
 	clients := flag.Int("clients", 2*runtime.GOMAXPROCS(0), "closed-loop client population")
 	warm := flag.Duration("warm", 2*time.Second, "warmup per point")
 	measure := flag.Duration("measure", 3*time.Second, "measurement per point")
@@ -115,10 +116,11 @@ func main() {
 		"fig8":        func() error { _, err := bench.Figure8(o); return err },
 		"concurrency": func() error { _, err := bench.Concurrency(o); return err },
 		"churn":       func() error { _, err := bench.Churn(o, *churnPeriod); return err },
+		"writeheavy":  func() error { _, err := bench.WriteHeavy(o, *indexes); return err },
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"baseline", "fig5a", "fig6a", "fig5b", "fig6b", "fig7", "fig8", "concurrency", "churn"} {
+		for _, name := range []string{"baseline", "fig5a", "fig6a", "fig5b", "fig6b", "fig7", "fig8", "concurrency", "churn", "writeheavy"} {
 			run(name, experiments[name])
 		}
 		return

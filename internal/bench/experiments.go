@@ -281,6 +281,63 @@ func Figure8(o Opts) ([]MissBreakdown, error) {
 	return out, nil
 }
 
+// WriteHeavyResult is one point of the write-path experiment.
+type WriteHeavyResult struct {
+	Label          string
+	ExtraIndexes   int
+	Result         RunResult
+	CommitsPerSec  float64
+	VacuumedPerSec float64
+}
+
+// WriteHeavy measures the storage write path under an update/insert-skewed
+// RUBiS mix (rubis.WriteHeavyMix, 60% read/write): commit throughput,
+// serialization conflicts, and vacuum reclamation rate, with a
+// configurable number of extra secondary indexes on the write-hot tables
+// (each one multiplies per-commit index maintenance). Run on the baseline
+// (no cache) and full-TxCache deployments. Not a paper figure: it is the
+// instrument for the epoch-sharded-slab + batched-index-maintenance
+// refactor (ROADMAP "write path" item); the matching testing.B entry
+// points are BenchmarkCommitPipeline / BenchmarkVacuum in internal/db and
+// BenchmarkWriteHeavy in bench_test.go.
+func WriteHeavy(o Opts, extraIndexes int) ([]WriteHeavyResult, error) {
+	o.fill()
+	o.printf("# Write-heavy RUBiS mix (60%% RW), %d extra write-hot indexes\n", extraIndexes)
+	o.printf("%-12s %12s %12s %12s %12s %8s\n", "config", "req/s", "commits/s", "conflicts", "vacuumed/s", "hit%")
+	var out []WriteHeavyResult
+	for _, mode := range []Mode{ModeBaseline, ModeTxCache} {
+		cfg := SiteConfig{
+			Mode: mode, Scale: o.Scale, Seed: o.Seed,
+			Mix: &rubis.WriteHeavyMix, ExtraWriteIndexes: extraIndexes,
+		}
+		if mode == ModeTxCache {
+			cfg.CacheBytes = 4 << 20
+		}
+		site, err := BuildSite(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r := site.Run(o.Clients, o.Warm, o.Measure, o.Seed)
+		site.Close()
+		sec := o.Measure.Seconds()
+		wr := WriteHeavyResult{
+			Label:          mode.String(),
+			ExtraIndexes:   extraIndexes,
+			Result:         r,
+			CommitsPerSec:  float64(r.DBCommits) / sec,
+			VacuumedPerSec: float64(r.DBVacuumed) / sec,
+		}
+		out = append(out, wr)
+		hit := "-"
+		if mode != ModeBaseline {
+			hit = fmt.Sprintf("%.1f%%", 100*r.HitRate)
+		}
+		o.printf("%-12s %12.0f %12.0f %12d %12.0f %8s\n",
+			wr.Label, r.Throughput, wr.CommitsPerSec, r.DBConflicts, wr.VacuumedPerSec, hit)
+	}
+	return out, nil
+}
+
 // ChurnResult is one point of the membership-churn experiment.
 type ChurnResult struct {
 	Label        string

@@ -72,7 +72,27 @@ type SiteConfig struct {
 	// design choice: masks widen, validity intervals shrink, hit rate
 	// drops.
 	EagerVisibilityCheck bool
-	Seed                 int64
+	// Mix selects the emulator's interaction mix; nil = the bidding mix.
+	Mix *rubis.Mix
+	// ExtraWriteIndexes adds up to len(WriteHotIndexes) secondary indexes
+	// on the write-hot tables after load (the writeheavy experiment's
+	// index-count knob; each one multiplies per-commit index maintenance).
+	ExtraWriteIndexes int
+	Seed              int64
+}
+
+// WriteHotIndexes are additional secondary indexes on the tables the
+// write-heavy mix hammers; SiteConfig.ExtraWriteIndexes applies a prefix.
+// Range conditions never plan through them (the RUBiS queries probe by
+// equality on the existing indexes), so their only effect is commit-path
+// index maintenance — which is the point.
+var WriteHotIndexes = []string{
+	`CREATE INDEX bids_date ON bids (date)`,
+	`CREATE INDEX bids_qty ON bids (qty)`,
+	`CREATE INDEX comments_item ON comments (item_id)`,
+	`CREATE INDEX comments_rating ON comments (rating)`,
+	`CREATE INDEX buy_now_item ON buy_now (item_id)`,
+	`CREATE INDEX items_end ON items (end_date)`,
 }
 
 // Site is a complete running deployment.
@@ -146,6 +166,17 @@ func BuildSite(cfg SiteConfig) (*Site, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n := cfg.ExtraWriteIndexes; n > 0 {
+		if n > len(WriteHotIndexes) {
+			n = len(WriteHotIndexes)
+		}
+		// CREATE INDEX after load exercises the bulk-build path.
+		for _, ddl := range WriteHotIndexes[:n] {
+			if err := engine.DDL(ddl); err != nil {
+				return nil, err
+			}
+		}
+	}
 	// Seed each node's consistency horizon so still-valid entries are
 	// servable from the start (nodes subscribed before load, so they have
 	// replayed the stream; this is belt and braces for empty streams).
@@ -155,8 +186,9 @@ func BuildSite(cfg SiteConfig) (*Site, error) {
 
 	s.App = rubis.NewApp(s.Client, ds)
 
-	// Background maintenance: pincushion sweeper and engine vacuum, the
-	// asynchronous janitors of §5.1/§5.4.
+	// Background maintenance: the pincushion sweeper (§5.4). Engine vacuum
+	// needs no ticker anymore — the commit sequencer schedules incremental
+	// passes itself from horizon-delta notifications (§5.1).
 	go func() {
 		t := time.NewTicker(scaled(2))
 		defer t.Stop()
@@ -164,7 +196,6 @@ func BuildSite(cfg SiteConfig) (*Site, error) {
 			select {
 			case <-t.C:
 				pc.Sweep()
-				engine.Vacuum()
 			case <-s.stop:
 				return
 			}
@@ -270,30 +301,40 @@ type RunResult struct {
 	HitRate    float64 // library-observed cache hit rate
 	Emu        rubis.EmulatorResult
 	Cache      cacheserver.Stats
+	// Database-side deltas over the measurement window (the writeheavy
+	// experiment's primary metrics).
+	DBCommits   uint64
+	DBConflicts uint64
+	DBVacuumed  uint64
 }
 
 // Run warms the site, resets counters, and measures for the given duration.
 func (s *Site) Run(clients int, warm, measure time.Duration, seed int64) RunResult {
 	staleness := scaled(s.Cfg.StalenessPaperSec)
 	rubis.RunEmulator(s.App, rubis.EmulatorConfig{
-		Clients: clients, Staleness: staleness, Duration: warm, Seed: seed,
+		Clients: clients, Staleness: staleness, Duration: warm, Seed: seed, Mix: s.Cfg.Mix,
 	})
 	s.ResetStats()
+	db0 := s.Engine.Stats()
 	res := rubis.RunEmulator(s.App, rubis.EmulatorConfig{
-		Clients: clients, Staleness: staleness, Duration: measure, Seed: seed + 1,
+		Clients: clients, Staleness: staleness, Duration: measure, Seed: seed + 1, Mix: s.Cfg.Mix,
 	})
+	db1 := s.Engine.Stats()
 	cs := s.CacheStats()
 	hr := 0.0
 	if l := cs.Lookups; l > 0 {
 		hr = float64(cs.Hits) / float64(l)
 	}
 	return RunResult{
-		Mode:       s.Cfg.Mode,
-		CacheBytes: s.Cfg.CacheBytes,
-		Staleness:  s.Cfg.StalenessPaperSec,
-		Throughput: res.Throughput(),
-		HitRate:    hr,
-		Emu:        res,
-		Cache:      cs,
+		Mode:        s.Cfg.Mode,
+		CacheBytes:  s.Cfg.CacheBytes,
+		Staleness:   s.Cfg.StalenessPaperSec,
+		Throughput:  res.Throughput(),
+		HitRate:     hr,
+		Emu:         res,
+		Cache:       cs,
+		DBCommits:   db1.Commits - db0.Commits,
+		DBConflicts: db1.Conflicts - db0.Conflicts,
+		DBVacuumed:  db1.Vacuumed - db0.Vacuumed,
 	}
 }

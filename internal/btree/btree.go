@@ -36,8 +36,8 @@ func New() *Tree {
 // Len returns the number of distinct keys in the tree.
 func (t *Tree) Len() int { return t.size }
 
-// Get returns the posting list for key, or nil. The returned slice must not
-// be modified.
+// Get returns the posting list for key (ids in ascending order), or nil.
+// The returned slice must not be modified.
 func (t *Tree) Get(key []byte) []uint64 {
 	n := t.root
 	for !n.leaf {
@@ -53,38 +53,103 @@ func (t *Tree) Get(key []byte) []uint64 {
 // Insert adds id to key's posting list. Duplicate (key, id) pairs are
 // coalesced; inserting an existing pair is a no-op.
 func (t *Tree) Insert(key []byte, id uint64) {
-	if t.root.full() {
+	leaf, _, _ := t.seek(key, true)
+	t.insertInLeaf(leaf, key, id)
+}
+
+// Delete removes id from key's posting list. When the list becomes empty the
+// key is removed logically (empty posting lists are skipped by scans); node
+// merging is not performed, which is acceptable for our churn profile where
+// vacuumed keys are frequently reinserted.
+func (t *Tree) Delete(key []byte, id uint64) bool {
+	leaf, _, _ := t.seek(key, false)
+	return t.deleteInLeaf(leaf, key, id)
+}
+
+// Op is one batched index mutation: insertion (default) or deletion of a
+// single (key, id) posting pair.
+type Op struct {
+	Key []byte
+	ID  uint64
+	Del bool
+}
+
+// ApplyBatch applies ops in order. The batch is the tree's commit-path API:
+// the database coalesces a commit group's index maintenance into one sorted
+// batch per index, so consecutive ops landing in the same leaf reuse the
+// position from the previous op instead of paying a root descent each.
+// Unsorted batches are correct but descend per op. Inserted keys are
+// copied, so ops may alias reusable encoding buffers.
+func (t *Tree) ApplyBatch(ops []Op) {
+	var leaf *node
+	var lo, hi []byte // separators bounding the cached leaf: keys in [lo, hi)
+	for i := range ops {
+		op := &ops[i]
+		if leaf == nil ||
+			(hi != nil && bytes.Compare(op.Key, hi) >= 0) ||
+			(lo != nil && bytes.Compare(op.Key, lo) < 0) ||
+			(!op.Del && leaf.full()) {
+			leaf, lo, hi = t.seek(op.Key, !op.Del)
+		}
+		if op.Del {
+			t.deleteInLeaf(leaf, op.Key, op.ID)
+		} else {
+			t.insertInLeaf(leaf, op.Key, op.ID)
+		}
+	}
+}
+
+// seek descends to the leaf owning key, returning it with the tightest
+// separators seen on the path: every key in [lo, hi) belongs to this leaf
+// (nil lo/hi mean unbounded on the leftmost/rightmost path). When
+// forInsert, full nodes along the path are split first, so the returned
+// leaf can accept one insertion.
+func (t *Tree) seek(key []byte, forInsert bool) (leaf *node, lo, hi []byte) {
+	if forInsert && t.root.full() {
 		old := t.root
 		t.root = &node{children: []*node{old}}
 		t.root.splitChild(0)
 	}
-	if t.insert(t.root, key, id) {
-		t.size++
-	}
-}
-
-// insert descends into a non-full node. Reports whether a new distinct key
-// was created.
-func (t *Tree) insert(n *node, key []byte, id uint64) bool {
+	n := t.root
 	for !n.leaf {
 		i := childIndex(n.keys, key)
-		if n.children[i].full() {
+		if forInsert && n.children[i].full() {
 			n.splitChild(i)
 			// The split may have shifted the target child.
 			i = childIndex(n.keys, key)
 		}
+		if i > 0 {
+			lo = n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			hi = n.keys[i]
+		}
 		n = n.children[i]
 	}
+	return n, lo, hi
+}
+
+// insertInLeaf adds (key, id) to a non-full leaf. Posting lists are kept
+// sorted ascending: the duplicate check is a binary search instead of a
+// linear scan (hot keys accumulate thousands of postings under write-heavy
+// load), and because the database hands out row IDs monotonically, the
+// common insert degenerates to an append at the tail.
+func (t *Tree) insertInLeaf(n *node, key []byte, id uint64) {
 	i, ok := search(n.keys, key)
 	if ok {
-		for _, p := range n.posts[i] {
-			if p == id {
-				return false
-			}
+		ps := n.posts[i]
+		j := postSearch(ps, id)
+		if j < len(ps) && ps[j] == id {
+			return
 		}
-		wasEmpty := len(n.posts[i]) == 0 // key logically deleted earlier
-		n.posts[i] = append(n.posts[i], id)
-		return wasEmpty
+		if len(ps) == 0 { // key logically deleted earlier
+			t.size++
+		}
+		ps = append(ps, 0)
+		copy(ps[j+1:], ps[j:])
+		ps[j] = id
+		n.posts[i] = ps
+		return
 	}
 	n.keys = append(n.keys, nil)
 	copy(n.keys[i+1:], n.keys[i:])
@@ -94,34 +159,113 @@ func (t *Tree) insert(n *node, key []byte, id uint64) bool {
 	n.posts = append(n.posts, nil)
 	copy(n.posts[i+1:], n.posts[i:])
 	n.posts[i] = []uint64{id}
-	return true
+	t.size++
 }
 
-// Delete removes id from key's posting list. When the list becomes empty the
-// key is removed logically (empty posting lists are skipped by scans); node
-// merging is not performed, which is acceptable for our churn profile where
-// vacuumed keys are frequently reinserted.
-func (t *Tree) Delete(key []byte, id uint64) bool {
-	n := t.root
-	for !n.leaf {
-		n = n.children[childIndex(n.keys, key)]
-	}
+// deleteInLeaf removes (key, id) from the leaf that owns key, preserving
+// posting order.
+func (t *Tree) deleteInLeaf(n *node, key []byte, id uint64) bool {
 	i, ok := search(n.keys, key)
 	if !ok {
 		return false
 	}
 	ps := n.posts[i]
-	for j, p := range ps {
-		if p == id {
-			ps[j] = ps[len(ps)-1]
-			n.posts[i] = ps[:len(ps)-1]
-			if len(n.posts[i]) == 0 {
-				t.size--
-			}
-			return true
+	j := postSearch(ps, id)
+	if j >= len(ps) || ps[j] != id {
+		return false
+	}
+	copy(ps[j:], ps[j+1:])
+	n.posts[i] = ps[:len(ps)-1]
+	if len(n.posts[i]) == 0 {
+		t.size--
+	}
+	return true
+}
+
+// postSearch returns the index of the first posting >= id. The tail is
+// checked first: database row IDs are handed out monotonically, so live
+// inserts nearly always land past the current maximum.
+func postSearch(ps []uint64, id uint64) int {
+	n := len(ps)
+	if n == 0 || ps[n-1] < id {
+		return n
+	}
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ps[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return false
+	return lo
+}
+
+// Item is one key with its posting list (ids sorted ascending, the tree's
+// posting invariant), for bulk loading.
+type Item struct {
+	Key   []byte
+	Posts []uint64
+}
+
+// bulkFill is the per-node occupancy bulk loading targets: packed enough to
+// keep trees shallow, loose enough that the first post-build inserts do not
+// immediately split every node.
+const bulkFill = degree * 3 / 4
+
+// BulkLoad builds a tree from items sorted by strictly ascending key,
+// packing leaves left to right and constructing the internal levels
+// bottom-up — the index (re)build path, replacing one Insert descent per
+// row version. Keys and posting lists are copied.
+func BulkLoad(items []Item) *Tree {
+	t := New()
+	if len(items) == 0 {
+		return t
+	}
+	// Leaf level.
+	var level []*node
+	var first [][]byte // first key of each node's subtree, per level
+	for start := 0; start < len(items); start += bulkFill {
+		end := min(start+bulkFill, len(items))
+		leaf := &node{leaf: true}
+		for _, it := range items[start:end] {
+			k := make([]byte, len(it.Key))
+			copy(k, it.Key)
+			leaf.keys = append(leaf.keys, k)
+			leaf.posts = append(leaf.posts, append([]uint64(nil), it.Posts...))
+			if len(it.Posts) > 0 {
+				t.size++
+			}
+		}
+		if n := len(level); n > 0 {
+			level[n-1].next = leaf
+		}
+		level = append(level, leaf)
+		first = append(first, leaf.keys[0])
+	}
+	// Internal levels. A child group never has fewer than two members (the
+	// remainder folds into the previous group), so no degenerate one-child
+	// parents are built; group sizes stay well under the split threshold.
+	for len(level) > 1 {
+		var parents []*node
+		var pfirst [][]byte
+		for start := 0; start < len(level); {
+			end := min(start+bulkFill+1, len(level))
+			if rem := len(level) - end; rem == 1 {
+				end = len(level)
+			}
+			p := &node{}
+			p.children = append(p.children, level[start:end]...)
+			p.keys = append(p.keys, first[start+1:end]...)
+			parents = append(parents, p)
+			pfirst = append(pfirst, first[start])
+			start = end
+		}
+		level, first = parents, pfirst
+	}
+	t.root = level[0]
+	return t
 }
 
 // AscendRange calls fn for each key in [lo, hi) in ascending order, with its

@@ -219,6 +219,162 @@ func TestLargeSequentialInsert(t *testing.T) {
 	}
 }
 
+// TestApplyBatchAgainstReference drives random sorted batches of mixed
+// inserts and deletes against a map oracle and a twin tree mutated through
+// the single-op API.
+func TestApplyBatchAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	twin := New()
+	ref := map[string]map[uint64]bool{}
+	keyBuf := make([]byte, 0, 16)
+	for round := 0; round < 400; round++ {
+		n := 1 + rng.Intn(64)
+		ops := make([]Op, 0, n)
+		for i := 0; i < n; i++ {
+			keyBuf = fmt.Appendf(keyBuf[:0], "key-%04d", rng.Intn(2000))
+			key := append([]byte(nil), keyBuf...)
+			ops = append(ops, Op{Key: key, ID: uint64(rng.Intn(6)), Del: rng.Intn(3) == 0})
+		}
+		sort.Slice(ops, func(a, b int) bool { return bytes.Compare(ops[a].Key, ops[b].Key) < 0 })
+		tr.ApplyBatch(ops)
+		for _, op := range ops {
+			k := string(op.Key)
+			if op.Del {
+				twin.Delete(op.Key, op.ID)
+				if ref[k][op.ID] {
+					delete(ref[k], op.ID)
+					if len(ref[k]) == 0 {
+						delete(ref, k)
+					}
+				}
+			} else {
+				twin.Insert(op.Key, op.ID)
+				if ref[k] == nil {
+					ref[k] = map[uint64]bool{}
+				}
+				ref[k][op.ID] = true
+			}
+		}
+	}
+	checkAgainst(t, tr, ref)
+	checkAgainst(t, twin, ref)
+}
+
+// TestApplyBatchUnsorted: unsorted batches are legal, just slower. The
+// batches deliberately jump backward across leaf boundaries of a multi-leaf
+// tree — the cached-leaf reuse must re-seek when a key falls below the
+// cached leaf's lower bound, not just above its upper bound.
+func TestApplyBatchUnsorted(t *testing.T) {
+	tr := New()
+	ref := map[string]map[uint64]bool{}
+	// Multi-leaf tree first.
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		tr.Insert([]byte(key), uint64(i))
+		ref[key] = map[uint64]bool{uint64(i): true}
+	}
+	// Descending inserts into a populated tree: every op is below the
+	// previously cached leaf.
+	var ops []Op
+	for i := 499; i >= 0; i-- {
+		ops = append(ops, Op{Key: []byte(fmt.Sprintf("k%03d", i)), ID: uint64(i + 1000)})
+	}
+	// A high key, then a far-left key, then a mid delete.
+	ops = append(ops,
+		Op{Key: []byte("k499"), ID: 7},
+		Op{Key: []byte("k000"), ID: 9},
+		Op{Key: []byte("k250"), ID: 250, Del: true},
+	)
+	tr.ApplyBatch(ops)
+	for i := 0; i < 500; i++ {
+		ref[fmt.Sprintf("k%03d", i)][uint64(i+1000)] = true
+	}
+	ref["k499"][7] = true
+	ref["k000"][9] = true
+	delete(ref["k250"], 250)
+	checkAgainst(t, tr, ref)
+}
+
+// checkAgainst verifies point lookups, Len, and full scan order vs a map
+// reference.
+func checkAgainst(t *testing.T, tr *Tree, ref map[string]map[uint64]bool) {
+	t.Helper()
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	for key, ids := range ref {
+		got := tr.Get([]byte(key))
+		if len(got) != len(ids) {
+			t.Fatalf("Get(%q) = %v, want %d ids", key, got, len(ids))
+		}
+		for _, id := range got {
+			if !ids[id] {
+				t.Fatalf("Get(%q) returned unexpected id %d", key, id)
+			}
+		}
+	}
+	var wantKeys []string
+	for k := range ref {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	i := 0
+	tr.Ascend(func(k []byte, posts []uint64) bool {
+		if i >= len(wantKeys) || string(k) != wantKeys[i] {
+			t.Fatalf("scan position %d: got %q, want %q", i, k, wantKeys[i])
+		}
+		i++
+		return true
+	})
+	if i != len(wantKeys) {
+		t.Fatalf("scan visited %d keys, want %d", i, len(wantKeys))
+	}
+}
+
+// TestBulkLoad builds trees of many sizes and verifies content, order, and
+// that post-build mutation through every API still works.
+func TestBulkLoad(t *testing.T) {
+	for _, n := range []int{0, 1, 2, bulkFill, bulkFill + 1, 100, 1000, 20000} {
+		items := make([]Item, 0, n)
+		ref := map[string]map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("%08d", i*3)
+			posts := []uint64{uint64(i), uint64(i + 1)}
+			items = append(items, Item{Key: []byte(key), Posts: posts})
+			ref[key] = map[uint64]bool{uint64(i): true, uint64(i + 1): true}
+		}
+		tr := BulkLoad(items)
+		checkAgainst(t, tr, ref)
+		if n == 0 {
+			continue
+		}
+		// The loaded tree accepts further mutations.
+		tr.Insert([]byte("zzz"), 1)
+		ref["zzz"] = map[uint64]bool{1: true}
+		tr.ApplyBatch([]Op{
+			{Key: []byte("%%%"), ID: 9},
+			{Key: []byte(fmt.Sprintf("%08d", 0)), ID: 0, Del: true},
+		})
+		ref["%%%"] = map[uint64]bool{9: true}
+		delete(ref[fmt.Sprintf("%08d", 0)], 0)
+		checkAgainst(t, tr, ref)
+	}
+}
+
+// TestBulkLoadAliasing: BulkLoad must copy keys and posting lists.
+func TestBulkLoadAliasing(t *testing.T) {
+	key := []byte("alias")
+	posts := []uint64{1, 2}
+	tr := BulkLoad([]Item{{Key: key, Posts: posts}})
+	key[0] = 'X'
+	posts[0] = 99
+	got := tr.Get([]byte("alias"))
+	if len(got) != 2 || got[0] != 1 {
+		t.Fatalf("BulkLoad must copy inputs; Get = %v", got)
+	}
+}
+
 func BenchmarkInsert(b *testing.B) {
 	tr := New()
 	keys := make([][]byte, 1<<16)
@@ -228,6 +384,29 @@ func BenchmarkInsert(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Insert(keys[i&(1<<16-1)], uint64(i))
+	}
+}
+
+// BenchmarkApplyBatch measures sorted-batch application vs the equivalent
+// per-op inserts (BenchmarkInsert), at the batch sizes commit groups see.
+func BenchmarkApplyBatch(b *testing.B) {
+	for _, size := range []int{8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			tr := New()
+			keys := make([][]byte, 1<<16)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("%08d", i*2654435761%1000000))
+			}
+			ops := make([]Op, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				for j := range ops {
+					ops[j] = Op{Key: keys[(i+j)&(1<<16-1)], ID: uint64(i + j)}
+				}
+				sort.Slice(ops, func(a, c int) bool { return bytes.Compare(ops[a].Key, ops[c].Key) < 0 })
+				tr.ApplyBatch(ops)
+			}
+		})
 	}
 }
 

@@ -6,7 +6,9 @@
 package db
 
 import (
+	"bytes"
 	"fmt"
+	"slices"
 	"sync"
 
 	"txcache/internal/btree"
@@ -24,8 +26,13 @@ type Table struct {
 	cols    []sql.ColDef
 	colPos  map[string]int
 	store   *mvcc.Store
-	indexes map[string]*Index // by column name
+	indexes map[string]*Index // by column name (planner lookups)
+	idxList []*Index          // same indexes in slot order (maintenance walks)
 	primary string            // primary key column, "" if none
+
+	// pend buffers the index mutations of applied-but-unpublished commits
+	// (see flushIndexOps). Guarded by mu.
+	pend indexPending
 
 	// wildTag is the table's interned wildcard invalidation tag, resolved
 	// once at creation so scans never re-intern it.
@@ -45,14 +52,84 @@ type Table struct {
 }
 
 // Index is a single-column secondary index. Its tree is guarded by the
-// owning table's lock: scans hold Table.mu shared, mutations (commit
-// apply, vacuum pruning, backfill) hold it exclusive.
+// owning table's lock: scans hold Table.mu shared, mutations (batch flush,
+// vacuum pruning, backfill) hold it exclusive.
 type Index struct {
 	name   string
 	column string
 	colPos int
+	slot   int // position in Table.idxList and indexPending.ops
 	unique bool
 	tree   *btree.Tree
+}
+
+// indexPending is the per-table index-maintenance stage of the commit
+// pipeline. Commits apply their MVCC versions under the table lock but only
+// *queue* the btree mutations here (encoded keys in a shared arena, one op
+// list per index slot); the sequencer's head committer flushes the whole
+// commit group's queue as one sorted ApplyBatch per index before advancing
+// the visibility watermark. Readers derive snapshots from the published
+// watermark, so an unflushed entry always belongs to an invisible version —
+// the one tree consumer that must see unpublished state, the unique-index
+// check, scans the queue explicitly (checkUniqueRow). All buffers are
+// retained across groups, so steady-state queueing allocates nothing.
+type indexPending struct {
+	arena []byte     // EncodeKey output, shared by all slots
+	ops   [][]pendOp // one list per index slot
+	batch []btree.Op // flush scratch, reused
+	n     int        // total queued ops
+}
+
+// pendOp is one queued insertion: arena[off:end] is the encoded key.
+type pendOp struct {
+	off, end uint32
+	id       uint64
+}
+
+// queueIndexOps records row's keys for every index of the table; the
+// entries are installed at group flush. Called with t.mu held exclusively.
+func (t *Table) queueIndexOps(id mvcc.RowID, row []sql.Value) {
+	p := &t.pend
+	for i, idx := range t.idxList {
+		off := uint32(len(p.arena))
+		p.arena = sql.EncodeKey(p.arena, row[idx.colPos])
+		p.ops[i] = append(p.ops[i], pendOp{off: off, end: uint32(len(p.arena)), id: uint64(id)})
+	}
+	p.n += len(t.idxList)
+}
+
+// flushIndexOps takes the table lock and installs every queued mutation.
+// Called by the commit sequencer's head committer once per group per table.
+func (t *Table) flushIndexOps() {
+	t.mu.Lock()
+	t.flushIndexOpsLocked()
+	t.mu.Unlock()
+}
+
+// flushIndexOpsLocked installs the queued mutations as one sorted batch per
+// index. Caller holds t.mu exclusively. Keys handed to ApplyBatch alias the
+// pending arena; the tree copies any key it retains.
+func (t *Table) flushIndexOpsLocked() {
+	p := &t.pend
+	if p.n == 0 {
+		return
+	}
+	for i, idx := range t.idxList {
+		ops := p.ops[i]
+		if len(ops) == 0 {
+			continue
+		}
+		batch := p.batch[:0]
+		for _, o := range ops {
+			batch = append(batch, btree.Op{Key: p.arena[o.off:o.end], ID: o.id})
+		}
+		slices.SortFunc(batch, func(a, b btree.Op) int { return bytes.Compare(a.Key, b.Key) })
+		idx.tree.ApplyBatch(batch)
+		p.batch = batch
+		p.ops[i] = ops[:0]
+	}
+	p.arena = p.arena[:0]
+	p.n = 0
 }
 
 func newTable(ct *sql.CreateTable) (*Table, error) {
@@ -77,15 +154,24 @@ func newTable(ct *sql.CreateTable) (*Table, error) {
 		}
 	}
 	if t.primary != "" {
-		t.indexes[t.primary] = &Index{
+		t.attachIndex(&Index{
 			name:   ct.Name + "_pkey",
 			column: t.primary,
 			colPos: t.colPos[t.primary],
 			unique: true,
 			tree:   btree.New(),
-		}
+		})
 	}
 	return t, nil
+}
+
+// attachIndex wires an index into the lookup map, the slot-ordered list,
+// and the pending queue.
+func (t *Table) attachIndex(idx *Index) {
+	idx.slot = len(t.idxList)
+	t.indexes[idx.column] = idx
+	t.idxList = append(t.idxList, idx)
+	t.pend.ops = append(t.pend.ops, nil)
 }
 
 func (t *Table) addIndex(ci *sql.CreateIndex) error {
@@ -97,44 +183,48 @@ func (t *Table) addIndex(ci *sql.CreateIndex) error {
 		return fmt.Errorf("db: column %q of %q is already indexed", ci.Column, ci.Table)
 	}
 	idx := &Index{name: ci.Name, column: ci.Column, colPos: pos, unique: ci.Unique, tree: btree.New()}
-	// Backfill from every existing version.
+	// Backfill by bulk load: collect one (key, id) pair per existing
+	// version, sort, merge duplicates into posting lists, and build the
+	// tree bottom-up — no per-version root descents. A Scan here is fine:
+	// CREATE INDEX is a DDL-time bulk operation, not the steady state.
+	type pair struct {
+		key []byte
+		id  uint64
+	}
+	var pairs []pair
 	t.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
 		for _, v := range chain {
 			row := v.Data.([]sql.Value)
-			idx.tree.Insert(sql.EncodeKey(nil, row[pos]), uint64(id))
+			pairs = append(pairs, pair{key: sql.EncodeKey(nil, row[pos]), id: uint64(id)})
 		}
 		return true
 	})
-	t.indexes[ci.Column] = idx
-	return nil
-}
-
-// indexEntriesFor registers row's keys in every index of the table.
-// Called with t.mu held exclusively.
-func (t *Table) indexEntriesFor(id mvcc.RowID, row []sql.Value) {
-	for _, idx := range t.indexes {
-		idx.tree.Insert(sql.EncodeKey(nil, row[idx.colPos]), uint64(id))
-	}
-}
-
-// dropIndexEntries removes the keys of a vacuumed version, unless another
-// surviving version of the same row still carries the same key. Called
-// with t.mu held exclusively.
-func (t *Table) dropIndexEntries(id mvcc.RowID, row []sql.Value) {
-	for _, idx := range t.indexes {
-		key := sql.EncodeKey(nil, row[idx.colPos])
-		keep := false
-		t.store.Versions(id, func(v mvcc.Version) bool {
-			if sql.Equal(v.Data.([]sql.Value)[idx.colPos], row[idx.colPos]) {
-				keep = true
-				return false
-			}
-			return true
-		})
-		if !keep {
-			idx.tree.Delete(key, uint64(id))
+	slices.SortFunc(pairs, func(a, b pair) int {
+		if c := bytes.Compare(a.key, b.key); c != 0 {
+			return c
 		}
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	var items []btree.Item
+	for i, p := range pairs {
+		if i > 0 && bytes.Equal(p.key, pairs[i-1].key) {
+			last := &items[len(items)-1]
+			if p.id != last.Posts[len(last.Posts)-1] {
+				last.Posts = append(last.Posts, p.id)
+			}
+			continue
+		}
+		items = append(items, btree.Item{Key: p.key, Posts: []uint64{p.id}})
 	}
+	idx.tree = btree.BulkLoad(items)
+	t.attachIndex(idx)
+	return nil
 }
 
 // checkRow validates arity and column types against the schema.

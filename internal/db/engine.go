@@ -1,15 +1,19 @@
 package db
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"txcache/internal/btree"
 	"txcache/internal/clock"
 	"txcache/internal/interval"
 	"txcache/internal/invalidation"
+	"txcache/internal/mvcc"
 	"txcache/internal/sql"
 )
 
@@ -56,7 +60,17 @@ type Options struct {
 	// (§5.2) evaluates the predicate first, tightening the mask; this
 	// option exists to measure that design choice (an ablation).
 	EagerVisibilityCheck bool
+	// VacuumEvery is the horizon delta (in commit timestamps) between
+	// automatic vacuum passes: the commit sequencer (and pin release)
+	// notifies a background pass whenever the watermark or the vacuum
+	// horizon has advanced that far past the last trigger. 0 selects the
+	// default (256); negative disables automatic vacuum (callers then run
+	// Vacuum themselves, as tests do).
+	VacuumEvery int
 }
+
+// defaultVacuumEvery is the auto-vacuum horizon delta when unset.
+const defaultVacuumEvery = 256
 
 // Engine is the multiversion database server. All methods are safe for
 // concurrent use.
@@ -92,6 +106,20 @@ type Engine struct {
 	pinMu sync.Mutex
 	pins  map[interval.Timestamp]int // snapshot id -> refcount
 
+	// Vacuum scheduling and scratch. vacMu serializes passes so their
+	// reusable buffers are safe; the gates throttle auto-vacuum triggers
+	// (from the sequencer on watermark advance, from Unpin on horizon
+	// advance) to one spawned pass per vacEvery timestamps.
+	vacEvery uint64 // 0 = automatic vacuum disabled
+	vacGate  atomic.Uint64
+	vacHGate atomic.Uint64
+	vacMu    sync.Mutex
+	vacBuf   []mvcc.Reclaimed
+	vacTabs  []*Table
+	vacKeys  []byte
+	vacOps   []vacOp
+	vacBatch []btree.Op
+
 	// Statistics.
 	statQueries  atomic.Uint64
 	statCommits  atomic.Uint64
@@ -107,6 +135,13 @@ func New(opts Options) *Engine {
 	if opts.WildcardTagLimit <= 0 {
 		opts.WildcardTagLimit = 64
 	}
+	vacEvery := uint64(defaultVacuumEvery)
+	switch {
+	case opts.VacuumEvery > 0:
+		vacEvery = uint64(opts.VacuumEvery)
+	case opts.VacuumEvery < 0:
+		vacEvery = 0
+	}
 	e := &Engine{
 		clk:      opts.Clock,
 		bus:      opts.Bus,
@@ -114,6 +149,7 @@ func New(opts Options) *Engine {
 		track:    !opts.DisableValidityTracking,
 		wcLim:    opts.WildcardTagLimit,
 		eagerVis: opts.EagerVisibilityCheck,
+		vacEvery: vacEvery,
 		tables:   make(map[string]*Table),
 		pins:     make(map[interval.Timestamp]int),
 	}
@@ -121,6 +157,8 @@ func New(opts Options) *Engine {
 	// therefore always exists and sees nothing.
 	e.lastCommit.Store(1)
 	e.seq.init(1)
+	e.vacGate.Store(1)
+	e.vacHGate.Store(1)
 	return e
 }
 
@@ -189,13 +227,27 @@ func (e *Engine) Pin(ts interval.Timestamp) error {
 }
 
 // Unpin releases one reference to a pinned snapshot (paper §5.1's UNPIN).
+// Fully releasing a snapshot can advance the vacuum horizon past versions
+// the sequencer's watermark-delta trigger already gave up on, so it also
+// nudges the horizon-side auto-vacuum gate.
 func (e *Engine) Unpin(ts interval.Timestamp) {
 	e.pinMu.Lock()
-	defer e.pinMu.Unlock()
 	if n := e.pins[ts]; n > 1 {
 		e.pins[ts] = n - 1
-	} else {
-		delete(e.pins, ts)
+		e.pinMu.Unlock()
+		return
+	}
+	delete(e.pins, ts)
+	var horizon interval.Timestamp
+	if e.vacEvery != 0 {
+		horizon = e.horizonLocked()
+	}
+	e.pinMu.Unlock()
+	if e.vacEvery != 0 {
+		g := e.vacHGate.Load()
+		if uint64(horizon)-g >= e.vacEvery && e.vacHGate.CompareAndSwap(g, uint64(horizon)) {
+			go e.Vacuum()
+		}
 	}
 }
 
@@ -212,6 +264,11 @@ func (e *Engine) PinnedCount() int {
 func (e *Engine) vacuumHorizon() interval.Timestamp {
 	e.pinMu.Lock()
 	defer e.pinMu.Unlock()
+	return e.horizonLocked()
+}
+
+// horizonLocked is vacuumHorizon with pinMu already held.
+func (e *Engine) horizonLocked() interval.Timestamp {
 	h := e.LastCommit()
 	for ts := range e.pins {
 		if ts < h {
@@ -221,35 +278,137 @@ func (e *Engine) vacuumHorizon() interval.Timestamp {
 	return h
 }
 
+// maybeAutoVacuum spawns a background vacuum pass when the published
+// watermark has advanced vacEvery timestamps past the last trigger. Called
+// by the commit sequencer after each group publish; the CAS on the gate
+// throttles a burst of groups to one spawned pass, and vacMu serializes
+// the passes themselves.
+func (e *Engine) maybeAutoVacuum() {
+	if e.vacEvery == 0 {
+		return
+	}
+	w := e.lastCommit.Load()
+	g := e.vacGate.Load()
+	if w-g < e.vacEvery || !e.vacGate.CompareAndSwap(g, w) {
+		return
+	}
+	go e.Vacuum()
+}
+
+// vacOp is one pending index deletion of a vacuum pass: the reclaimed
+// version's encoded key (in the pass's key arena) for one index slot.
+type vacOp struct {
+	slot     int32
+	off, end uint32
+	id       uint64
+}
+
 // Vacuum reclaims row versions invisible to every pinned snapshot,
 // returning the number of versions removed. It mirrors Postgres's
-// asynchronous vacuum cleaner (paper §5.1); callers run it periodically.
-// Tables are vacuumed one at a time under their own locks, so a vacuum
+// asynchronous vacuum cleaner (paper §5.1), but scheduling is driven by
+// the commit sequencer's horizon-delta notifications rather than a
+// periodic timer, and each pass is incremental: the store pops its
+// death-ordered dead queue (no full Scan), so the cost is proportional to
+// the versions reclaimed, with a shared reusable buffer instead of a
+// per-call result map. Index postings whose keys no longer appear among a
+// row's surviving versions are dropped as one sorted delete batch per
+// index. Tables are vacuumed one at a time under their own locks, so a
 // pass never freezes the engine: readers and commits on other tables
 // proceed throughout. The horizon is computed once up front; commits that
 // stamp later only create versions above it, so it stays conservative.
 func (e *Engine) Vacuum() int {
+	e.vacMu.Lock()
+	defer e.vacMu.Unlock()
 	horizon := e.vacuumHorizon()
 	e.catMu.RLock()
-	tabs := make([]*Table, 0, len(e.tables))
+	tabs := e.vacTabs[:0]
 	for _, t := range e.tables {
 		tabs = append(tabs, t)
 	}
+	e.vacTabs = tabs
 	e.catMu.RUnlock()
 	total := 0
 	for _, t := range tabs {
-		t.mu.Lock()
-		removed := t.store.Vacuum(horizon)
-		for id, versions := range removed {
-			for _, v := range versions {
-				t.dropIndexEntries(id, v.Data.([]sql.Value))
-				total++
-			}
+		// Cheap shared-lock peek: skip tables with nothing reclaimable so
+		// an idle pass takes no exclusive locks at all.
+		if !t.store.ReclaimableBelow(horizon) {
+			continue
 		}
+		t.mu.Lock()
+		buf := t.store.Vacuum(horizon, e.vacBuf[:0])
+		if len(buf) > 0 {
+			e.dropIndexBatch(t, buf)
+			total += len(buf)
+		}
+		clear(buf) // release row payload references until the next pass
+		e.vacBuf = buf[:0]
 		t.mu.Unlock()
 	}
-	e.statVacuumed.Add(uint64(total))
+	if total > 0 {
+		e.statVacuumed.Add(uint64(total))
+	}
+	e.vacHGate.Store(uint64(horizon))
 	return total
+}
+
+// dropIndexBatch removes the index postings of reclaimed versions, unless
+// another surviving version of the same row still carries the same key.
+// Deletions are coalesced into one sorted ApplyBatch per index. Called
+// with t.mu held exclusively and vacMu held (the scratch owner).
+func (e *Engine) dropIndexBatch(t *Table, rec []mvcc.Reclaimed) {
+	if len(t.idxList) == 0 {
+		return
+	}
+	keys := e.vacKeys[:0]
+	ops := e.vacOps[:0]
+	for _, r := range rec {
+		row := r.Ver.Data.([]sql.Value)
+		for _, idx := range t.idxList {
+			v := row[idx.colPos]
+			keep := false
+			t.store.Versions(r.ID, func(sv mvcc.Version) bool {
+				if sql.Equal(sv.Data.([]sql.Value)[idx.colPos], v) {
+					keep = true
+					return false
+				}
+				return true
+			})
+			if keep {
+				continue
+			}
+			off := uint32(len(keys))
+			keys = sql.EncodeKey(keys, v)
+			ops = append(ops, vacOp{slot: int32(idx.slot), off: off, end: uint32(len(keys)), id: uint64(r.ID)})
+		}
+	}
+	e.vacKeys = keys
+	e.vacOps = ops
+	if len(ops) == 0 {
+		return
+	}
+	slices.SortFunc(ops, func(a, b vacOp) int {
+		if a.slot != b.slot {
+			return int(a.slot) - int(b.slot)
+		}
+		return bytes.Compare(keys[a.off:a.end], keys[b.off:b.end])
+	})
+	batch := e.vacBatch[:0]
+	slot := ops[0].slot
+	flush := func() {
+		if len(batch) > 0 {
+			t.idxList[slot].tree.ApplyBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	for _, o := range ops {
+		if o.slot != slot {
+			flush()
+			slot = o.slot
+		}
+		batch = append(batch, btree.Op{Key: keys[o.off:o.end], ID: o.id, Del: true})
+	}
+	flush()
+	e.vacBatch = batch[:0]
 }
 
 // Begin starts a transaction. Read-only transactions run at snapshot snap,

@@ -1,0 +1,6 @@
+//go:build !race
+
+package db
+
+// raceAllocSlack is zero without the race detector: the ceilings bind.
+const raceAllocSlack = 0

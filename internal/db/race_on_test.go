@@ -1,0 +1,8 @@
+//go:build race
+
+package db
+
+// raceAllocSlack widens the pinned allocation ceilings under the race
+// detector, whose instrumentation adds bookkeeping allocations that are
+// not regressions of the paths under test.
+const raceAllocSlack = 4

@@ -6,16 +6,31 @@ package db
 //                order (deadlock-free against every other lock set)
 //  2. validate — first-committer-wins and unique checks, per table
 //  3. stamp    — allocate the commit timestamp from an atomic counter
-//  4. apply    — install new versions and index entries
+//  4. apply    — install new versions; *queue* index mutations on the
+//                table's pending batch (or install them inline when the
+//                pipeline is empty and this commit will publish next)
 //  5. unlock   — release the table locks; a conflicting later commit now
 //                sees the new versions and fails validation against them
-//  6. publish  — advance the engine's visibility watermark strictly in
-//                timestamp order and flush invalidation messages
+//  6. publish  — the committer at the head of the pipeline drains every
+//                consecutive applied commit as one group, flushes the
+//                group's coalesced index batches (one sorted ApplyBatch
+//                per index per table), then advances the visibility
+//                watermark and flushes invalidation messages
 //
-// Only step 6 is serialized, and it holds no table lock. A timestamp is
-// allocated only after validation succeeds, so every stamped commit is
-// guaranteed to reach publish: the pipeline never stalls waiting for an
-// aborted commit's slot.
+// Only step 6 is serialized. A timestamp is allocated only after
+// validation succeeds, so every stamped commit is guaranteed to reach
+// publish: the pipeline never stalls waiting for an aborted commit's slot.
+//
+// Deferring index maintenance to the publish step is sound because readers
+// derive snapshots from the *published* watermark: before the watermark
+// advances past a commit, its versions are invisible, so the absence of
+// their index entries cannot be observed — an update's row stays reachable
+// through its old keys (postings are per row, heap-pointer style), and its
+// new keys only matter to snapshots at or above the commit. The single
+// tree consumer that must see unpublished state — the unique-index check —
+// reads the pending queue explicitly (checkUniqueRow). The flush happens
+// outside the sequencer mutex (guarded by the flushing flag), so applies
+// of later commits proceed while a group's batches install.
 
 import (
 	"sync"
@@ -25,6 +40,13 @@ import (
 	"txcache/internal/invalidation"
 )
 
+// commitRec is one applied commit awaiting publish: its invalidation tags
+// and the tables whose pending index batches it contributed to.
+type commitRec struct {
+	tags   []invalidation.TagID
+	tables []*Table
+}
+
 // commitSequencer allocates commit timestamps and publishes applied
 // commits in timestamp order. Readers derive their snapshots from the
 // published watermark, so a half-applied commit (stamped but not yet
@@ -33,16 +55,20 @@ type commitSequencer struct {
 	last atomic.Uint64 // most recently allocated commit timestamp
 
 	mu        sync.Mutex
-	turn      sync.Cond                       // signaled when published advances
-	published uint64                          // every commit <= published is visible
-	ready     map[uint64][]invalidation.TagID // applied commits awaiting publish
+	turn      sync.Cond            // signaled when published advances
+	published uint64               // every commit <= published is visible
+	flushing  bool                 // a head committer is installing a group's index batches
+	ready     map[uint64]commitRec // applied commits awaiting publish
+
+	batchBuf []invalidation.Message // reused per group
+	tabBuf   []*Table               // reused per group (deduped flush set)
 }
 
 func (s *commitSequencer) init(start uint64) {
 	s.last.Store(start)
 	s.published = start
 	s.turn.L = &s.mu
-	s.ready = make(map[uint64][]invalidation.TagID)
+	s.ready = make(map[uint64]commitRec)
 }
 
 // allocate stamps a validated commit. Called with the write set's table
@@ -55,16 +81,17 @@ func (s *commitSequencer) allocate() interval.Timestamp {
 // finishCommit hands an applied commit to the sequencer and blocks until
 // it is visible. The committer that finds itself at the head of the
 // pipeline publishes every consecutive applied commit as one group: the
-// watermark advances once and the group's invalidation messages go to the
-// bus as a single ordered batch — the bus is outside every table critical
-// section, and a burst of commits costs one bus append instead of one per
-// commit.
-func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID) {
+// group's queued index mutations are flushed as one sorted batch per index
+// per table, the watermark advances once, and the group's invalidation
+// messages go to the bus as a single ordered batch — the bus append is an
+// enqueue, never a blocking delivery. A burst of commits costs one index
+// batch and one bus append instead of one per commit.
+func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID, tables []*Table) {
 	s := &e.seq
 	t := uint64(ts)
 	s.mu.Lock()
-	s.ready[t] = tags
-	for s.published < t-1 {
+	s.ready[t] = commitRec{tags: tags, tables: tables}
+	for s.published < t-1 || s.flushing {
 		s.turn.Wait()
 	}
 	if s.published >= t {
@@ -72,28 +99,62 @@ func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID) 
 		s.mu.Unlock()
 		return
 	}
-	// Head of the pipeline: drain the contiguous ready prefix.
-	var batch []invalidation.Message
+	// Head of the pipeline: drain the contiguous ready prefix as one group.
+	batch := s.batchBuf[:0]
+	tabs := s.tabBuf[:0]
 	now := e.clk.Now()
 	w := s.published
 	for {
-		tg, ok := s.ready[w+1]
+		rec, ok := s.ready[w+1]
 		if !ok {
 			break
 		}
 		delete(s.ready, w+1)
 		w++
 		if e.bus != nil {
-			batch = append(batch, invalidation.Message{TS: interval.Timestamp(w), WallTime: now, Tags: tg})
+			batch = append(batch, invalidation.Message{TS: interval.Timestamp(w), WallTime: now, Tags: rec.tags})
+		}
+		for _, tb := range rec.tables {
+			if !containsTable(tabs, tb) {
+				tabs = append(tabs, tb)
+			}
 		}
 	}
+	s.flushing = true
+	s.mu.Unlock()
+
+	// Index-maintenance stage: install the group's coalesced batches before
+	// anything at or above w becomes visible. Later commits keep applying
+	// (and queueing) meanwhile; ops they add to a table mid-flush are
+	// simply installed early, which readers cannot observe.
+	for _, tb := range tabs {
+		tb.flushIndexOps()
+	}
+
+	s.mu.Lock()
 	s.published = w
 	e.lastCommit.Store(w)
+	s.flushing = false
 	// Flush before waking successors so bus messages stay in timestamp
-	// order; the publish is an enqueue, never a blocking delivery.
+	// order; PublishBatch copies, so the buffer is reusable.
 	if len(batch) > 0 {
 		e.bus.PublishBatch(batch)
 	}
+	s.batchBuf = batch[:0]
+	s.tabBuf = tabs[:0]
 	s.turn.Broadcast()
 	s.mu.Unlock()
+
+	// Horizon-delta vacuum scheduling: the sequencer, not a wall-clock
+	// ticker, decides when reclamation runs.
+	e.maybeAutoVacuum()
+}
+
+func containsTable(ts []*Table, t *Table) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
 }

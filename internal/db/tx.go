@@ -1,6 +1,7 @@
 package db
 
 import (
+	"bytes"
 	"fmt"
 
 	"txcache/internal/interval"
@@ -240,7 +241,17 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	tags := &tx.sc.commitTags
 	tags.reset(e.wcLim)
 
-	// Apply updates and deletes.
+	// With no published backlog ahead of this commit, it will almost
+	// certainly head the next publish group itself — flush its index ops
+	// inline under the table locks it already holds instead of paying a
+	// second exclusive acquisition at publish. With a backlog, leave the
+	// ops queued so the head committer installs the whole group's batches
+	// at once. (Purely a heuristic: both paths are correct either way.)
+	inline := interval.Timestamp(e.lastCommit.Load()) == ts-1
+
+	// Apply updates and deletes. New versions go to the store now; index
+	// mutations are queued on each table's pending batch (the sequencer's
+	// index-maintenance stage installs them before ts becomes visible).
 	for tname, rows := range tx.writes {
 		t := ls.mustGet(tname)
 		for id, w := range rows {
@@ -249,7 +260,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 			switch w.op {
 			case opUpdate:
 				t.store.Update(mvcc.RowID(id), w.data, ts)
-				t.indexEntriesFor(mvcc.RowID(id), w.data)
+				t.queueIndexOps(mvcc.RowID(id), w.data)
 				tags.addRow(t, oldRow)
 				tags.addRow(t, w.data)
 			case opDelete:
@@ -267,9 +278,14 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 				continue
 			}
 			id := t.store.Insert(ins.data, ts)
-			t.indexEntriesFor(id, ins.data)
+			t.queueIndexOps(id, ins.data)
 			t.rowCount++
 			tags.addRow(t, ins.data)
+		}
+	}
+	if inline {
+		for _, t := range ls.tables {
+			t.flushIndexOpsLocked()
 		}
 	}
 	// The new versions carry a timestamp above every reachable snapshot,
@@ -282,7 +298,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	if e.bus != nil {
 		tagList = tags.tags()
 	}
-	e.finishCommit(ts, tagList)
+	e.finishCommit(ts, tagList, ls.tables)
 	return ts, nil
 }
 
@@ -315,7 +331,7 @@ func (tx *Tx) checkUnique(ls tableLockSet) error {
 }
 
 func (tx *Tx) checkUniqueRow(t *Table, row []sql.Value, selfID uint64) error {
-	for _, idx := range t.indexes {
+	for _, idx := range t.idxList {
 		if !idx.unique {
 			continue
 		}
@@ -326,24 +342,43 @@ func (tx *Tx) checkUniqueRow(t *Table, row []sql.Value, selfID uint64) error {
 		tx.sc.keyBuf = sql.EncodeKey(tx.sc.keyBuf[:0], v)
 		key := tx.sc.keyBuf
 		for _, cand := range idx.tree.Get(key) {
-			if cand == selfID {
-				continue
-			}
-			// A colliding committed live row?
-			latest, ok := t.store.Latest(mvcc.RowID(cand))
-			if !ok || latest.Deleted != interval.Infinity {
-				continue
-			}
-			// Superseded by our own write set?
-			if w, wrote := tx.writes[t.name][cand]; wrote {
-				if w.op == opDelete || !sql.Equal(w.data[idx.colPos], v) {
-					continue
-				}
-			}
-			if sql.Equal(latest.Data.([]sql.Value)[idx.colPos], v) {
-				return fmt.Errorf("%w: %s.%s = %s", ErrUnique, t.name, idx.column, sql.FormatValue(v))
+			if err := tx.checkUniqueCand(t, idx, v, cand, selfID); err != nil {
+				return err
 			}
 		}
+		// An applied-but-unpublished commit's index entries may still sit
+		// in the pending queue rather than the tree; its versions are
+		// already in the store, so the same candidate check applies.
+		for _, o := range t.pend.ops[idx.slot] {
+			if bytes.Equal(t.pend.arena[o.off:o.end], key) {
+				if err := tx.checkUniqueCand(t, idx, v, o.id, selfID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkUniqueCand tests one candidate row id for a live collision on
+// idx's column value v.
+func (tx *Tx) checkUniqueCand(t *Table, idx *Index, v sql.Value, cand, selfID uint64) error {
+	if cand == selfID {
+		return nil
+	}
+	// A colliding committed live row?
+	latest, ok := t.store.Latest(mvcc.RowID(cand))
+	if !ok || latest.Deleted != interval.Infinity {
+		return nil
+	}
+	// Superseded by our own write set?
+	if w, wrote := tx.writes[t.name][cand]; wrote {
+		if w.op == opDelete || !sql.Equal(w.data[idx.colPos], v) {
+			return nil
+		}
+	}
+	if sql.Equal(latest.Data.([]sql.Value)[idx.colPos], v) {
+		return fmt.Errorf("%w: %s.%s = %s", ErrUnique, t.name, idx.column, sql.FormatValue(v))
 	}
 	return nil
 }

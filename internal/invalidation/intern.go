@@ -34,20 +34,79 @@ type internEntry struct {
 // for map[string] indexed with string(bytes); reverse lookups read an
 // immutable prefix of the entries slice through an atomic snapshot, so
 // TagOf/WildOf take no lock at all.
+//
+// The table is bounded (SetInternLimit): wire decoders intern whatever
+// tags a peer sends, so an unbounded table would be remotely drivable.
+// TagIDs embedded in consumer state (cache-server posting lists, library
+// frames) make recycling IDs unsound — a recycled ID would silently change
+// meaning under its holders — so instead of an eviction epoch, tags first
+// seen at the cap degrade to coarser, already-interned granularities:
+//
+//	key tag   -> its table's wildcard (when that table is known)
+//	otherwise -> the reserved overflow wildcard (interned at init)
+//
+// Degradation only ever widens matching (a wildcard affects strictly more
+// dependents than any of its key tags), so correctness is preserved at the
+// cost of extra invalidations; memory stays bounded no matter what a peer
+// sends. The overflow wildcard is the terminal rollover epoch: every
+// beyond-cap tag of an unknown table shares it, on every node, because its
+// canonical wire form re-interns to the same reserved entry.
 type interner struct {
 	mu      sync.RWMutex
 	ids     map[string]TagID
 	entries atomic.Pointer[[]internEntry] // entries[id-1]; append-only prefix
+	limit   int
+	degrade atomic.Uint64 // interns answered with a coarser tag
+	over    TagID         // the reserved overflow wildcard
 }
+
+// DefaultInternLimit bounds the process-global tag table. At ~64 bytes per
+// entry the default caps interner memory in the tens of MB; production
+// deployments size it to their hot-key cardinality via SetInternLimit.
+const DefaultInternLimit = 1 << 20
+
+// overflowTable names the reserved overflow wildcard's pseudo-table. SQL
+// identifiers cannot contain NUL, so it collides with no real table.
+const overflowTable = "\x00overflow"
 
 var global = newInterner()
 
 func newInterner() *interner {
-	in := &interner{ids: make(map[string]TagID, 256)}
+	in := &interner{ids: make(map[string]TagID, 256), limit: DefaultInternLimit}
 	empty := make([]internEntry, 0, 256)
 	in.entries.Store(&empty)
+	k := internKey(nil, overflowTable, "", true)
+	in.over = in.intern(k, Tag{Table: overflowTable, Wildcard: true})
 	return in
 }
+
+// SetInternLimit caps the number of distinct tags the process-global
+// interner will hold; beyond it, new tags degrade to coarser granularities
+// (see the interner doc). Lowering the limit below the current count stops
+// growth but evicts nothing. The floor is 64.
+func SetInternLimit(n int) {
+	if n < 64 {
+		n = 64
+	}
+	global.mu.Lock()
+	global.limit = n
+	global.mu.Unlock()
+}
+
+// InternLimit returns the current interner cap.
+func InternLimit() int {
+	global.mu.RLock()
+	defer global.mu.RUnlock()
+	return global.limit
+}
+
+// OverflowID returns the reserved overflow wildcard: the tag every
+// beyond-cap tag of an unknown table degrades to.
+func OverflowID() TagID { return global.over }
+
+// DegradedCount returns how many intern requests were answered with a
+// coarser tag because the table was at its cap (monitoring).
+func DegradedCount() uint64 { return global.degrade.Load() }
 
 // internKey builds the composite lookup key for a tag. Wildcard tags are
 // canonicalized to their table (any Key field is ignored, as wildcard
@@ -74,42 +133,63 @@ func (in *interner) lookup(k []byte) (TagID, bool) {
 }
 
 // intern inserts t (already canonicalized when wildcard) under key k,
-// returning the existing ID on a race.
+// returning the existing ID on a race. At the cap, new tags are not
+// inserted: they degrade to the coarsest already-interned covering tag.
 func (in *interner) intern(k []byte, t Tag) TagID {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if id, ok := in.ids[string(k)]; ok {
 		return id
 	}
-	var wild TagID
-	if !t.Wildcard {
-		// Resolve (possibly creating) the table's wildcard ID first so every
-		// key tag's entry can point at it.
-		wild = in.wildLocked(t.Table)
-	}
-	cur := *in.entries.Load()
-	id := TagID(len(cur) + 1)
 	if t.Wildcard {
-		wild = id
+		cur := *in.entries.Load()
+		if len(cur) >= in.limit {
+			in.degrade.Add(1)
+			return in.over
+		}
+		id := TagID(len(cur) + 1)
+		next := append(cur, internEntry{tag: t, wild: id})
+		in.entries.Store(&next)
+		in.ids[string(k)] = id
+		return id
 	}
+	// Key tag: resolve (possibly creating) the table's wildcard first so
+	// the entry can point at it — and so a beyond-cap key tag has it to
+	// degrade to.
+	wild, ok := in.wildLocked(t.Table)
+	if !ok {
+		in.degrade.Add(1)
+		return in.over
+	}
+	cur := *in.entries.Load() // wildLocked may have appended
+	if len(cur) >= in.limit {
+		in.degrade.Add(1)
+		return wild
+	}
+	id := TagID(len(cur) + 1)
 	next := append(cur, internEntry{tag: t, wild: wild})
 	in.entries.Store(&next)
 	in.ids[string(k)] = id
 	return id
 }
 
-// wildLocked interns the wildcard tag for table; caller holds mu.
-func (in *interner) wildLocked(table string) TagID {
+// wildLocked resolves the wildcard tag for table, interning it when room
+// remains; ok is false when the table is unknown and the cap is reached.
+// Caller holds mu.
+func (in *interner) wildLocked(table string) (TagID, bool) {
 	k := internKey(nil, table, "", true)
 	if id, ok := in.ids[string(k)]; ok {
-		return id
+		return id, true
 	}
 	cur := *in.entries.Load()
+	if len(cur) >= in.limit {
+		return 0, false
+	}
 	id := TagID(len(cur) + 1)
 	next := append(cur, internEntry{tag: WildcardTag(table), wild: id})
 	in.entries.Store(&next)
 	in.ids[string(k)] = id
-	return id
+	return id, true
 }
 
 // Intern returns the TagID for t, assigning one on first sight.
@@ -207,6 +287,7 @@ func Affects(mt, vt TagID) bool {
 }
 
 // InternedCount returns the number of distinct tags interned so far
-// (monitoring; the interner grows with the set of distinct hot keys and is
-// never compacted).
+// (monitoring; the interner grows with the set of distinct hot keys up to
+// SetInternLimit and is never compacted — see the interner doc for why
+// beyond-cap tags degrade instead of evicting).
 func InternedCount() int { return len(*global.entries.Load()) }

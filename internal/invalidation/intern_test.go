@@ -127,3 +127,80 @@ func TestInternConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestInternCapDegrades: at the cap, new key tags of a known table degrade
+// to its wildcard, and tags of unknown tables degrade to the shared
+// overflow wildcard. Degradation must only widen matching (conservative
+// over-invalidation, never a missed one).
+func TestInternCapDegrades(t *testing.T) {
+	defer SetInternLimit(DefaultInternLimit)
+
+	// Intern a table's wildcard and one key tag while room remains, then
+	// slam the cap shut at the current size.
+	w := Intern(WildcardTag("captable"))
+	k1 := Intern(KeyTag("captable", "c", "1"))
+	SetInternLimit(64) // floor; far below DefaultInternLimit but >= current count
+	SetInternLimit(InternedCount())
+	if InternLimit() != max(64, InternedCount()) {
+		t.Fatalf("InternLimit = %d", InternLimit())
+	}
+	if got := InternedCount(); got > InternLimit() {
+		t.Fatalf("count %d above limit %d", got, InternLimit())
+	}
+	before := InternedCount()
+	d0 := DegradedCount()
+
+	// Known tag: unaffected by the cap.
+	if got := Intern(KeyTag("captable", "c", "1")); got != k1 {
+		t.Fatalf("already-interned tag changed ID at cap: %d != %d", got, k1)
+	}
+	// New key tag of a known table: degrades to the table wildcard.
+	if got := Intern(KeyTag("captable", "c", "2")); got != w {
+		t.Fatalf("beyond-cap key tag = %d, want table wildcard %d", got, w)
+	}
+	// New tags of an unknown table: degrade to the overflow wildcard,
+	// whichever constructor path interns them.
+	if got := Intern(KeyTag("capunknown", "c", "1")); got != OverflowID() {
+		t.Fatalf("beyond-cap unknown-table key tag = %d, want overflow %d", got, OverflowID())
+	}
+	if got := InternWildcard("capunknown2"); got != OverflowID() {
+		t.Fatalf("beyond-cap wildcard = %d, want overflow %d", got, OverflowID())
+	}
+	if got, _ := InternParts(nil, "capunknown3", "c=9", false); got != OverflowID() {
+		t.Fatalf("beyond-cap wire tag = %d, want overflow %d", got, OverflowID())
+	}
+	var scratch []byte
+	if got, _ := InternKeyBytes(scratch, "capunknown4", "c", []byte("9")); got != OverflowID() {
+		t.Fatalf("beyond-cap key bytes = %d, want overflow %d", got, OverflowID())
+	}
+	if InternedCount() != before {
+		t.Fatalf("cap breached: %d -> %d entries", before, InternedCount())
+	}
+	if DegradedCount() == d0 {
+		t.Fatal("DegradedCount did not advance")
+	}
+
+	// Conservative property: a degraded message tag still affects every
+	// dependent its exact form would have affected.
+	if !Affects(Intern(KeyTag("captable", "c", "7")), k1) {
+		t.Fatal("degraded key tag must (over-)affect its table's key dependents")
+	}
+	if !Affects(Intern(KeyTag("capunknown", "c", "1")), Intern(KeyTag("capunknown", "c", "1"))) {
+		t.Fatal("two beyond-cap tags of one unknown table must still affect each other")
+	}
+	// The overflow wildcard behaves as a wildcard of its own pseudo-table.
+	if !IsWildcard(OverflowID()) || WildOf(OverflowID()) != OverflowID() {
+		t.Fatal("overflow ID must be its own wildcard")
+	}
+}
+
+// TestOverflowRoundTripsWire: the overflow wildcard's canonical form
+// re-interns to the same reserved ID, so relaying a degraded tag between
+// processes converges instead of fabricating fresh tags.
+func TestOverflowRoundTripsWire(t *testing.T) {
+	o := TagOf(OverflowID())
+	id, _ := InternParts(nil, o.Table, o.Key, o.Wildcard)
+	if id != OverflowID() {
+		t.Fatalf("overflow wire round trip = %d, want %d", id, OverflowID())
+	}
+}

@@ -10,6 +10,13 @@
 // it. Old versions are retained until Vacuum removes those invisible to
 // every pinned snapshot, mirroring Postgres's no-overwrite storage manager
 // and asynchronous vacuum cleaner (paper §5.1).
+//
+// Reclamation is incremental: the moment a version dies (Update or Delete
+// bounds it), it is also recorded in an epoch-sharded dead queue — fixed-
+// size append-only slabs ordered by death timestamp. Vacuum therefore never
+// scans the live store: it pops whole slabs (and the boundary slab's
+// prefix) at or below the horizon and unlinks exactly those versions from
+// their chains, so a pass costs O(reclaimed), not O(rows).
 package mvcc
 
 import (
@@ -39,6 +46,117 @@ func (v Version) VisibleAt(ts interval.Timestamp) bool {
 	return v.Created <= ts && ts < v.Deleted
 }
 
+// Reclaimed is one version removed by Vacuum, keyed by its row, so the
+// engine can prune index entries.
+type Reclaimed struct {
+	ID  RowID
+	Ver Version
+}
+
+// slabSize is the number of dead versions per slab. Slabs are recycled
+// through a per-store free list, so steady-state death recording and
+// reclamation allocate nothing.
+const slabSize = 256
+
+// deadSlab is one epoch shard of the dead queue: an append-only run of
+// versions in (engine-guaranteed nondecreasing) death-timestamp order.
+type deadSlab struct {
+	entries  []Reclaimed // len <= slabSize; backing array retained on recycle
+	maxDeath interval.Timestamp
+}
+
+// deadQueue is the store's reclamation index: a FIFO of slabs ordered by
+// death timestamp. head marks the consumed prefix of the front slab.
+type deadQueue struct {
+	slabs []*deadSlab
+	head  int // consumed entries of slabs[0]
+	free  []*deadSlab
+}
+
+func (q *deadQueue) push(id RowID, v Version) {
+	var s *deadSlab
+	if n := len(q.slabs); n > 0 && len(q.slabs[n-1].entries) < slabSize {
+		s = q.slabs[n-1]
+	} else {
+		if n := len(q.free); n > 0 {
+			s = q.free[n-1]
+			q.free = q.free[:n-1]
+		} else {
+			s = &deadSlab{entries: make([]Reclaimed, 0, slabSize)}
+		}
+		q.slabs = append(q.slabs, s)
+	}
+	s.entries = append(s.entries, Reclaimed{ID: id, Ver: v})
+	if v.Deleted > s.maxDeath {
+		s.maxDeath = v.Deleted
+	}
+}
+
+// popInto appends every queued entry with Deleted <= horizon to buf and
+// returns the extended slice. Whole slabs at or below the horizon are
+// drained in one append and recycled; at most one boundary slab is consumed
+// partially. Entries recorded out of death order (possible only for
+// standalone stores; the engine's per-table commit order is monotone) are
+// reclaimed conservatively late: a blocking entry above the horizon delays
+// everything behind it until the horizon passes.
+func (q *deadQueue) popInto(horizon interval.Timestamp, buf []Reclaimed) []Reclaimed {
+	for len(q.slabs) > 0 {
+		s := q.slabs[0]
+		if q.head == 0 && s.maxDeath <= horizon && len(s.entries) == slabSize {
+			buf = append(buf, s.entries...)
+			q.retireFront(s)
+			continue
+		}
+		e := s.entries
+		i := q.head
+		for i < len(e) && e[i].Ver.Deleted <= horizon {
+			buf = append(buf, e[i])
+			e[i] = Reclaimed{} // release the Data reference now
+			i++
+		}
+		q.head = i
+		if i < len(e) {
+			return buf // boundary entry above the horizon
+		}
+		if len(e) < slabSize {
+			return buf // tail slab, still receiving appends
+		}
+		q.retireFront(s)
+	}
+	return buf
+}
+
+// retireFront recycles the fully-consumed front slab.
+func (q *deadQueue) retireFront(s *deadSlab) {
+	clear(s.entries)
+	s.entries = s.entries[:0]
+	s.maxDeath = 0
+	copy(q.slabs, q.slabs[1:])
+	q.slabs[len(q.slabs)-1] = nil
+	q.slabs = q.slabs[:len(q.slabs)-1]
+	q.head = 0
+	q.free = append(q.free, s)
+}
+
+// pending returns the number of dead versions awaiting reclamation.
+func (q *deadQueue) pending() int {
+	n := -q.head
+	for _, s := range q.slabs {
+		n += len(s.entries)
+	}
+	return n
+}
+
+// reclaimableBelow reports whether any queued entry could be reclaimed at
+// horizon, by peeking the front of the queue.
+func (q *deadQueue) reclaimableBelow(horizon interval.Timestamp) bool {
+	if len(q.slabs) == 0 {
+		return false
+	}
+	s := q.slabs[0]
+	return q.head < len(s.entries) && s.entries[q.head].Ver.Deleted <= horizon
+}
+
 // Store holds the version chains of one table. The caller (the database
 // engine) is responsible for serializing mutations; concurrent readers are
 // safe alongside each other but not alongside writers. The engine enforces
@@ -49,6 +167,7 @@ type Store struct {
 	mu     sync.RWMutex
 	nextID RowID
 	rows   map[RowID][]Version // chains ordered by Created ascending
+	dead   deadQueue           // versions awaiting reclamation, by death ts
 }
 
 // NewStore returns an empty store.
@@ -82,6 +201,7 @@ func (s *Store) Update(id RowID, data any, ts interval.Timestamp) {
 		panic(fmt.Sprintf("mvcc: update of deleted row %d", id))
 	}
 	last.Deleted = ts
+	s.dead.push(id, *last)
 	s.rows[id] = append(chain, Version{Created: ts, Deleted: interval.Infinity, Data: data})
 }
 
@@ -98,6 +218,7 @@ func (s *Store) Delete(id RowID, ts interval.Timestamp) {
 		panic(fmt.Sprintf("mvcc: delete of deleted row %d", id))
 	}
 	last.Deleted = ts
+	s.dead.push(id, *last)
 }
 
 // Latest returns the newest version of id and whether the row exists (it may
@@ -139,7 +260,8 @@ func (s *Store) Versions(id RowID, fn func(Version) bool) {
 }
 
 // Scan calls fn with every row's chain. Iteration order is unspecified.
-// fn must not retain the chain slice.
+// fn must not retain the chain slice. Scan is for bulk operations (index
+// backfill, debugging); the steady-state reclamation path never uses it.
 func (s *Store) Scan(fn func(id RowID, chain []Version) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -170,31 +292,56 @@ func (s *Store) VersionCount() int {
 	return n
 }
 
+// DeadCount returns the number of dead versions awaiting reclamation.
+func (s *Store) DeadCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dead.pending()
+}
+
+// ReclaimableBelow reports whether a Vacuum at horizon would reclaim
+// anything, without taking the write lock or touching chains.
+func (s *Store) ReclaimableBelow(horizon interval.Timestamp) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dead.reclaimableBelow(horizon)
+}
+
 // Vacuum removes versions invisible to every snapshot >= horizon: a version
 // is reclaimed iff Deleted <= horizon. Rows whose every version is reclaimed
-// are removed entirely. It returns the removed versions so the engine can
-// prune index entries, keyed by row.
-func (s *Store) Vacuum(horizon interval.Timestamp) map[RowID][]Version {
+// are removed entirely. Reclaimed versions are appended to buf (a reusable
+// caller-supplied buffer) and returned so the engine can prune index
+// entries; when nothing is reclaimable the pass performs no allocation and
+// returns buf unchanged. The cost is proportional to the number of versions
+// reclaimed: the dead queue is popped by death timestamp, and only the
+// chains of reclaimed rows are touched.
+func (s *Store) Vacuum(horizon interval.Timestamp, buf []Reclaimed) []Reclaimed {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	removed := make(map[RowID][]Version)
-	for id, chain := range s.rows {
-		keep := chain[:0:0]
-		for _, v := range chain {
-			if v.Deleted <= horizon {
-				removed[id] = append(removed[id], v)
+	n0 := len(buf)
+	buf = s.dead.popInto(horizon, buf)
+	for i := n0; i < len(buf); i++ {
+		s.unlink(buf[i].ID, buf[i].Ver)
+	}
+	return buf
+}
+
+// unlink removes the reclaimed version from its row's chain. Versions are
+// identified by their (Created, Deleted) interval, which is unique within a
+// chain up to identical duplicates.
+func (s *Store) unlink(id RowID, v Version) {
+	chain := s.rows[id]
+	for i := range chain {
+		if chain[i].Created == v.Created && chain[i].Deleted == v.Deleted {
+			copy(chain[i:], chain[i+1:])
+			chain[len(chain)-1] = Version{} // drop the trailing Data reference
+			chain = chain[:len(chain)-1]
+			if len(chain) == 0 {
+				delete(s.rows, id)
 			} else {
-				keep = append(keep, v)
+				s.rows[id] = chain
 			}
-		}
-		if len(keep) == 0 {
-			delete(s.rows, id)
-		} else if len(keep) != len(chain) {
-			s.rows[id] = keep
+			return
 		}
 	}
-	if len(removed) == 0 {
-		return nil
-	}
-	return removed
 }

@@ -79,6 +79,15 @@ func TestUpdateDeletedPanics(t *testing.T) {
 	s.Update(id, "b", 30)
 }
 
+// byRow regroups reclaimed versions for assertions.
+func byRow(rec []Reclaimed) map[RowID][]Version {
+	out := map[RowID][]Version{}
+	for _, r := range rec {
+		out[r.ID] = append(out[r.ID], r.Ver)
+	}
+	return out
+}
+
 func TestVacuum(t *testing.T) {
 	s := NewStore()
 	id1 := s.Insert("a", 10) // updated at 20, 30
@@ -87,9 +96,18 @@ func TestVacuum(t *testing.T) {
 	id2 := s.Insert("x", 15)
 	s.Delete(id2, 25)
 
+	if s.DeadCount() != 3 {
+		t.Fatalf("DeadCount = %d, want 3", s.DeadCount())
+	}
+	if !s.ReclaimableBelow(20) || s.ReclaimableBelow(19) {
+		t.Fatal("ReclaimableBelow must track the oldest death (20)")
+	}
+
 	// Horizon 20: reclaim versions with Deleted <= 20, i.e. id1's "a".
-	removed := s.Vacuum(20)
-	if len(removed[id1]) != 1 || removed[id1][0].Data != "a" {
+	var buf []Reclaimed
+	buf = s.Vacuum(20, buf[:0])
+	removed := byRow(buf)
+	if len(removed) != 1 || len(removed[id1]) != 1 || removed[id1][0].Data != "a" {
 		t.Fatalf("removed = %v", removed)
 	}
 	if v, ok := s.VisibleAt(id1, 20); !ok || v.Data != "b" {
@@ -100,15 +118,81 @@ func TestVacuum(t *testing.T) {
 	}
 
 	// Horizon 40: id2 fully reclaimed, id1 keeps only "c".
-	removed = s.Vacuum(40)
+	buf = s.Vacuum(40, buf[:0])
+	removed = byRow(buf)
 	if len(removed[id2]) != 1 {
 		t.Fatalf("id2 not reclaimed: %v", removed)
 	}
-	if s.Len() != 1 || s.VersionCount() != 1 {
-		t.Fatalf("Len=%d VersionCount=%d, want 1,1", s.Len(), s.VersionCount())
+	if s.Len() != 1 || s.VersionCount() != 1 || s.DeadCount() != 0 {
+		t.Fatalf("Len=%d VersionCount=%d DeadCount=%d, want 1,1,0",
+			s.Len(), s.VersionCount(), s.DeadCount())
 	}
-	if removed := s.Vacuum(1 << 40); removed != nil {
-		t.Fatalf("still-valid version must never be vacuumed: %v", removed)
+	if buf = s.Vacuum(1<<40, buf[:0]); len(buf) != 0 {
+		t.Fatalf("still-valid version must never be vacuumed: %v", buf)
+	}
+}
+
+// TestVacuumSlabRecycling churns enough deaths to span many slabs and
+// verifies incremental passes reclaim exactly the horizon prefix.
+func TestVacuumSlabRecycling(t *testing.T) {
+	s := NewStore()
+	id := s.Insert(0, 1)
+	const churn = 5 * slabSize
+	for ts := interval.Timestamp(2); ts <= churn+1; ts++ {
+		s.Update(id, int(ts), ts)
+	}
+	if got := s.DeadCount(); got != churn {
+		t.Fatalf("DeadCount = %d, want %d", got, churn)
+	}
+	var buf []Reclaimed
+	total := 0
+	for h := interval.Timestamp(100); ; h += 97 {
+		buf = s.Vacuum(h, buf[:0])
+		for _, r := range buf {
+			if r.Ver.Deleted > h {
+				t.Fatalf("reclaimed version dead at %d above horizon %d", r.Ver.Deleted, h)
+			}
+		}
+		total += len(buf)
+		if h > churn+2 {
+			break
+		}
+	}
+	if total != churn || s.DeadCount() != 0 || s.VersionCount() != 1 {
+		t.Fatalf("reclaimed %d (want %d), DeadCount=%d, VersionCount=%d",
+			total, churn, s.DeadCount(), s.VersionCount())
+	}
+	// The recycled slabs serve new churn without growing the queue.
+	for ts := interval.Timestamp(churn + 2); ts < churn+2+slabSize; ts++ {
+		s.Update(id, int(ts), ts)
+	}
+	buf = s.Vacuum(1<<40, buf[:0])
+	if len(buf) != slabSize || s.VersionCount() != 1 {
+		t.Fatalf("second churn reclaimed %d, VersionCount=%d", len(buf), s.VersionCount())
+	}
+}
+
+// TestVacuumOutOfOrderDeaths covers standalone (non-engine) stores where
+// death timestamps are not recorded monotonically: reclamation may be
+// delayed behind a blocking younger death, but never reclaims above the
+// horizon and catches up once the horizon passes.
+func TestVacuumOutOfOrderDeaths(t *testing.T) {
+	s := NewStore()
+	a := s.Insert("a", 1)
+	b := s.Insert("b", 1)
+	s.Delete(a, 50) // recorded first, dies later
+	s.Delete(b, 10)
+
+	var buf []Reclaimed
+	if buf = s.Vacuum(20, buf[:0]); len(buf) != 0 {
+		t.Fatalf("blocked entry must delay reclamation, got %v", buf)
+	}
+	if _, ok := s.VisibleAt(b, 5); !ok {
+		t.Fatal("b must survive the blocked pass")
+	}
+	buf = s.Vacuum(60, buf[:0])
+	if len(buf) != 2 || s.Len() != 0 {
+		t.Fatalf("catch-up pass reclaimed %v, Len=%d", buf, s.Len())
 	}
 }
 
@@ -196,7 +280,7 @@ func TestVacuumPreservesVisibility(t *testing.T) {
 			before[id][probe] = obs{v.Data, ok}
 		}
 	}
-	s.Vacuum(horizon)
+	s.Vacuum(horizon, nil)
 	for _, id := range ids {
 		for probe, want := range before[id] {
 			v, ok := s.VisibleAt(id, probe)

@@ -11,10 +11,14 @@ import (
 	"txcache/internal/db"
 )
 
+// Mix is a workload's per-interaction weight table, in 1/1000ths; weights
+// must sum to 1000.
+type Mix = [numInteractions]int
+
 // BiddingMix is the standard RUBiS "bidding" workload: 15% of interactions
 // are read/write (paper §8). Weights are per-interaction probabilities in
 // 1/1000ths and sum to 1000; read/write entries total 150.
-var BiddingMix = [numInteractions]int{
+var BiddingMix = Mix{
 	IHome:                     40,
 	IRegisterForm:             8,
 	IRegisterUser:             12, // RW
@@ -43,16 +47,41 @@ var BiddingMix = [numInteractions]int{
 	IAboutMe:                  10,
 }
 
+// WriteHeavyMix skews the bidding mix hard toward the store interactions:
+// 60% of interactions are read/write (vs the bidding mix's 15%), dominated
+// by StoreBid (updates items.nb_of_bids/max_bid and inserts a bid) and
+// RegisterItem/StoreComment/RegisterUser (pure inserts). It is the
+// commit-path stressor behind the `writeheavy` experiment, not a standard
+// RUBiS mix.
+var WriteHeavyMix = Mix{
+	IHome:                  30,
+	IBrowseCategories:      60,
+	ISearchItemsInCategory: 120,
+	IViewItem:              120,
+	IViewUserInfo:          40,
+	IViewBidHistory:        30,
+	IStoreBid:              280, // RW
+	IStoreBuyNow:           60,  // RW
+	IStoreComment:          120, // RW
+	IRegisterItem:          100, // RW
+	IRegisterUser:          40,  // RW
+}
+
 func init() {
+	checkMix("BiddingMix", &BiddingMix, 150)
+	checkMix("WriteHeavyMix", &WriteHeavyMix, 600)
+}
+
+func checkMix(name string, mix *Mix, wantRW int) {
 	sum, rw := 0, 0
-	for i, w := range BiddingMix {
+	for i, w := range mix {
 		sum += w
 		if IsReadWrite(i) {
 			rw += w
 		}
 	}
-	if sum != 1000 || rw != 150 {
-		panic(fmt.Sprintf("rubis: BiddingMix sums to %d (rw %d), want 1000 (rw 150)", sum, rw))
+	if sum != 1000 || rw != wantRW {
+		panic(fmt.Sprintf("rubis: %s sums to %d (rw %d), want 1000 (rw %d)", name, sum, rw, wantRW))
 	}
 }
 
@@ -191,6 +220,10 @@ func (a *App) DoInteraction(rng *rand.Rand, user int64, kind int, staleness time
 	s := &session{app: a, rng: rng, user: user, now: func() int64 { return time.Now().Unix() }}
 	return s.run(kind, staleness)
 }
+
+// PickFrom draws one interaction from mix, for external load loops driving
+// a non-default mix through DoInteraction.
+func PickFrom(rng *rand.Rand, mix *Mix) int { return pick(rng, mix) }
 
 func pick(rng *rand.Rand, mix *[numInteractions]int) int {
 	n := rng.Intn(1000)

@@ -1,8 +1,18 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-write alloc-regression profile fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-write alloc-regression profile fuzz-smoke examples
 
-ci: fmt vet build race alloc-regression bench-write fuzz-smoke
+ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke
+
+# Build and briefly run every example against the public API — the
+# examples are the documented quickstart path, so "compiles and runs" is a
+# CI property, not a hope. Each run is bounded: a hang is a failure, not a
+# stuck pipeline.
+examples:
+	$(GO) build ./examples/... ./cmd/...
+	timeout 120 $(GO) run ./examples/quickstart >/dev/null
+	timeout 120 $(GO) run ./examples/wiki >/dev/null
+	timeout 120 $(GO) run ./examples/auction >/dev/null
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

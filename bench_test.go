@@ -9,6 +9,7 @@
 package txcache_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -42,7 +43,7 @@ func runMix(b *testing.B, site *bench.Site, stalenessPaperSec float64) {
 		rng := rand.New(rand.NewSource(1000 + seed.Add(1)))
 		user := int64(rng.Intn(site.App.DS.Scale.Users))
 		for pb.Next() {
-			_ = site.App.DoInteraction(rng, user, -1, staleness)
+			_ = site.App.DoInteraction(context.Background(), rng, user, -1, staleness)
 		}
 	})
 	b.StopTimer()
@@ -187,7 +188,7 @@ func BenchmarkWriteHeavy(b *testing.B) {
 				user := int64(rng.Intn(site.App.DS.Scale.Users))
 				for pb.Next() {
 					kind := rubis.PickFrom(rng, &rubis.WriteHeavyMix)
-					_ = site.App.DoInteraction(rng, user, kind, staleness)
+					_ = site.App.DoInteraction(context.Background(), rng, user, kind, staleness)
 				}
 			})
 			b.StopTimer()
@@ -257,7 +258,7 @@ func BenchmarkPincushionRoundTrip(b *testing.B) {
 	release := make([]interval.Timestamp, 0, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pins := site.PC.GetPins(time.Minute)
+		pins := site.PC.GetPins(context.Background(), time.Minute)
 		release = release[:0]
 		for _, p := range pins {
 			release = append(release, p.TS)
@@ -278,7 +279,7 @@ func BenchmarkCacheServer(b *testing.B) {
 	}
 	b.Run("lookup-hit", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			node.Lookup(fmt.Sprintf("key-%d", i%10000), 1<<19, 1<<21, 0, txcache.Infinity)
+			node.Lookup(context.Background(), fmt.Sprintf("key-%d", i%10000), 1<<19, 1<<21, 0, txcache.Infinity)
 		}
 	})
 	b.Run("put", func(b *testing.B) {

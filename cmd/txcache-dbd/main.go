@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
@@ -63,7 +64,12 @@ func main() {
 				// at-least-once in-order delivery, and the node's
 				// timestamp dedup makes that exactly-once.
 				for attempt := 0; ; attempt++ {
-					err := cl.PushInvalidation(m)
+					// Each delivery attempt is individually bounded so a hung
+					// node cannot wedge the retry loop past its own timeout;
+					// the loop itself retries until the ack arrives.
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err := cl.PushInvalidation(ctx, m)
+					cancel()
 					if err == nil {
 						break
 					}

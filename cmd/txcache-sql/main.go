@@ -20,10 +20,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"txcache/internal/core"
 	"txcache/internal/db"
@@ -91,7 +93,11 @@ func run(backend core.DB, local *db.Engine, line string) error {
 		fmt.Println("ok")
 		return nil
 	case *sql.Select:
-		tx, err := backend.Begin(true, 0)
+		// Each statement is one transaction bounded by a shell-side
+		// deadline, so a wedged daemon cannot hang the prompt forever.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		tx, err := backend.Begin(ctx, true, 0)
 		if err != nil {
 			return err
 		}
@@ -103,7 +109,9 @@ func run(backend core.DB, local *db.Engine, line string) error {
 		printResult(r)
 		return nil
 	default:
-		tx, err := backend.Begin(false, 0)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		tx, err := backend.Begin(ctx, false, 0)
 		if err != nil {
 			return err
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -23,6 +24,11 @@ import (
 )
 
 func main() {
+	// One context bounds the whole demo: every transaction of every
+	// emulated session runs under it, so a wedged daemon cannot hang the
+	// example past the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 	// --- Database daemon with the RUBiS dataset.
 	bus := txcache.NewBus(false)
 	engine := txcache.NewEngine(txcache.EngineOptions{Bus: bus})
@@ -78,6 +84,7 @@ func main() {
 
 	// --- Drive the bidding mix.
 	res := rubis.RunEmulator(app, rubis.EmulatorConfig{
+		Ctx:       ctx,
 		Clients:   8,
 		Staleness: 30 * time.Second,
 		Duration:  2 * time.Second,

@@ -1,49 +1,60 @@
-// Quickstart: a complete single-process TxCache deployment in ~100 lines.
+// Quickstart: a complete TxCache deployment in ~120 lines.
 //
-// It builds the database engine, one cache node, the pincushion, and the
-// library client; declares a cacheable function; and demonstrates the three
-// headline behaviors: memoization, automatic invalidation, and transactional
-// consistency under staleness.
+// It builds the database engine, one cache node served over real TCP, the
+// pincushion, and the library client; declares a cacheable function; and
+// demonstrates the headline behaviors through the context-first API:
+// memoization, automatic invalidation, transactional consistency under
+// staleness, and the ReadOnly/ReadWrite closure runners.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"txcache"
 )
 
 func main() {
-	// 1. The substrate: database, invalidation stream, cache node,
-	//    pincushion.
+	ctx := context.Background()
+
+	// 1. The substrate: database, invalidation stream, one cache node on a
+	//    real socket (so the client's asynchronous put queue and transport
+	//    counters are live), and the pincushion.
 	bus := txcache.NewBus(true)
 	engine := txcache.NewEngine(txcache.EngineOptions{Bus: bus})
 	node := txcache.NewCacheServer(txcache.CacheConfig{})
 	go node.ConsumeStream(bus.Subscribe())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	go node.Serve(l)
+	// Pool size 1 keeps this demo deterministic: the async put and the next
+	// lookup travel the same connection in order.
+	cn, err := txcache.DialCache(l.Addr().String(), 1)
+	must(err)
+	defer cn.Close() // drains queued puts (bounded), then tears down
 	pc := txcache.NewPincushion(txcache.PincushionConfig{DB: engine})
 
 	client := txcache.NewClient(txcache.Config{
 		DB:         txcache.WrapEngine(engine),
-		Nodes:      map[string]txcache.CacheNode{"local": node},
+		Nodes:      map[string]txcache.CacheNode{"local": cn},
 		Pincushion: pc,
 	})
 
-	// 2. Schema and data.
+	// 2. Schema and data. ReadWrite begins, commits, and releases on every
+	//    exit path, retrying serialization conflicts.
 	must(engine.DDL(`CREATE TABLE users (id BIGINT PRIMARY KEY, name TEXT, karma BIGINT)`))
 	must(engine.DDL(`CREATE INDEX users_name ON users (name)`))
-	rw, err := client.BeginRW()
+	_, err = client.ReadWrite(ctx, func(rw *txcache.Tx) error {
+		_, err := rw.Exec(`INSERT INTO users (id, name, karma) VALUES (1, 'alice', 100), (2, 'bob', 50)`)
+		return err
+	})
 	must(err)
-	_, err = rw.Exec(`INSERT INTO users (id, name, karma) VALUES (1, 'alice', 100), (2, 'bob', 50)`)
-	must(err)
-	_, err = rw.Commit()
-	must(err)
-	// Let the invalidation stream drain: a cache node only serves
-	// still-valid entries up to the last invalidation it has processed
-	// (the insert/invalidate race protection of paper §4.2).
-	time.Sleep(10 * time.Millisecond)
+	settle() // let the invalidation stream drain (paper §4.2)
 
 	// 3. A cacheable function: pure in (arguments, database state).
 	calls := 0
@@ -57,16 +68,20 @@ func main() {
 			return r.Rows[0][0].(int64), nil
 		})
 
-	// First call: miss, computed from the database and installed.
-	tx := client.BeginRO(30 * time.Second)
+	// First call: miss, computed from the database and installed (the
+	// install is an async put; FlushContext bounds the wait for it).
+	tx, err := client.Begin(ctx, txcache.WithStaleness(30*time.Second))
+	must(err)
 	k, err := getKarma(tx, int64(1))
 	must(err)
 	_, err = tx.Commit()
 	must(err)
+	must(cn.FlushContext(ctx))
 	fmt.Printf("alice's karma = %d (computed, %d call)\n", k, calls)
 
 	// Second call: served from the cache, no database work.
-	tx = client.BeginRO(30 * time.Second)
+	tx, err = client.Begin(ctx) // Config.DefaultStaleness (30s) applies
+	must(err)
 	k, err = getKarma(tx, int64(1))
 	must(err)
 	tx.Commit()
@@ -75,17 +90,17 @@ func main() {
 	// 4. Automatic invalidation: update the row; the cached entry's
 	//    validity interval is truncated by the invalidation stream — no
 	//    application invalidation code anywhere.
-	rw, err = client.BeginRW()
+	wts, err := client.ReadWrite(ctx, func(rw *txcache.Tx) error {
+		_, err := rw.Exec("UPDATE users SET karma = 1000 WHERE id = 1")
+		return err
+	})
 	must(err)
-	_, err = rw.Exec("UPDATE users SET karma = 1000 WHERE id = 1")
-	must(err)
-	wts, err := rw.Commit()
-	must(err)
-	time.Sleep(10 * time.Millisecond) // let the stream drain
+	settle()
 
-	// A transaction bounded by the write's timestamp sees the new value;
-	// threading commit timestamps like this gives session causality.
-	tx = client.BeginROSince(wts, 30*time.Second)
+	// A transaction bounded below by the write's timestamp sees the new
+	// value; threading commit timestamps like this gives session causality.
+	tx, err = client.Begin(ctx, txcache.WithStaleness(30*time.Second), txcache.WithMinTimestamp(wts))
+	must(err)
 	k, err = getKarma(tx, int64(1))
 	must(err)
 	tx.Commit()
@@ -93,23 +108,41 @@ func main() {
 
 	// 5. Consistency: a transaction that reads one value from the cache and
 	//    one from the database is still guaranteed a single-snapshot view.
-	tx = client.BeginRO(30 * time.Second)
-	a, err := getKarma(tx, int64(1))
-	must(err)
-	r, err := tx.Query("SELECT karma FROM users WHERE id = 2")
-	must(err)
-	b := r.Rows[0][0].(int64)
-	ts, err := tx.Commit()
+	//    The ReadOnly runner wraps begin/commit and reports the snapshot.
+	var a, b int64
+	ts, err := client.ReadOnly(ctx, func(tx *txcache.Tx) error {
+		var err error
+		if a, err = getKarma(tx, int64(1)); err != nil {
+			return err
+		}
+		r, err := tx.Query("SELECT karma FROM users WHERE id = 2")
+		if err != nil {
+			return err
+		}
+		b = r.Rows[0][0].(int64)
+		return nil
+	})
 	must(err)
 	fmt.Printf("consistent snapshot @%v: alice=%d bob=%d\n", ts, a, b)
 
-	st := client.Stats()
-	fmt.Printf("library stats: hits=%d misses=%d puts=%d\n", st.Hits(), st.Misses(), st.CachePuts.Load())
+	// 6. Final stats: the library counters plus the cache transport's
+	//    put-queue health (drops and errors are silent data-quality loss if
+	//    nobody surfaces them).
+	st, cs := client.Stats(), cn.ClientStats()
+	fmt.Printf("library stats: hits=%d misses=%d puts=%d hit-rate=%.0f%%\n",
+		st.Hits(), st.Misses(), st.CachePuts.Load(), 100*st.HitRate())
+	fmt.Printf("put queue: queued=%d sent=%d dropped=%d errors=%d\n",
+		cs.PutsQueued, cs.PutsSent, cs.PutsDropped, cs.PutErrors)
 	if calls != 2 {
 		log.Fatalf("expected exactly 2 computations, got %d", calls)
 	}
+	if cs.PutsDropped != 0 || cs.PutErrors != 0 {
+		log.Fatalf("put queue lost installs: %+v", cs)
+	}
 	fmt.Println("quickstart OK")
 }
+
+func settle() { time.Sleep(10 * time.Millisecond) }
 
 func must(err error) {
 	if err != nil {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -22,6 +23,8 @@ import (
 
 	"txcache"
 )
+
+var ctx = context.Background()
 
 type site struct {
 	client     *txcache.Client
@@ -75,17 +78,18 @@ func main() {
 			return fmt.Sprintf("%s (%d edits)", r.Rows[0][0], r.Rows[0][1]), nil
 		})
 
-	// Seed a user.
-	rw, err := client.BeginRW()
-	must(err)
-	_, err = rw.Exec("INSERT INTO wiki_users (id, name, edit_count) VALUES (1, 'alice', 0)")
-	must(err)
-	_, err = rw.Commit()
+	// Seed a user. The ReadWrite runner begins, commits, and retries
+	// serialization conflicts; the closure only holds the statements.
+	_, err := client.ReadWrite(ctx, func(rw *txcache.Tx) error {
+		_, err := rw.Exec("INSERT INTO wiki_users (id, name, edit_count) VALUES (1, 'alice', 0)")
+		return err
+	})
 	must(err)
 	settle()
 
 	// 1. A missing page: the negative render result is cached.
-	tx := client.BeginRO(30 * time.Second)
+	tx, err := client.Begin(ctx, txcache.WithStaleness(30*time.Second))
+	must(err)
 	page, err := s.renderPage(tx, "Go_(programming_language)")
 	must(err)
 	tx.Commit()
@@ -103,7 +107,8 @@ func main() {
 	// 3. Causality: bound by the edit's timestamp, Alice sees her page and
 	//    her new edit count, even though a lazier session might briefly see
 	//    the stale versions.
-	tx = client.BeginROSince(ts, 30*time.Second)
+	tx, err = client.Begin(ctx, txcache.WithStaleness(30*time.Second), txcache.WithMinTimestamp(ts))
+	must(err)
 	page, err = s.renderPage(tx, "Go_(programming_language)")
 	must(err)
 	who, err := s.getUser(tx, int64(1))
@@ -120,7 +125,8 @@ func main() {
 	//    snapshot (edit count N ⇔ page revision N).
 	ts = s.edit(1, "Go_(programming_language)", "Go is a statically typed language from Google. Rev 2.")
 	settle()
-	tx = client.BeginROSince(ts, 30*time.Second)
+	tx, err = client.Begin(ctx, txcache.WithStaleness(30*time.Second), txcache.WithMinTimestamp(ts))
+	must(err)
 	page, _ = s.renderPage(tx, "Go_(programming_language)")
 	who, _ = s.getUser(tx, int64(1))
 	tx.Commit()
@@ -132,10 +138,11 @@ func main() {
 
 	// 5. Subsequent readers are served from the cache.
 	for i := 0; i < 3; i++ {
-		tx = client.BeginRO(30 * time.Second)
-		_, err = s.renderPage(tx, "Go_(programming_language)")
+		_, err = client.ReadOnly(ctx, func(tx *txcache.Tx) error {
+			_, err := s.renderPage(tx, "Go_(programming_language)")
+			return err
+		})
 		must(err)
-		tx.Commit()
 	}
 	st := client.Stats()
 	fmt.Printf("stats: hits=%d misses=%d puts=%d\n", st.Hits(), st.Misses(), st.CachePuts.Load())
@@ -146,24 +153,31 @@ func main() {
 }
 
 // edit upserts a page and bumps the editor's edit count in one read/write
-// transaction (which bypasses the cache, paper §2.2).
+// transaction (which bypasses the cache, paper §2.2). The runner makes the
+// read-modify-write safe under conflicts: on a serialization failure the
+// whole closure re-runs against the newer snapshot.
 func (s *site) edit(editor int64, title, body string) txcache.Timestamp {
-	rw, err := s.client.BeginRW()
-	must(err)
-	r, err := rw.Query("SELECT id FROM pages WHERE title = ?", title)
-	must(err)
-	if len(r.Rows) == 0 {
-		_, err = rw.Exec("INSERT INTO pages (id, title, body, editor) VALUES (?, ?, ?, ?)",
-			time.Now().UnixNano()%1_000_000, title, body, editor)
-	} else {
-		_, err = rw.Exec("UPDATE pages SET body = ?, editor = ? WHERE title = ?", body, editor, title)
-	}
-	must(err)
-	r, err = rw.Query("SELECT edit_count FROM wiki_users WHERE id = ?", editor)
-	must(err)
-	_, err = rw.Exec("UPDATE wiki_users SET edit_count = ? WHERE id = ?", r.Rows[0][0].(int64)+1, editor)
-	must(err)
-	ts, err := rw.Commit()
+	ts, err := s.client.ReadWrite(ctx, func(rw *txcache.Tx) error {
+		r, err := rw.Query("SELECT id FROM pages WHERE title = ?", title)
+		if err != nil {
+			return err
+		}
+		if len(r.Rows) == 0 {
+			_, err = rw.Exec("INSERT INTO pages (id, title, body, editor) VALUES (?, ?, ?, ?)",
+				time.Now().UnixNano()%1_000_000, title, body, editor)
+		} else {
+			_, err = rw.Exec("UPDATE pages SET body = ?, editor = ? WHERE title = ?", body, editor, title)
+		}
+		if err != nil {
+			return err
+		}
+		r, err = rw.Query("SELECT edit_count FROM wiki_users WHERE id = ?", editor)
+		if err != nil {
+			return err
+		}
+		_, err = rw.Exec("UPDATE wiki_users SET edit_count = ? WHERE id = ?", r.Rows[0][0].(int64)+1, editor)
+		return err
+	})
 	must(err)
 	return ts
 }

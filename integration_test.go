@@ -1,6 +1,7 @@
 package txcache_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -138,30 +139,25 @@ func TestDistributedConsistencyOverTCP(t *testing.T) {
 			if from == to {
 				continue
 			}
-			err := rubis.RetryRW(func() error {
-				rw, err := cl.client.BeginRW()
-				if err != nil {
-					return err
-				}
+			// The ReadWrite runner owns begin/commit/abort and the
+			// serialization-conflict retry loop the old RetryRW idiom
+			// hand-rolled.
+			_, err := cl.client.ReadWrite(context.Background(), func(rw *txcache.Tx) error {
 				r, err := rw.Query("SELECT balance FROM accounts WHERE id = ?", from)
 				if err != nil || len(r.Rows) == 0 {
-					rw.Abort()
 					return err
 				}
 				bal := r.Rows[0][0].(int64)
 				if bal < 10 {
-					rw.Abort()
-					return nil
+					return nil // nothing to move; the empty commit is free
 				}
 				r2, err := rw.Query("SELECT balance FROM accounts WHERE id = ?", to)
 				if err != nil || len(r2.Rows) == 0 {
-					rw.Abort()
 					return err
 				}
 				rw.Exec("UPDATE accounts SET balance = ? WHERE id = ?", bal-10, from)
 				rw.Exec("UPDATE accounts SET balance = ? WHERE id = ?", r2.Rows[0][0].(int64)+10, to)
-				_, err = rw.Commit()
-				return err
+				return nil
 			})
 			if err != nil && !errors.Is(err, db.ErrSerialization) {
 				errs <- err
@@ -181,7 +177,11 @@ func TestDistributedConsistencyOverTCP(t *testing.T) {
 					return
 				default:
 				}
-				tx := cl.client.BeginRO(30 * time.Second)
+				tx, err := cl.client.Begin(context.Background(), txcache.WithStaleness(30*time.Second))
+				if err != nil {
+					errs <- err
+					return
+				}
 				var sum int64
 				bad := false
 				for id := int64(0); id < nAcct; id++ {

@@ -1,6 +1,7 @@
 package cacheserver
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -171,7 +172,7 @@ func TestServerMatchesModel(t *testing.T) {
 			key := keys[rng.Intn(len(keys))]
 			lo := interval.Timestamp(rng.Intn(int(ts)) + 1)
 			hi := lo + interval.Timestamp(rng.Intn(6))
-			got := s.Lookup(key, lo, hi, 0, interval.Infinity)
+			got := s.Lookup(context.Background(), key, lo, hi, 0, interval.Infinity)
 			want, found := m.lookup(key, lo, hi)
 			if got.Found != found {
 				t.Fatalf("op %d: lookup(%q,[%d,%d]) found=%v, model=%v (lastInval %d)",
@@ -475,7 +476,7 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 				}
 			}
 			for i := range pushers {
-				for pushers[i].PushInvalidation(msg) != nil {
+				for pushers[i].PushInvalidation(context.Background(), msg) != nil {
 					time.Sleep(time.Millisecond) // redialing; the stream may pause but not drop
 				}
 			}
@@ -538,7 +539,7 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 					for n := rng.Intn(3); n > 0; n-- {
 						reqs = append(reqs, BatchLookup{Key: keys[rng.Intn(keyCount)], Lo: reqLo, Hi: reqHi, OrigLo: 0, OrigHi: interval.Infinity})
 					}
-					for i, r := range c.LookupBatch(reqs) {
+					for i, r := range c.LookupBatch(context.Background(), reqs) {
 						if r.Found {
 							hits.Add(1)
 							o.checkFound(t, reqs[i].Key, reqLo, reqHi, r, false)
@@ -551,7 +552,7 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 				if c == nil {
 					continue
 				}
-				if r := c.Lookup(key, reqLo, reqHi, 0, interval.Infinity); r.Found {
+				if r := c.Lookup(context.Background(), key, reqLo, reqHi, 0, interval.Infinity); r.Found {
 					hits.Add(1)
 					o.checkFound(t, key, reqLo, reqHi, r, false)
 				}
@@ -596,7 +597,7 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 	finalTS, _ := o.record(nil, false)
 	final := invalidation.Message{TS: finalTS, WallTime: time.Unix(int64(finalTS), 0)}
 	for i := range pushers {
-		if err := pushers[i].PushInvalidation(final); err != nil {
+		if err := pushers[i].PushInvalidation(context.Background(), final); err != nil {
 			t.Fatalf("final push: %v", err)
 		}
 	}
@@ -634,7 +635,7 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 				end = len(probes)
 			}
 			chunk := probes[start:end]
-			for j, r := range c.LookupBatch(chunk) {
+			for j, r := range c.LookupBatch(context.Background(), chunk) {
 				if r.Found {
 					swept++
 					o.checkFound(t, chunk[j].Key, chunk[j].Lo, chunk[j].Hi, r, true)

@@ -1,6 +1,7 @@
 package cacheserver
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -17,10 +18,15 @@ import (
 
 // Node is the interface the TxCache library uses to talk to one cache
 // server; *Server implements it directly (in-process deployments, tests)
-// and *Client implements it over TCP.
+// and *Client implements it over TCP. The read-path methods take the
+// requesting transaction's context: the TCP client maps its deadline onto
+// a per-request timer and abandons the request on cancellation; the
+// in-process server degrades cancelled probes to misses. Put stays
+// context-free — it is fire-and-forget by design (the cache is an
+// optimization; callers never wait on an install).
 type Node interface {
-	Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult
-	LookupBatch(reqs []BatchLookup) []LookupResult
+	Lookup(ctx context.Context, key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult
+	LookupBatch(ctx context.Context, reqs []BatchLookup) []LookupResult
 	Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.TagID)
 	Stats() Stats
 	ResetStats()
@@ -137,7 +143,7 @@ func (s *Server) handle(req []byte) []byte {
 		if d.Err() != nil {
 			return fail(d.Err())
 		}
-		r := s.Lookup(key, lo, hi, origLo, origHi)
+		r := s.Lookup(context.Background(), key, lo, hi, origLo, origHi)
 		e := wire.NewBuffer(opLookupResp)
 		e.U32(id)
 		encodeLookupResult(e, r)
@@ -161,7 +167,7 @@ func (s *Server) handle(req []byte) []byte {
 		if d.Err() != nil {
 			return fail(d.Err())
 		}
-		rs := s.LookupBatch(reqs)
+		rs := s.LookupBatch(context.Background(), reqs)
 		e := wire.NewBuffer(opLookupBatchResp)
 		e.U32(id).U32(uint32(len(rs)))
 		// The response must stay under MaxFrame no matter how large the hit
@@ -304,6 +310,10 @@ const (
 	// queue is full, puts are dropped (and counted), never blocked on: the
 	// cache is an optimization.
 	DefaultPutQueue = 1024
+	// DefaultDrainTimeout bounds how long Close waits for the async put
+	// queue to drain before tearing connections down; CloseContext lets the
+	// caller pick a different bound.
+	DefaultDrainTimeout = time.Second
 )
 
 // ClientStats are client-side transport counters: how the multiplexed
@@ -319,6 +329,8 @@ type ClientStats struct {
 	PutErrors    uint64 // puts that failed on every connection
 	CallErrors   uint64 // Stats/ResetStats round trips that failed
 	Timeouts     uint64 // requests abandoned after DefaultCallTimeout
+	Canceled     uint64 // requests abandoned because the caller's context ended
+	LateDrops    uint64 // response frames for abandoned request IDs, dropped
 	Reconnects   uint64 // connections re-established after a failure
 }
 
@@ -327,6 +339,7 @@ type clientCounters struct {
 	lookups, lookupErrors, batchLookups, batchKeys atomic.Uint64
 	putsQueued, putsSent, putsDropped, putErrors   atomic.Uint64
 	callErrors, timeouts, reconnects               atomic.Uint64
+	canceled, lateDrops                            atomic.Uint64
 }
 
 // Client is a TCP client for a cache node. It is safe for concurrent use:
@@ -375,6 +388,10 @@ func Dial(addr string, poolSize int) (*Client, error) {
 		putq:    make(chan putItem, DefaultPutQueue),
 		closed:  make(chan struct{}),
 	}
+	// The put sender starts before dialing so the drain step of Close works
+	// (and returns immediately) even on a partially constructed client.
+	c.wg.Add(1)
+	go c.putSender()
 	for i := 0; i < poolSize; i++ {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
@@ -387,16 +404,25 @@ func Dial(addr string, poolSize int) (*Client, error) {
 		c.wg.Add(1)
 		go m.run()
 	}
-	c.wg.Add(1)
-	go c.putSender()
 	return c, nil
 }
 
-// Close tears down the connection pool, fails all in-flight requests, and
-// discards any queued puts. It is the "drain" half of removing a node from
-// a running cluster: callers should Flush first if queued puts matter.
+// Close drains queued puts for up to DefaultDrainTimeout, then tears down
+// the connection pool, failing all in-flight requests and discarding
+// whatever the drain deadline left behind. It is the "drain" half of
+// removing a node from a running cluster.
 func (c *Client) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultDrainTimeout)
+	defer cancel()
+	c.CloseContext(ctx)
+}
+
+// CloseContext is Close with a caller-controlled drain deadline: queued
+// puts are flushed until ctx expires, then connections come down
+// regardless.
+func (c *Client) CloseContext(ctx context.Context) {
 	c.closeOnce.Do(func() {
+		c.drain(ctx)
 		close(c.closed)
 		for _, m := range c.conns {
 			m.mu.Lock()
@@ -414,6 +440,20 @@ func (c *Client) Close() {
 	c.wg.Wait()
 }
 
+// drain waits for the put queue to empty, giving up when ctx ends.
+func (c *Client) drain(ctx context.Context) {
+	ack := make(chan struct{})
+	select {
+	case c.putq <- putItem{ack: ack}:
+	case <-ctx.Done():
+		return
+	}
+	select {
+	case <-ack:
+	case <-ctx.Done():
+	}
+}
+
 // ClientStats snapshots the transport counters.
 func (c *Client) ClientStats() ClientStats {
 	return ClientStats{
@@ -427,6 +467,8 @@ func (c *Client) ClientStats() ClientStats {
 		PutErrors:    c.counters.putErrors.Load(),
 		CallErrors:   c.counters.callErrors.Load(),
 		Timeouts:     c.counters.timeouts.Load(),
+		Canceled:     c.counters.canceled.Load(),
+		LateDrops:    c.counters.lateDrops.Load(),
 		Reconnects:   c.counters.reconnects.Load(),
 	}
 }
@@ -499,6 +541,12 @@ func (m *mconn) run() {
 			m.mu.Unlock()
 			if ch != nil {
 				ch <- payload
+			} else if id != 0 {
+				// A response for a request nobody is waiting on: the caller
+				// timed out or its context was cancelled and the pending
+				// entry was reclaimed. Count it and drop it — delivering it
+				// to a reused ID would cross-wire two requests.
+				m.cl.counters.lateDrops.Add(1)
 			}
 		}
 	}
@@ -542,8 +590,26 @@ func putTimer(t *time.Timer) {
 	timerPool.Put(t)
 }
 
-// call sends one request frame and waits for its tagged response.
-func (m *mconn) call(frame []byte) ([]byte, error) {
+// call sends one request frame and waits for its tagged response. The
+// caller's context is honored with per-request granularity: its deadline
+// tightens the request timer (never the connection — other requests
+// multiplexed on this conn are unaffected), and on cancellation the
+// pending-table entry is reclaimed immediately so the request ID can never
+// be answered late into someone else's hands (a late frame is counted in
+// ClientStats.LateDrops by the reader and dropped).
+func (m *mconn) call(ctx context.Context, frame []byte) ([]byte, error) {
+	timeout, ctxBound := m.cl.timeout, false
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			m.cl.counters.canceled.Add(1)
+			return nil, err
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem < timeout {
+				timeout, ctxBound = rem, true
+			}
+		}
+	}
 	m.mu.Lock()
 	conn := m.conn
 	if conn == nil {
@@ -561,8 +627,11 @@ func (m *mconn) call(frame []byte) ([]byte, error) {
 	// The write happens under m.mu, so it must be bounded: without a
 	// deadline, a peer that stops reading while the TCP window fills would
 	// wedge every request on this connection with no timeout (the call
-	// timer is only armed after the write).
-	conn.SetWriteDeadline(time.Now().Add(m.cl.timeout)) //nolint:errcheck
+	// timer is only armed after the write). The bound is the effective
+	// timeout — clamped by the caller's deadline — so a short-deadline
+	// request cannot block the connection (and the writers queued behind
+	// it) for the full transport timeout.
+	conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
 	err := wire.WriteFrame(conn, frame)
 	if err != nil {
 		delete(m.pending, id)
@@ -572,7 +641,11 @@ func (m *mconn) call(frame []byte) ([]byte, error) {
 	}
 	m.mu.Unlock()
 
-	t := getTimer(m.cl.timeout)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	t := getTimer(timeout)
 	defer putTimer(t)
 	select {
 	case resp, ok := <-ch:
@@ -584,21 +657,41 @@ func (m *mconn) call(frame []byte) ([]byte, error) {
 		m.mu.Lock()
 		delete(m.pending, id)
 		m.mu.Unlock()
+		// When the caller's deadline tightened the timer, this is the
+		// context's expiry, not the transport's: attribute it to the
+		// context so Canceled counts it and errors.Is(err,
+		// context.DeadlineExceeded) holds for the caller. (Checked via
+		// ctxBound, not ctx.Err(): the pooled timer can fire a beat
+		// before the context's own deadline timer flips Err.)
+		if ctxBound {
+			m.cl.counters.canceled.Add(1)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.DeadlineExceeded
+		}
 		m.cl.counters.timeouts.Add(1)
 		return nil, errTimeout
+	case <-done:
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
+		m.cl.counters.canceled.Add(1)
+		return nil, ctx.Err()
 	case <-m.cl.closed:
 		return nil, errClosed
 	}
 }
 
 // roundTrip issues the request on a connection chosen round-robin, trying
-// each pool member once while connections are down.
-func (c *Client) roundTrip(frame []byte) ([]byte, error) {
+// each pool member once while connections are down. Context errors are
+// terminal: a cancelled request is not retried on another connection.
+func (c *Client) roundTrip(ctx context.Context, frame []byte) ([]byte, error) {
 	start := int(c.rr.Add(1))
 	var lastErr error = errNotConnected
 	for i := 0; i < len(c.conns); i++ {
 		m := c.conns[(start+i)%len(c.conns)]
-		resp, err := m.call(frame)
+		resp, err := m.call(ctx, frame)
 		if err == nil {
 			if len(resp) > 0 && resp[0] == opErr {
 				d := wire.NewDecoder(resp)
@@ -609,20 +702,21 @@ func (c *Client) roundTrip(frame []byte) ([]byte, error) {
 			return resp, nil
 		}
 		lastErr = err
-		if err == errClosed || err == errTimeout {
+		if err == errClosed || err == errTimeout || (ctx != nil && ctx.Err() != nil) {
 			break // no point retrying elsewhere
 		}
 	}
 	return nil, lastErr
 }
 
-// Lookup implements Node over TCP. Network errors degrade to a compulsory
-// miss: the cache is an optimization, never required for correctness.
-func (c *Client) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
+// Lookup implements Node over TCP. Network errors (and cancellation)
+// degrade to a compulsory miss: the cache is an optimization, never
+// required for correctness.
+func (c *Client) Lookup(ctx context.Context, key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
 	c.counters.lookups.Add(1)
 	e := newReq(opLookup)
 	e.Str(key).U64(uint64(lo)).U64(uint64(hi)).U64(uint64(origLo)).U64(uint64(origHi))
-	resp, err := c.roundTrip(e.Bytes())
+	resp, err := c.roundTrip(ctx, e.Bytes())
 	if err != nil {
 		c.counters.lookupErrors.Add(1)
 		return LookupResult{Miss: MissCompulsory}
@@ -644,7 +738,7 @@ func (c *Client) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) L
 // LookupBatch implements Node over TCP: all probes travel in one frame and
 // return in one frame, preserving order. Transport errors degrade every
 // probe to a compulsory miss.
-func (c *Client) LookupBatch(reqs []BatchLookup) []LookupResult {
+func (c *Client) LookupBatch(ctx context.Context, reqs []BatchLookup) []LookupResult {
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -655,7 +749,7 @@ func (c *Client) LookupBatch(reqs []BatchLookup) []LookupResult {
 			if n > MaxBatchLookup {
 				n = MaxBatchLookup
 			}
-			out = append(out, c.LookupBatch(reqs[:n])...)
+			out = append(out, c.LookupBatch(ctx, reqs[:n])...)
 			reqs = reqs[n:]
 		}
 		return out
@@ -675,7 +769,7 @@ func (c *Client) LookupBatch(reqs []BatchLookup) []LookupResult {
 		}
 		return out
 	}
-	resp, err := c.roundTrip(e.Bytes())
+	resp, err := c.roundTrip(ctx, e.Bytes())
 	if err != nil {
 		return miss()
 	}
@@ -723,16 +817,28 @@ func (c *Client) Put(key string, data []byte, iv interval.Interval, still bool, 
 
 // Flush blocks until every put queued before the call has been written (or
 // failed and been counted). It returns early if the client is closed.
-func (c *Client) Flush() {
+func (c *Client) Flush() { _ = c.FlushContext(context.Background()) }
+
+// FlushContext is Flush with a drain deadline: it waits for the queue to
+// drain until ctx ends, returning the context error if the deadline cut
+// the drain short (queued puts are not discarded — the sender keeps
+// working; the caller just stops waiting).
+func (c *Client) FlushContext(ctx context.Context) error {
 	ack := make(chan struct{})
 	select {
 	case c.putq <- putItem{ack: ack}:
 	case <-c.closed:
-		return
+		return errClosed
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 	select {
 	case <-ack:
+		return nil
 	case <-c.closed:
+		return errClosed
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -783,7 +889,7 @@ func (c *Client) sendAsync(frame []byte) error {
 // Stats implements Node over TCP. Transport errors return zero stats and
 // are counted in ClientStats.CallErrors.
 func (c *Client) Stats() Stats {
-	resp, err := c.roundTrip(newReq(opStats).Bool(false).Bytes())
+	resp, err := c.roundTrip(context.Background(), newReq(opStats).Bool(false).Bytes())
 	if err != nil {
 		c.counters.callErrors.Add(1)
 		return Stats{}
@@ -815,7 +921,7 @@ func (c *Client) Stats() Stats {
 // ResetStats implements Node over TCP. Failures are counted in
 // ClientStats.CallErrors rather than silently discarded.
 func (c *Client) ResetStats() {
-	if _, err := c.roundTrip(newReq(opStats).Bool(true).Bytes()); err != nil {
+	if _, err := c.roundTrip(context.Background(), newReq(opStats).Bool(true).Bytes()); err != nil {
 		c.counters.callErrors.Add(1)
 	}
 }
@@ -826,16 +932,17 @@ func (c *Client) ResetStats() {
 // kernel-buffered write is not delivery, so an unacked push must be
 // assumed lost — the stream owner retries it until acked; the node
 // deduplicates by timestamp, so at-least-once in-order delivery is exactly
-// the stream contract. Pushes always use the first pool connection and the
-// caller is expected to be a single goroutine per node, which preserves
-// send order.
-func (c *Client) PushInvalidation(m invalidation.Message) error {
+// the stream contract. ctx bounds one delivery attempt (the fan-out's
+// retry loop passes its shutdown context so a dead node cannot wedge it).
+// Pushes always use the first pool connection and the caller is expected
+// to be a single goroutine per node, which preserves send order.
+func (c *Client) PushInvalidation(ctx context.Context, m invalidation.Message) error {
 	frame := m.Encode(opInval)
 	// Splice a request-ID placeholder in after the opcode; call assigns it.
 	tagged := make([]byte, 0, len(frame)+4)
 	tagged = append(tagged, frame[0], 0, 0, 0, 0)
 	tagged = append(tagged, frame[1:]...)
-	resp, err := c.conns[0].call(tagged)
+	resp, err := c.conns[0].call(ctx, tagged)
 	if err != nil {
 		return err
 	}

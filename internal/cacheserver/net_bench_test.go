@@ -1,6 +1,7 @@
 package cacheserver
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -45,7 +46,7 @@ func BenchmarkCacheLookupTCP(b *testing.B) {
 		defer stop()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			r := c.Lookup(fmt.Sprintf("key-%d", i%keys), 1<<19, 1<<21, 0, interval.Infinity)
+			r := c.Lookup(context.Background(), fmt.Sprintf("key-%d", i%keys), 1<<19, 1<<21, 0, interval.Infinity)
 			if !r.Found {
 				b.Fatalf("miss at %d", i)
 			}
@@ -58,7 +59,7 @@ func BenchmarkCacheLookupTCP(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
 			for pb.Next() {
-				r := c.Lookup(fmt.Sprintf("key-%d", i%keys), 1<<19, 1<<21, 0, interval.Infinity)
+				r := c.Lookup(context.Background(), fmt.Sprintf("key-%d", i%keys), 1<<19, 1<<21, 0, interval.Infinity)
 				if !r.Found {
 					b.Fatalf("miss at %d", i)
 				}
@@ -79,7 +80,7 @@ func BenchmarkCacheLookupTCP(b *testing.B) {
 				reqs[j] = BatchLookup{Key: fmt.Sprintf("key-%d", (i+j)%keys),
 					Lo: 1 << 19, Hi: 1 << 21, OrigLo: 0, OrigHi: interval.Infinity}
 			}
-			for _, r := range c.LookupBatch(reqs) {
+			for _, r := range c.LookupBatch(context.Background(), reqs) {
 				if !r.Found {
 					b.Fatalf("miss at %d", i)
 				}

@@ -1,6 +1,7 @@
 package cacheserver
 
 import (
+	"context"
 	"io"
 	"net"
 	"sync"
@@ -82,7 +83,7 @@ func TestPushInvalidationAcked(t *testing.T) {
 	}
 	defer c.Close()
 	for ts := interval.Timestamp(5); ts <= 15; ts += 5 {
-		if err := c.PushInvalidation(invalidation.Message{TS: ts, WallTime: time.Now()}); err != nil {
+		if err := c.PushInvalidation(context.Background(), invalidation.Message{TS: ts, WallTime: time.Now()}); err != nil {
 			t.Fatal(err)
 		}
 		if got := s.LastInvalidation(); got != ts {
@@ -91,7 +92,7 @@ func TestPushInvalidationAcked(t *testing.T) {
 	}
 	// Duplicate delivery (a retry whose first attempt did arrive) is
 	// deduplicated, still acked.
-	if err := c.PushInvalidation(invalidation.Message{TS: 10, WallTime: time.Now()}); err != nil {
+	if err := c.PushInvalidation(context.Background(), invalidation.Message{TS: 10, WallTime: time.Now()}); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.LastInvalidation(); got != 15 {
@@ -117,7 +118,7 @@ func TestAsyncPutFlushAndStats(t *testing.T) {
 	// Flush guarantees the frame was written, not yet applied; poll briefly.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if r := c.Lookup("k", 5, 50, 5, 50); r.Found {
+		if r := c.Lookup(context.Background(), "k", 5, 50, 5, 50); r.Found {
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -136,7 +137,7 @@ func TestBatchLookupTCP(t *testing.T) {
 	}
 	defer c.Close()
 
-	rs := c.LookupBatch([]BatchLookup{
+	rs := c.LookupBatch(context.Background(), []BatchLookup{
 		{Key: "a", Lo: 1, Hi: 50, OrigLo: 0, OrigHi: interval.Infinity},
 		{Key: "missing", Lo: 1, Hi: 50, OrigLo: 0, OrigHi: interval.Infinity},
 		{Key: "b", Lo: 3, Hi: 5, OrigLo: 0, OrigHi: interval.Infinity},
@@ -183,7 +184,7 @@ func TestPipelinedLookupsShareConnections(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				k := (g*7 + i) % 64
 				key := string(rune('a'+k%26)) + string(rune('0'+k/26))
-				r := c.Lookup(key, 1, 2000, 0, interval.Infinity)
+				r := c.Lookup(context.Background(), key, 1, 2000, 0, interval.Infinity)
 				if !r.Found || len(r.Data) != 1 || r.Data[0] != byte(k) {
 					t.Errorf("g%d i%d: wrong response for %q: %+v", g, i, key, r)
 					return
@@ -205,7 +206,7 @@ func TestClientReconnectAndErrorCounting(t *testing.T) {
 	}
 	defer c.Close()
 
-	if r := c.Lookup("k", 5, 50, 5, 50); !r.Found {
+	if r := c.Lookup(context.Background(), "k", 5, 50, 5, 50); !r.Found {
 		t.Fatalf("warm lookup missed: %+v", r)
 	}
 
@@ -216,7 +217,7 @@ func TestClientReconnectAndErrorCounting(t *testing.T) {
 	for {
 		c.Put("k2", []byte("v2"), iv(5, interval.Infinity), true, 10, nil)
 		c.Flush()
-		if r := c.Lookup("k", 5, 50, 5, 50); r.Found {
+		if r := c.Lookup(context.Background(), "k", 5, 50, 5, 50); r.Found {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -6,6 +6,7 @@ package cacheserver
 
 import (
 	"container/list"
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -220,8 +221,13 @@ type LookupResult struct {
 // interval intersects the inclusive timestamp range [lo, hi] — the bounds
 // of the requesting transaction's pin set. origLo/origHi are the bounds of
 // the transaction's pin set at BEGIN time (its unconstrained freshness
-// window), used only to classify consistency misses.
-func (s *Server) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
+// window), used only to classify consistency misses. A cancelled ctx
+// degrades to a compulsory miss — the in-process node never blocks, so the
+// check exists only so a cancelled transaction stops doing cache work.
+func (s *Server) Lookup(ctx context.Context, key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
+	if ctx != nil && ctx.Err() != nil {
+		return LookupResult{Miss: MissCompulsory}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lookupLocked(key, lo, hi, origLo, origHi)
@@ -229,12 +235,26 @@ func (s *Server) Lookup(key string, lo, hi, origLo, origHi interval.Timestamp) L
 
 // LookupBatch resolves many probes under one lock acquisition. Remote
 // clients send the whole batch in one frame, so a transaction's pin-set
-// probes cost one round trip instead of one per key.
-func (s *Server) LookupBatch(reqs []BatchLookup) []LookupResult {
+// probes cost one round trip instead of one per key. If ctx is cancelled
+// partway through a large batch, the remaining probes degrade to
+// compulsory misses rather than holding the lock to completion.
+func (s *Server) LookupBatch(ctx context.Context, reqs []BatchLookup) []LookupResult {
+	out := make([]LookupResult, len(reqs))
+	if ctx != nil && ctx.Err() != nil {
+		for i := range out {
+			out[i] = LookupResult{Miss: MissCompulsory}
+		}
+		return out
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]LookupResult, len(reqs))
 	for i, q := range reqs {
+		if i&63 == 63 && ctx != nil && ctx.Err() != nil {
+			for j := i; j < len(reqs); j++ {
+				out[j] = LookupResult{Miss: MissCompulsory}
+			}
+			return out
+		}
 		out[i] = s.lookupLocked(q.Key, q.Lo, q.Hi, q.OrigLo, q.OrigHi)
 	}
 	return out

@@ -1,6 +1,7 @@
 package cacheserver
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -19,7 +20,7 @@ func advanceTo(s *Server, ts interval.Timestamp) {
 
 func TestLookupMissCompulsory(t *testing.T) {
 	s := New(Config{})
-	r := s.Lookup("nope", 0, 100, 0, 100)
+	r := s.Lookup(context.Background(), "nope", 0, 100, 0, 100)
 	if r.Found || r.Miss != MissCompulsory {
 		t.Fatalf("r = %+v", r)
 	}
@@ -30,16 +31,16 @@ func TestPutLookupClosedVersion(t *testing.T) {
 	s.Put("k", []byte("v1"), iv(10, 20), false, 0, nil)
 
 	// Overlapping bounds hit.
-	r := s.Lookup("k", 15, 30, 0, 100)
+	r := s.Lookup(context.Background(), "k", 15, 30, 0, 100)
 	if !r.Found || string(r.Data) != "v1" || r.Validity != iv(10, 20) {
 		t.Fatalf("r = %+v", r)
 	}
 	// Touching at the inclusive low bound.
-	if r := s.Lookup("k", 0, 10, 0, 100); !r.Found {
+	if r := s.Lookup(context.Background(), "k", 0, 10, 0, 100); !r.Found {
 		t.Fatal("bounds [0,10] must match [10,20)")
 	}
 	// Disjoint below.
-	if r := s.Lookup("k", 0, 9, 0, 9); r.Found {
+	if r := s.Lookup(context.Background(), "k", 0, 9, 0, 9); r.Found {
 		t.Fatal("bounds [0,9] must miss [10,20)")
 	}
 }
@@ -51,11 +52,11 @@ func TestStillValidBoundedByLastInvalidation(t *testing.T) {
 	// No invalidation processed yet: effective interval is [10, 1), empty.
 	// The insert/invalidate race of §4.2: an entry newer than the node's
 	// consistency horizon is not served.
-	if r := s.Lookup("k", 10, 50, 10, 50); r.Found {
+	if r := s.Lookup(context.Background(), "k", 10, 50, 10, 50); r.Found {
 		t.Fatal("entry ahead of invalidation horizon must not be served")
 	}
 	advanceTo(s, 12)
-	r := s.Lookup("k", 10, 50, 10, 50)
+	r := s.Lookup(context.Background(), "k", 10, 50, 10, 50)
 	if !r.Found || !r.Still {
 		t.Fatalf("r = %+v", r)
 	}
@@ -68,12 +69,12 @@ func TestMostRecentVersionWins(t *testing.T) {
 	s := New(Config{})
 	s.Put("k", []byte("old"), iv(10, 20), false, 0, nil)
 	s.Put("k", []byte("new"), iv(20, 40), false, 0, nil)
-	r := s.Lookup("k", 5, 100, 5, 100)
+	r := s.Lookup(context.Background(), "k", 5, 100, 5, 100)
 	if !r.Found || string(r.Data) != "new" {
 		t.Fatalf("r = %+v", r)
 	}
 	// Narrow bounds select the matching older version.
-	r = s.Lookup("k", 12, 15, 5, 100)
+	r = s.Lookup(context.Background(), "k", 12, 15, 5, 100)
 	if !r.Found || string(r.Data) != "old" {
 		t.Fatalf("r = %+v", r)
 	}
@@ -96,18 +97,18 @@ func TestInvalidationByKeyTag(t *testing.T) {
 
 	// Unrelated tag leaves it valid (and advances the horizon).
 	s.ApplyInvalidation(invalidation.Message{TS: 20, Tags: ids([]invalidation.Tag{invalidation.KeyTag("users", "id", "8")})})
-	if r := s.Lookup("k", 5, 50, 5, 50); !r.Found || !r.Still {
+	if r := s.Lookup(context.Background(), "k", 5, 50, 5, 50); !r.Found || !r.Still {
 		t.Fatalf("unrelated invalidation truncated entry: %+v", r)
 	}
 	// Matching tag truncates at the message timestamp.
 	s.ApplyInvalidation(invalidation.Message{TS: 30, Tags: ids([]invalidation.Tag{tag})})
-	r := s.Lookup("k", 5, 50, 5, 50)
+	r := s.Lookup(context.Background(), "k", 5, 50, 5, 50)
 	if !r.Found || r.Still || r.Validity != iv(5, 30) {
 		t.Fatalf("r = %+v", r)
 	}
 	// A later insert of the recomputed value coexists as a second version.
 	s.Put("k", []byte("v2"), iv(30, interval.Infinity), true, 30, ids([]invalidation.Tag{tag}))
-	r = s.Lookup("k", 30, 50, 5, 50)
+	r = s.Lookup(context.Background(), "k", 30, 50, 5, 50)
 	if !r.Found || string(r.Data) != "v2" {
 		t.Fatalf("r = %+v", r)
 	}
@@ -125,16 +126,16 @@ func TestWildcardInvalidationBothDirections(t *testing.T) {
 		ids([]invalidation.Tag{invalidation.WildcardTag("items")}))
 
 	s.ApplyInvalidation(invalidation.Message{TS: 20, Tags: ids([]invalidation.Tag{invalidation.WildcardTag("items")})})
-	if r := s.Lookup("a", 5, 50, 5, 50); r.Still || r.Validity.Hi != 20 {
+	if r := s.Lookup(context.Background(), "a", 5, 50, 5, 50); r.Still || r.Validity.Hi != 20 {
 		t.Fatalf("wildcard msg must invalidate key-tagged entry: %+v", r)
 	}
 	s.Put("c", []byte("c"), iv(20, interval.Infinity), true, 20,
 		ids([]invalidation.Tag{invalidation.WildcardTag("items")}))
 	s.ApplyInvalidation(invalidation.Message{TS: 30, Tags: ids([]invalidation.Tag{invalidation.KeyTag("items", "id", "9")})})
-	if r := s.Lookup("c", 20, 50, 5, 50); r.Still || r.Validity.Hi != 30 {
+	if r := s.Lookup(context.Background(), "c", 20, 50, 5, 50); r.Still || r.Validity.Hi != 30 {
 		t.Fatalf("key msg must invalidate scan-tagged entry: %+v", r)
 	}
-	if r := s.Lookup("b", 5, 50, 5, 50); r.Validity.Hi != 20 {
+	if r := s.Lookup(context.Background(), "b", 5, 50, 5, 50); r.Validity.Hi != 20 {
 		t.Fatalf("entry b: %+v", r)
 	}
 }
@@ -150,8 +151,8 @@ func TestAtomicMultiTagInvalidation(t *testing.T) {
 	s.ApplyInvalidation(invalidation.Message{TS: 42, Tags: ids([]invalidation.Tag{
 		invalidation.KeyTag("t", "id", "1"), invalidation.KeyTag("t", "id", "2"),
 	})})
-	rx := s.Lookup("x", 5, 50, 5, 50)
-	ry := s.Lookup("y", 5, 50, 5, 50)
+	rx := s.Lookup(context.Background(), "x", 5, 50, 5, 50)
+	ry := s.Lookup(context.Background(), "y", 5, 50, 5, 50)
 	if rx.Validity.Hi != 42 || ry.Validity.Hi != 42 {
 		t.Fatalf("rx=%+v ry=%+v", rx, ry)
 	}
@@ -179,14 +180,14 @@ func TestCapacityEvictionLRU(t *testing.T) {
 		s.Put(fmt.Sprintf("k%d", i), payload, iv(10, 20), false, 0, nil)
 	}
 	// Touch k0 so k1 is the LRU victim.
-	s.Lookup("k0", 10, 20, 10, 20)
+	s.Lookup(context.Background(), "k0", 10, 20, 10, 20)
 	s.Put("k3", payload, iv(10, 20), false, 0, nil)
 
-	if r := s.Lookup("k1", 10, 20, 10, 20); r.Found || r.Miss != MissCapacity {
+	if r := s.Lookup(context.Background(), "k1", 10, 20, 10, 20); r.Found || r.Miss != MissCapacity {
 		t.Fatalf("k1 should be a capacity miss: %+v", r)
 	}
 	for _, k := range []string{"k0", "k2", "k3"} {
-		if r := s.Lookup(k, 10, 20, 10, 20); !r.Found {
+		if r := s.Lookup(context.Background(), k, 10, 20, 10, 20); !r.Found {
 			t.Fatalf("%s should survive", k)
 		}
 	}
@@ -204,12 +205,12 @@ func TestMissClassification(t *testing.T) {
 	advanceTo(s, 50)
 	// Version valid [10,20): fresh window is [5,60], pin bounds [30,40].
 	s.Put("k", []byte("v"), iv(10, 20), false, 0, nil)
-	r := s.Lookup("k", 30, 40, 5, 60)
+	r := s.Lookup(context.Background(), "k", 30, 40, 5, 60)
 	if r.Found || r.Miss != MissConsistency {
 		t.Fatalf("want consistency miss, got %+v", r)
 	}
 	// Entirely outside the fresh window too: staleness miss.
-	r = s.Lookup("k", 30, 40, 25, 60)
+	r = s.Lookup(context.Background(), "k", 30, 40, 25, 60)
 	if r.Found || r.Miss != MissStaleness {
 		t.Fatalf("want staleness miss, got %+v", r)
 	}
@@ -236,8 +237,8 @@ func TestStatsHitRate(t *testing.T) {
 	s := New(Config{})
 	advanceTo(s, 10)
 	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 10, nil)
-	s.Lookup("k", 5, 10, 5, 10)
-	s.Lookup("zzz", 5, 10, 5, 10)
+	s.Lookup(context.Background(), "k", 5, 10, 5, 10)
+	s.Lookup(context.Background(), "zzz", 5, 10, 5, 10)
 	st := s.Stats()
 	if st.Lookups != 2 || st.Hits != 1 || st.Misses() != 1 {
 		t.Fatalf("stats = %+v", st)
@@ -267,7 +268,7 @@ func TestServeOverTCP(t *testing.T) {
 	defer c.Close()
 
 	// Push an invalidation to advance the horizon, then put and look up.
-	if err := c.PushInvalidation(invalidation.Message{TS: 10, WallTime: time.Now()}); err != nil {
+	if err := c.PushInvalidation(context.Background(), invalidation.Message{TS: 10, WallTime: time.Now()}); err != nil {
 		t.Fatal(err)
 	}
 	tags := ids([]invalidation.Tag{invalidation.KeyTag("users", "id", "1"), invalidation.WildcardTag("extra")})
@@ -276,7 +277,7 @@ func TestServeOverTCP(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	var r LookupResult
 	for time.Now().Before(deadline) {
-		r = c.Lookup("k", 5, 50, 5, 50)
+		r = c.Lookup(context.Background(), "k", 5, 50, 5, 50)
 		if r.Found {
 			break
 		}
@@ -286,12 +287,12 @@ func TestServeOverTCP(t *testing.T) {
 		t.Fatalf("r = %+v", r)
 	}
 
-	if err := c.PushInvalidation(invalidation.Message{TS: 20, WallTime: time.Now(),
+	if err := c.PushInvalidation(context.Background(), invalidation.Message{TS: 20, WallTime: time.Now(),
 		Tags: ids([]invalidation.Tag{invalidation.KeyTag("users", "id", "1")})}); err != nil {
 		t.Fatal(err)
 	}
 	for time.Now().Before(deadline) {
-		r = c.Lookup("k", 5, 50, 5, 50)
+		r = c.Lookup(context.Background(), "k", 5, 50, 5, 50)
 		if !r.Still {
 			break
 		}
@@ -320,7 +321,7 @@ func TestConcurrentClients(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("k%d", i%50)
 				s.Put(key, []byte("v"), iv(interval.Timestamp(i+1), interval.Timestamp(i+2)), false, 0, nil)
-				s.Lookup(key, 0, 1000, 0, 1000)
+				s.Lookup(context.Background(), key, 0, 1000, 0, 1000)
 			}
 			done <- true
 		}(g)
@@ -346,7 +347,7 @@ func TestLateInsertAfterMatchingInvalidation(t *testing.T) {
 	// snapshot 10 with validity starting at 5.
 	s.Put("bal", []byte("old"), iv(5, interval.Infinity), true, 10, ids([]invalidation.Tag{tag}))
 
-	r := s.Lookup("bal", 5, 50, 5, 50)
+	r := s.Lookup(context.Background(), "bal", 5, 50, 5, 50)
 	if !r.Found {
 		t.Fatalf("entry should still serve past readers: %+v", r)
 	}
@@ -354,7 +355,7 @@ func TestLateInsertAfterMatchingInvalidation(t *testing.T) {
 		t.Fatalf("late insert must be truncated at 15: %+v", r)
 	}
 	// A reader at a fresh pin (>= 15) must NOT see the stale value.
-	if r := s.Lookup("bal", 20, 25, 5, 50); r.Found {
+	if r := s.Lookup(context.Background(), "bal", 20, 25, 5, 50); r.Found {
 		t.Fatalf("stale value served to fresh reader: %+v", r)
 	}
 }
@@ -369,18 +370,18 @@ func TestSetHorizonBoundsUncheckableInserts(t *testing.T) {
 	s.SetHorizon(20, time.Unix(20, 0)) // operator bootstrap of a joining node
 	tag := invalidation.KeyTag("t", "id", "1")
 	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 5, ids([]invalidation.Tag{tag}))
-	r := s.Lookup("k", 5, 50, 5, 50)
+	r := s.Lookup(context.Background(), "k", 5, 50, 5, 50)
 	if !r.Found || r.Still || r.Validity != iv(5, 6) {
 		t.Fatalf("pre-join insert must close at genSnap+1: %+v", r)
 	}
 	// A reader pinned past the horizon must not see it.
-	if r := s.Lookup("k", 25, 30, 5, 50); r.Found {
+	if r := s.Lookup(context.Background(), "k", 25, 30, 5, 50); r.Found {
 		t.Fatalf("pre-join insert served to fresh reader: %+v", r)
 	}
 	// Inserts generated at or after the seeded horizon stay still-valid:
 	// the node will see every later invalidation on its stream.
 	s.Put("k2", []byte("v"), iv(20, interval.Infinity), true, 20, ids([]invalidation.Tag{tag}))
-	if r := s.Lookup("k2", 20, 50, 5, 50); !r.Found || !r.Still {
+	if r := s.Lookup(context.Background(), "k2", 20, 50, 5, 50); !r.Found || !r.Still {
 		t.Fatalf("post-join insert should stay still-valid: %+v", r)
 	}
 }
@@ -397,13 +398,13 @@ func TestLateInsertBeyondHistory(t *testing.T) {
 	// History now covers only recent messages; genSnap 10 predates it.
 	tag := invalidation.KeyTag("t", "id", "1")
 	s.Put("k", []byte("v"), iv(5, interval.Infinity), true, 10, ids([]invalidation.Tag{tag}))
-	r := s.Lookup("k", 5, 50, 5, 50)
+	r := s.Lookup(context.Background(), "k", 5, 50, 5, 50)
 	if !r.Found || r.Still || r.Validity != iv(5, 11) {
 		t.Fatalf("uncheckable insert must close at genSnap+1: %+v", r)
 	}
 	// A tagless (pure-function) entry is exempt: nothing can invalidate it.
 	s.Put("pure", []byte("v"), iv(5, interval.Infinity), true, 0, nil)
-	if r := s.Lookup("pure", 5, 50, 5, 50); !r.Found || !r.Still {
+	if r := s.Lookup(context.Background(), "pure", 5, 50, 5, 50); !r.Found || !r.Still {
 		t.Fatalf("tagless entry should stay still-valid: %+v", r)
 	}
 }

@@ -35,10 +35,14 @@ func MakeCacheable[T any](c *Client, name string, fn Cacheable[T]) Cacheable[T] 
 		if tx == nil || tx.done {
 			return zero, ErrTxDone
 		}
+		if err := tx.ctxErr(); err != nil {
+			return zero, err
+		}
 		// Read/write transactions bypass the cache entirely so TxCache
 		// introduces no new anomalies (paper §2.2). Caching is also skipped
-		// when no cache nodes are configured (the no-cache baseline).
-		if tx.rw || !tx.c.CacheEnabled() {
+		// when no cache nodes are configured (the no-cache baseline) and
+		// for transactions begun WithoutCache.
+		if !tx.cacheOK() {
 			return fn(tx, args...)
 		}
 
@@ -126,7 +130,7 @@ func (tx *Tx) lookup(key string) ([]byte, bool) {
 		tx.c.stats.MissCompulsory.Add(1)
 		return nil, false
 	}
-	r := node.Lookup(key, lo, hi, tx.origLo, interval.Infinity)
+	r := node.Lookup(tx.ctx, key, lo, hi, tx.origLo, interval.Infinity)
 	if !r.Found {
 		tx.countMiss(r.Miss)
 		return nil, false
@@ -192,7 +196,7 @@ func (tx *Tx) accept(r cacheserver.LookupResult) ([]byte, bool) {
 // pin set at consumption time, so prefetching never weakens consistency.
 // Returns the number of probes that found a candidate version.
 func (tx *Tx) Prefetch(keys ...string) int {
-	if tx == nil || tx.done || tx.rw || !tx.c.CacheEnabled() {
+	if tx == nil || tx.done || !tx.cacheOK() || tx.ctx.Err() != nil {
 		return 0
 	}
 	lo, hi, ok := tx.bounds()
@@ -214,8 +218,14 @@ func (tx *Tx) Prefetch(keys ...string) int {
 	}
 	found := 0
 	for node, reqs := range groups {
+		if tx.ctx.Err() != nil {
+			// Cancelled mid-prefetch: stop issuing round trips. Anything
+			// already staged stays on this transaction only and is
+			// re-validated (or discarded) at consumption time.
+			return found
+		}
 		tx.c.stats.Prefetches.Add(1)
-		for i, r := range node.LookupBatch(reqs) {
+		for i, r := range node.LookupBatch(tx.ctx, reqs) {
 			if tx.prefetched == nil {
 				tx.prefetched = make(map[string]cacheserver.LookupResult)
 			}

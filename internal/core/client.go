@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,9 +32,11 @@ type DBTx interface {
 
 // DB is the database the library talks to; *db.Engine implements it
 // in-process (modulo return-type wrapping, see EngineDB), and the dbnet
-// client implements it over TCP.
+// client implements it over TCP. Begin binds the transaction to ctx:
+// in-process transactions observe its cancellation on every statement,
+// remote ones additionally map its deadline onto their round trips.
 type DB interface {
-	Begin(readOnly bool, snap interval.Timestamp) (DBTx, error)
+	Begin(ctx context.Context, readOnly bool, snap interval.Timestamp) (DBTx, error)
 	PinLatest() (interval.Timestamp, time.Time)
 	Unpin(ts interval.Timestamp)
 }
@@ -41,9 +44,9 @@ type DB interface {
 // EngineDB adapts *db.Engine to the DB interface.
 type EngineDB struct{ *db.Engine }
 
-// Begin starts an engine transaction.
-func (e EngineDB) Begin(readOnly bool, snap interval.Timestamp) (DBTx, error) {
-	return e.Engine.Begin(readOnly, snap)
+// Begin starts an engine transaction bound to ctx.
+func (e EngineDB) Begin(ctx context.Context, readOnly bool, snap interval.Timestamp) (DBTx, error) {
+	return e.Engine.BeginTx(ctx, readOnly, snap)
 }
 
 // Config configures a Client.
@@ -67,6 +70,14 @@ type Config struct {
 	// newest fresh pin is older than this and ★ is available, the library
 	// runs in the present and pins a new snapshot. Defaults to 5s.
 	FreshPinThreshold time.Duration
+	// DefaultStaleness is the staleness limit Begin applies when no
+	// WithStaleness option is given. Defaults to 30s (the paper's standard
+	// setting).
+	DefaultStaleness time.Duration
+	// RWRetries bounds how many times Client.ReadWrite re-runs its closure
+	// after a serialization conflict before giving up and returning
+	// ErrSerialization. Defaults to 5; negative disables retries.
+	RWRetries int
 	// NoConsistency reproduces the paper's §8.3 comparator: cache reads
 	// accept any version within the staleness window and never constrain
 	// the pin set, abandoning transactional consistency.
@@ -79,13 +90,15 @@ type Config struct {
 // consistent-hash ring, connections, and stream subscriptions while
 // transactions are running.
 type Client struct {
-	db    DB
-	pc    pincushion.Service
-	clk   clock.Clock
-	ring  *consistent.Ring
-	bus   *invalidation.Bus
-	fresh time.Duration
-	noCon bool
+	db        DB
+	pc        pincushion.Service
+	clk       clock.Clock
+	ring      *consistent.Ring
+	bus       *invalidation.Bus
+	fresh     time.Duration
+	defStale  time.Duration
+	rwRetries int
+	noCon     bool
 
 	mu    sync.RWMutex
 	nodes map[string]cacheserver.Node
@@ -162,7 +175,9 @@ func (s *ClientStats) Misses() uint64 {
 		s.MissCapacity.Load() + s.MissNoPins.Load() + s.MissDefensive.Load()
 }
 
-// HitRate returns hits / (hits + misses), 0 when idle.
+// HitRate returns hits / (hits + misses). With zero lookups it returns 0,
+// never NaN, so idle clients render as "0%" in dashboards and printouts
+// rather than poisoning downstream arithmetic.
 func (s *ClientStats) HitRate() float64 {
 	h, m := s.Hits(), s.Misses()
 	if h+m == 0 {
@@ -179,16 +194,27 @@ func NewClient(cfg Config) *Client {
 	if cfg.FreshPinThreshold <= 0 {
 		cfg.FreshPinThreshold = 5 * time.Second
 	}
+	if cfg.DefaultStaleness <= 0 {
+		cfg.DefaultStaleness = 30 * time.Second
+	}
+	switch {
+	case cfg.RWRetries == 0:
+		cfg.RWRetries = 5
+	case cfg.RWRetries < 0:
+		cfg.RWRetries = 0
+	}
 	c := &Client{
-		db:    cfg.DB,
-		pc:    cfg.Pincushion,
-		clk:   cfg.Clock,
-		ring:  consistent.New(0),
-		bus:   cfg.Bus,
-		nodes: make(map[string]cacheserver.Node, len(cfg.Nodes)),
-		subs:  make(map[string]*invalidation.Subscription),
-		fresh: cfg.FreshPinThreshold,
-		noCon: cfg.NoConsistency,
+		db:        cfg.DB,
+		pc:        cfg.Pincushion,
+		clk:       cfg.Clock,
+		ring:      consistent.New(0),
+		bus:       cfg.Bus,
+		nodes:     make(map[string]cacheserver.Node, len(cfg.Nodes)),
+		subs:      make(map[string]*invalidation.Subscription),
+		fresh:     cfg.FreshPinThreshold,
+		defStale:  cfg.DefaultStaleness,
+		rwRetries: cfg.RWRetries,
+		noCon:     cfg.NoConsistency,
 	}
 	// Initial nodes are assumed to be wired to the invalidation stream
 	// already (the usual bootstrap order subscribes them before any data is

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,10 +16,16 @@ import (
 
 // Tx errors.
 var (
-	// ErrTxDone is returned when using a finished transaction.
+	// ErrTxDone is returned when using a finished transaction: any Query,
+	// Exec, Prefetch, cacheable call, or second Commit after the
+	// transaction has committed or aborted.
 	ErrTxDone = errors.New("txcache: transaction already finished")
 	// ErrReadOnly is returned when a read-only transaction writes.
 	ErrReadOnly = errors.New("txcache: read-only transaction cannot write")
+	// ErrSerialization is the retryable first-committer-wins conflict a
+	// read/write Commit can return; Client.ReadWrite retries it
+	// automatically.
+	ErrSerialization = db.ErrSerialization
 )
 
 // Tx is a TxCache transaction (paper §2.1). Read/write transactions run
@@ -26,10 +33,18 @@ var (
 // read cached data and the library guarantees everything they see is
 // consistent with one snapshot within the staleness limit. A Tx is not safe
 // for concurrent use.
+//
+// A Tx carries the context it was begun with: Query, Exec, Prefetch, and
+// cacheable calls observe its cancellation and return the wrapped context
+// error, and Commit on a cancelled context aborts instead of committing.
+// Abort never blocks on the context — a cancelled transaction still
+// releases its pins and database snapshot promptly.
 type Tx struct {
-	c    *Client
-	rw   bool
-	done bool
+	c       *Client
+	ctx     context.Context
+	rw      bool
+	noCache bool
+	done    bool
 
 	staleness time.Duration
 
@@ -76,55 +91,102 @@ func (f *frame) addTags(tags []invalidation.TagID) {
 	}
 }
 
-// BeginRO starts a read-only transaction that sees a consistent snapshot at
-// most staleness old.
-func (c *Client) BeginRO(staleness time.Duration) *Tx {
+// Begin starts a transaction bound to ctx. Without options it is a
+// read-only transaction at the client's default staleness limit, reading
+// through the cache; WithStaleness, WithMinTimestamp, WithReadWrite, and
+// WithoutCache adjust that. Begin is the single entry point the three
+// deprecated variants (BeginRO, BeginROSince, BeginRW) now wrap.
+//
+// The context governs the whole transaction: every Query, Exec, Prefetch,
+// and cacheable call observes its cancellation, and a deadline bounds the
+// network round trips of remote database and cache nodes. A nil ctx is
+// treated as context.Background().
+func (c *Client) Begin(ctx context.Context, opts ...TxOption) (*Tx, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := txOptions{staleness: c.defStale}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("txcache: begin: %w", err)
+	}
+	if o.rw {
+		c.stats.RWBegun.Add(1)
+		dbtx, err := c.db.Begin(ctx, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Tx{c: c, ctx: ctx, rw: true, noCache: o.noCache, dbtx: dbtx}, nil
+	}
 	c.stats.ROBegun.Add(1)
-	tx := &Tx{c: c, staleness: staleness, star: true}
+	tx := &Tx{c: c, ctx: ctx, noCache: o.noCache, staleness: o.staleness, star: true}
 	if c.pc != nil {
-		tx.pinSet = c.pc.GetPins(staleness)
+		tx.pinSet = c.pc.GetPins(ctx, o.staleness)
 		for _, p := range tx.pinSet {
 			tx.toRelease = append(tx.toRelease, p.TS)
 		}
 	}
-	if len(tx.pinSet) > 0 {
+	if o.hasMinTS {
+		kept := tx.pinSet[:0]
+		for _, p := range tx.pinSet {
+			if p.TS >= o.minTS {
+				kept = append(kept, p)
+			}
+		}
+		tx.pinSet = kept
+	}
+	switch {
+	case len(tx.pinSet) > 0:
 		tx.origLo = tx.pinSet[0].TS
-	} else {
+	case o.hasMinTS:
+		tx.origLo = o.minTS // ★ remains: a fresh pin will satisfy the floor
+	default:
 		tx.origLo = interval.Infinity // no fresh pins: nothing in cache is acceptable
 	}
+	return tx, nil
+}
+
+// BeginRO starts a read-only transaction that sees a consistent snapshot at
+// most staleness old.
+//
+// Deprecated: use Begin(ctx, WithStaleness(staleness)).
+func (c *Client) BeginRO(staleness time.Duration) *Tx {
+	tx, _ := c.Begin(context.Background(), WithStaleness(staleness)) // cannot fail: Background is never cancelled
 	return tx
 }
 
 // BeginROSince starts a read-only transaction like BeginRO but additionally
-// guarantees the snapshot is no older than minTS. Applications thread the
-// timestamp returned by a Commit into the next transaction's minTS so a
-// user session never observes time moving backwards (paper §2.2).
+// guarantees the snapshot is no older than minTS.
+//
+// Deprecated: use Begin(ctx, WithStaleness(staleness), WithMinTimestamp(minTS)).
 func (c *Client) BeginROSince(minTS interval.Timestamp, staleness time.Duration) *Tx {
-	tx := c.BeginRO(staleness)
-	kept := tx.pinSet[:0]
-	for _, p := range tx.pinSet {
-		if p.TS >= minTS {
-			kept = append(kept, p)
-		}
-	}
-	tx.pinSet = kept
-	if len(kept) > 0 {
-		tx.origLo = kept[0].TS
-	} else {
-		tx.origLo = minTS // ★ remains: a fresh pin will satisfy the floor
-	}
+	tx, _ := c.Begin(context.Background(), WithStaleness(staleness), WithMinTimestamp(minTS))
 	return tx
 }
 
 // BeginRW starts a read/write transaction on the latest database state.
+//
+// Deprecated: use Begin(ctx, WithReadWrite()).
 func (c *Client) BeginRW() (*Tx, error) {
-	c.stats.RWBegun.Add(1)
-	dbtx, err := c.db.Begin(false, 0)
-	if err != nil {
-		return nil, err
-	}
-	return &Tx{c: c, rw: true, dbtx: dbtx}, nil
+	return c.Begin(context.Background(), WithReadWrite())
 }
+
+// Context returns the context the transaction was begun with.
+func (tx *Tx) Context() context.Context { return tx.ctx }
+
+// ctxErr reports the transaction's context cancellation, wrapped so
+// callers can errors.Is against context.Canceled / DeadlineExceeded.
+func (tx *Tx) ctxErr() error {
+	if err := tx.ctx.Err(); err != nil {
+		return fmt.Errorf("txcache: %w", err)
+	}
+	return nil
+}
+
+// cacheOK reports whether this transaction reads through the cache.
+func (tx *Tx) cacheOK() bool { return !tx.rw && !tx.noCache && tx.c.CacheEnabled() }
 
 // ReadOnly reports whether this is a read-only transaction.
 func (tx *Tx) ReadOnly() bool { return !tx.rw }
@@ -142,6 +204,12 @@ func (tx *Tx) HasStar() bool { return tx.star }
 func (tx *Tx) Commit() (interval.Timestamp, error) {
 	if tx.done {
 		return 0, ErrTxDone
+	}
+	if err := tx.ctxErr(); err != nil {
+		// A cancelled transaction must not publish its work; aborting here
+		// releases pins and the database snapshot promptly.
+		tx.Abort()
+		return 0, err
 	}
 	tx.done = true
 	defer tx.releasePins()
@@ -192,6 +260,9 @@ func (tx *Tx) Query(src string, args ...sql.Value) (*db.Result, error) {
 	if tx.done {
 		return nil, ErrTxDone
 	}
+	if err := tx.ctxErr(); err != nil {
+		return nil, err
+	}
 	if err := tx.ensureDBTx(); err != nil {
 		return nil, err
 	}
@@ -213,6 +284,9 @@ func (tx *Tx) Exec(src string, args ...sql.Value) (int, error) {
 	}
 	if !tx.rw {
 		return 0, ErrReadOnly
+	}
+	if err := tx.ctxErr(); err != nil {
+		return 0, err
 	}
 	return tx.dbtx.Exec(src, args...)
 }
@@ -253,7 +327,7 @@ func (tx *Tx) ensureDBTx() error {
 		}
 		tx.dbSnap = tx.pinSet[len(tx.pinSet)-1].TS
 	}
-	dbtx, err := tx.c.db.Begin(true, tx.dbSnap)
+	dbtx, err := tx.c.db.Begin(tx.ctx, true, tx.dbSnap)
 	if err != nil {
 		return err
 	}

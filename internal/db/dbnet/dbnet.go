@@ -8,6 +8,7 @@
 package dbnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -48,6 +49,14 @@ const (
 type Server struct {
 	Engine *db.Engine
 }
+
+// opTimeout bounds round trips that run outside any caller context — the
+// release half of resource bookkeeping (Abort, Unpin) and pin acquisition
+// (PinLatest). Without it a wedged daemon would hang those paths forever,
+// exactly when cancelled requests are trying to shed load; with it the
+// exchange fails, the session redials, and the daemon aborts the orphaned
+// transaction with the dropped connection.
+const opTimeout = 5 * time.Second
 
 // Serve accepts connections until l closes.
 func (s *Server) Serve(l net.Listener) error {
@@ -207,15 +216,20 @@ func errFrame(err error) []byte {
 
 // Client implements core.DB over TCP. Each database transaction leases one
 // pooled connection for its lifetime (the protocol is stateful per
-// connection, like PostgreSQL sessions).
+// connection, like PostgreSQL sessions). The transaction's context maps
+// onto connection deadlines: every round trip of a transaction begun with
+// a deadline is bounded by it, and a round trip that fails (deadline
+// included) tears down and redials the session so a half-exchanged frame
+// can never poison the next lease.
 type Client struct {
 	addr string
 	pool chan *conn
 }
 
 type conn struct {
-	mu sync.Mutex
-	c  net.Conn
+	addr string
+	mu   sync.Mutex
+	c    net.Conn
 }
 
 var _ core.DB = (*Client)(nil)
@@ -232,7 +246,7 @@ func Dial(addr string, poolSize int) (*Client, error) {
 			cl.Close()
 			return nil, err
 		}
-		cl.pool <- &conn{c: c}
+		cl.pool <- &conn{addr: addr, c: c}
 	}
 	return cl, nil
 }
@@ -249,14 +263,31 @@ func (cl *Client) Close() {
 	}
 }
 
-func (c *conn) roundTrip(req []byte) ([]byte, error) {
+// roundTripCtx is one request/response exchange bounded by ctx's deadline.
+// A transport failure (including a deadline expiry mid-exchange) leaves
+// the session desynchronized, so the connection is closed and redialed
+// before the error returns — the next lease of this slot starts clean.
+func (c *conn) roundTripCtx(ctx context.Context, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := wire.WriteFrame(c.c, req); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	resp, err := wire.ReadFrame(c.c)
+	if dl, ok := ctx.Deadline(); ok {
+		c.c.SetDeadline(dl) //nolint:errcheck
+	} else {
+		c.c.SetDeadline(time.Time{}) //nolint:errcheck
+	}
+	resp, err := c.exchange(req)
 	if err != nil {
+		c.c.Close()
+		// The redial is bounded too: an unbounded net.Dial here (held
+		// under c.mu) would let a blackholed host re-wedge the very
+		// release paths opTimeout exists to bound, for the kernel's
+		// ~2-minute connect timeout.
+		if nc, derr := net.DialTimeout("tcp", c.addr, opTimeout); derr == nil {
+			c.c = nc
+		}
 		return nil, err
 	}
 	if len(resp) > 0 && resp[0] == opErr {
@@ -271,11 +302,29 @@ func (c *conn) roundTrip(req []byte) ([]byte, error) {
 	return resp, nil
 }
 
-// Begin starts a remote transaction, leasing a session from the pool until
-// Commit or Abort.
-func (cl *Client) Begin(readOnly bool, snap interval.Timestamp) (core.DBTx, error) {
-	c := <-cl.pool
-	resp, err := c.roundTrip(wire.NewBuffer(opBegin).Bool(readOnly).U64(uint64(snap)).Bytes())
+// exchange writes one frame and reads one frame; c.mu must be held.
+func (c *conn) exchange(req []byte) ([]byte, error) {
+	if err := wire.WriteFrame(c.c, req); err != nil {
+		return nil, err
+	}
+	return wire.ReadFrame(c.c)
+}
+
+// Begin starts a remote transaction bound to ctx, leasing a session from
+// the pool until Commit or Abort. ctx's deadline bounds the begin round
+// trip and every later statement of the transaction; waiting for a free
+// session also respects cancellation.
+func (cl *Client) Begin(ctx context.Context, readOnly bool, snap interval.Timestamp) (core.DBTx, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var c *conn
+	select {
+	case c = <-cl.pool:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("dbnet: begin: %w", ctx.Err())
+	}
+	resp, err := c.roundTripCtx(ctx, wire.NewBuffer(opBegin).Bool(readOnly).U64(uint64(snap)).Bytes())
 	if err != nil {
 		cl.pool <- c
 		return nil, err
@@ -288,14 +337,16 @@ func (cl *Client) Begin(readOnly bool, snap interval.Timestamp) (core.DBTx, erro
 		cl.pool <- c
 		return nil, d.Err()
 	}
-	return &clientTx{cl: cl, c: c, id: id, snap: got}, nil
+	return &clientTx{cl: cl, c: c, ctx: ctx, id: id, snap: got}, nil
 }
 
 // PinLatest pins the latest snapshot on the daemon.
 func (cl *Client) PinLatest() (interval.Timestamp, time.Time) {
 	c := <-cl.pool
 	defer func() { cl.pool <- c }()
-	resp, err := c.roundTrip(wire.NewBuffer(opPin).Bytes())
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	resp, err := c.roundTripCtx(ctx, wire.NewBuffer(opPin).Bytes())
 	if err != nil {
 		return 0, time.Time{}
 	}
@@ -304,17 +355,21 @@ func (cl *Client) PinLatest() (interval.Timestamp, time.Time) {
 	return interval.Timestamp(d.U64()), time.Unix(0, d.I64())
 }
 
-// Unpin releases a pinned snapshot on the daemon.
+// Unpin releases a pinned snapshot on the daemon; the exchange is bounded
+// by opTimeout so a wedged daemon cannot hang the release path.
 func (cl *Client) Unpin(ts interval.Timestamp) {
 	c := <-cl.pool
 	defer func() { cl.pool <- c }()
-	c.roundTrip(wire.NewBuffer(opUnpin).U64(uint64(ts)).Bytes()) //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	c.roundTripCtx(ctx, wire.NewBuffer(opUnpin).U64(uint64(ts)).Bytes()) //nolint:errcheck
 }
 
 // clientTx is a remote transaction bound to one pooled session.
 type clientTx struct {
 	cl   *Client
 	c    *conn
+	ctx  context.Context
 	id   uint64
 	snap interval.Timestamp
 	done atomic.Bool
@@ -323,22 +378,23 @@ type clientTx struct {
 // Snapshot returns the transaction's snapshot timestamp.
 func (t *clientTx) Snapshot() interval.Timestamp { return t.snap }
 
-// Query runs a remote SELECT.
+// Query runs a remote SELECT, bounded by the transaction's context.
 func (t *clientTx) Query(src string, args ...sql.Value) (*db.Result, error) {
 	e := wire.NewBuffer(opQuery).U64(t.id).Str(src)
 	encodeArgs(e, args)
-	resp, err := t.c.roundTrip(e.Bytes())
+	resp, err := t.c.roundTripCtx(t.ctx, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
 	return decodeResult(resp)
 }
 
-// Exec runs a remote INSERT/UPDATE/DELETE.
+// Exec runs a remote INSERT/UPDATE/DELETE, bounded by the transaction's
+// context.
 func (t *clientTx) Exec(src string, args ...sql.Value) (int, error) {
 	e := wire.NewBuffer(opExec).U64(t.id).Str(src)
 	encodeArgs(e, args)
-	resp, err := t.c.roundTrip(e.Bytes())
+	resp, err := t.c.roundTripCtx(t.ctx, e.Bytes())
 	if err != nil {
 		return 0, err
 	}
@@ -347,13 +403,19 @@ func (t *clientTx) Exec(src string, args ...sql.Value) (int, error) {
 	return int(d.U64()), d.Err()
 }
 
-// Commit commits the remote transaction and releases the session.
+// Commit commits the remote transaction and releases the session. On a
+// cancelled context it aborts instead: the daemon must not publish work
+// the caller has already walked away from.
 func (t *clientTx) Commit() (interval.Timestamp, error) {
+	if err := t.ctx.Err(); err != nil {
+		t.Abort()
+		return 0, fmt.Errorf("dbnet: commit: %w", err)
+	}
 	if !t.done.CompareAndSwap(false, true) {
 		return 0, db.ErrTxDone
 	}
 	defer func() { t.cl.pool <- t.c }()
-	resp, err := t.c.roundTrip(wire.NewBuffer(opCommit).U64(t.id).Bytes())
+	resp, err := t.c.roundTripCtx(t.ctx, wire.NewBuffer(opCommit).U64(t.id).Bytes())
 	if err != nil {
 		return 0, err
 	}
@@ -362,12 +424,20 @@ func (t *clientTx) Commit() (interval.Timestamp, error) {
 	return interval.Timestamp(d.U64()), d.Err()
 }
 
-// Abort rolls back the remote transaction and releases the session.
+// Abort rolls back the remote transaction and releases the session. It
+// deliberately ignores the transaction's (possibly cancelled) context —
+// rollback must always be attempted so the daemon session is freed — but
+// the exchange is still bounded by opTimeout: "Abort never blocks on the
+// context" must not become "Abort blocks forever on a wedged daemon". If
+// the exchange fails or times out, roundTripCtx's redial drops the
+// server-side session, which aborts the transaction anyway.
 func (t *clientTx) Abort() {
 	if !t.done.CompareAndSwap(false, true) {
 		return
 	}
-	t.c.roundTrip(wire.NewBuffer(opAbort).U64(t.id).Bytes()) //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	t.c.roundTripCtx(ctx, wire.NewBuffer(opAbort).U64(t.id).Bytes()) //nolint:errcheck
 	t.cl.pool <- t.c
 }
 

@@ -1,6 +1,7 @@
 package dbnet
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -35,7 +36,7 @@ func startServer(t *testing.T) (*db.Engine, *Client) {
 func TestRemoteExecQueryCommit(t *testing.T) {
 	_, cl := startServer(t)
 
-	rw, err := cl.Begin(false, 0)
+	rw, err := cl.Begin(context.Background(), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRemoteExecQueryCommit(t *testing.T) {
 		t.Fatalf("commit: %d, %v", ts, err)
 	}
 
-	ro, err := cl.Begin(true, 0)
+	ro, err := cl.Begin(context.Background(), true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,12 +68,12 @@ func TestRemoteExecQueryCommit(t *testing.T) {
 
 func TestRemoteSerializationError(t *testing.T) {
 	_, cl := startServer(t)
-	rw, _ := cl.Begin(false, 0)
+	rw, _ := cl.Begin(context.Background(), false, 0)
 	rw.Exec("INSERT INTO kv (k, v) VALUES (1, 'x')")
 	rw.Commit()
 
-	t1, _ := cl.Begin(false, 0)
-	t2, _ := cl.Begin(false, 0)
+	t1, _ := cl.Begin(context.Background(), false, 0)
+	t2, _ := cl.Begin(context.Background(), false, 0)
 	t1.Exec("UPDATE kv SET v = 'a' WHERE k = 1")
 	t2.Exec("UPDATE kv SET v = 'b' WHERE k = 1")
 	if _, err := t1.Commit(); err != nil {
@@ -93,7 +94,7 @@ func TestRemotePinUnpin(t *testing.T) {
 		t.Fatalf("pins = %d", engine.PinnedCount())
 	}
 	// A read-only transaction at the pinned snapshot works remotely.
-	ro, err := cl.Begin(true, ts)
+	ro, err := cl.Begin(context.Background(), true, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestConnectionDropAbortsTx(t *testing.T) {
 func TestClientSatisfiesCoreDB(t *testing.T) {
 	_, cl := startServer(t)
 	var dbIface core.DB = cl
-	tx, err := dbIface.Begin(false, 0)
+	tx, err := dbIface.Begin(context.Background(), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestClientSatisfiesCoreDB(t *testing.T) {
 	if _, err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	ro, _ := dbIface.Begin(true, 0)
+	ro, _ := dbIface.Begin(context.Background(), true, 0)
 	r, err := ro.Query("SELECT v FROM kv WHERE k = 9")
 	ro.Abort()
 	if err != nil || len(r.Rows) != 1 {

@@ -2,6 +2,7 @@ package db
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -411,11 +412,23 @@ func (e *Engine) dropIndexBatch(t *Table, rec []mvcc.Reclaimed) {
 	e.vacBatch = batch[:0]
 }
 
-// Begin starts a transaction. Read-only transactions run at snapshot snap,
-// which must be pinned (the TxCache library pins via the pincushion before
-// beginning); pass 0 to run on the latest snapshot. Read/write transactions
-// always run on the latest snapshot (pass 0).
-func (e *Engine) Begin(readOnly bool, snap interval.Timestamp) (*Tx, error) {
+// BeginTx starts a transaction bound to ctx. Read-only transactions run at
+// snapshot snap, which must be pinned (the TxCache library pins via the
+// pincushion before beginning); pass 0 to run on the latest snapshot.
+// Read/write transactions always run on the latest snapshot (pass 0).
+//
+// Every statement of the transaction observes ctx's cancellation and
+// returns the wrapped context error; Commit on a cancelled context aborts
+// instead. Abort itself never blocks on the context, so a cancelled
+// transaction always releases its snapshot pin and pooled scratch
+// promptly. A nil ctx is treated as context.Background().
+func (e *Engine) BeginTx(ctx context.Context, readOnly bool, snap interval.Timestamp) (*Tx, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("db: begin: %w", err)
+	}
 	e.pinMu.Lock()
 	if snap == 0 {
 		snap = e.LastCommit()
@@ -437,10 +450,16 @@ func (e *Engine) Begin(readOnly bool, snap interval.Timestamp) (*Tx, error) {
 	// scratch comes from the engine-wide pool (returned at Commit/Abort).
 	return &Tx{
 		e:    e,
+		ctx:  ctx,
 		ro:   readOnly,
 		snap: snap,
 		sc:   getScratch(),
 	}, nil
+}
+
+// Begin starts a transaction on the background context; see BeginTx.
+func (e *Engine) Begin(readOnly bool, snap interval.Timestamp) (*Tx, error) {
+	return e.BeginTx(context.Background(), readOnly, snap)
 }
 
 // Stats is a snapshot of engine counters.

@@ -2,6 +2,7 @@ package db
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"txcache/internal/interval"
@@ -58,8 +59,13 @@ type Result struct {
 func (r *Result) StillValid() bool { return r.Validity.Unbounded() }
 
 // Tx is a database transaction. A Tx is not safe for concurrent use.
+//
+// The transaction carries the context it was begun with (BeginTx): Query
+// and Exec observe its cancellation, and Commit on a cancelled context
+// aborts. Abort never consults the context.
 type Tx struct {
 	e    *Engine
+	ctx  context.Context
 	ro   bool
 	snap interval.Timestamp
 	done bool
@@ -74,6 +80,18 @@ type Tx struct {
 	// transactions never pay for them.
 	writes   map[string]map[uint64]*rowWrite // table -> rowID -> write
 	inserted map[string][]*insertedRow
+}
+
+// ctxErr reports the transaction's context cancellation, wrapped so
+// callers can errors.Is against context.Canceled / DeadlineExceeded.
+func (tx *Tx) ctxErr() error {
+	if tx.ctx == nil {
+		return nil
+	}
+	if err := tx.ctx.Err(); err != nil {
+		return fmt.Errorf("db: %w", err)
+	}
+	return nil
 }
 
 // release returns the transaction's scratch to the engine pool.
@@ -95,6 +113,9 @@ func (tx *Tx) ReadOnly() bool { return tx.ro }
 func (tx *Tx) Query(src string, args ...sql.Value) (*Result, error) {
 	if tx.done {
 		return nil, ErrTxDone
+	}
+	if err := tx.ctxErr(); err != nil {
+		return nil, err
 	}
 	st, err := sql.ParseCached(src)
 	if err != nil {
@@ -130,6 +151,9 @@ func (tx *Tx) Exec(src string, args ...sql.Value) (int, error) {
 	}
 	if tx.ro {
 		return 0, ErrReadOnly
+	}
+	if err := tx.ctxErr(); err != nil {
+		return 0, err
 	}
 	st, err := sql.ParseCached(src)
 	if err != nil {
@@ -185,6 +209,12 @@ func (tx *Tx) Abort() {
 func (tx *Tx) Commit() (interval.Timestamp, error) {
 	if tx.done {
 		return 0, ErrTxDone
+	}
+	if err := tx.ctxErr(); err != nil {
+		// A cancelled transaction must not publish: abort releases the
+		// snapshot pin and scratch, and the buffered write set is dropped.
+		tx.Abort()
+		return 0, err
 	}
 	tx.done = true
 	defer tx.release()

@@ -1,6 +1,7 @@
 package pincushion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -12,8 +13,13 @@ import (
 
 // Service is the interface the TxCache library uses to reach the
 // pincushion; *Pincushion implements it in-process and *Client over TCP.
+// GetPins — the begin-path call — takes the transaction's context: the TCP
+// client maps its deadline onto the round trip and a cancelled context
+// returns no pins. Register and Release stay context-free: they are the
+// release path of pin bookkeeping and must run even when the transaction's
+// context has already been cancelled.
 type Service interface {
-	GetPins(staleness time.Duration) []Pin
+	GetPins(ctx context.Context, staleness time.Duration) []Pin
 	Register(ts interval.Timestamp, wall time.Time)
 	Release(tss []interval.Timestamp)
 }
@@ -65,7 +71,7 @@ func (p *Pincushion) handle(req []byte) []byte {
 		if d.Err() != nil {
 			return errFrame(d.Err())
 		}
-		pins := p.GetPins(staleness)
+		pins := p.GetPins(context.Background(), staleness)
 		e := wire.NewBuffer(opPins)
 		e.U32(uint32(len(pins)))
 		for _, pin := range pins {
@@ -135,8 +141,18 @@ func (c *Client) Close() {
 	}
 }
 
-func (c *Client) roundTrip(req []byte) ([]byte, error) {
-	conn := <-c.pool
+func (c *Client) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	var conn net.Conn
+	select {
+	case conn = <-c.pool:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl) //nolint:errcheck
+	} else {
+		conn.SetDeadline(time.Time{}) //nolint:errcheck
+	}
 	if err := wire.WriteFrame(conn, req); err != nil {
 		conn.Close()
 		c.redial()
@@ -165,10 +181,14 @@ func (c *Client) redial() {
 	}()
 }
 
-// GetPins implements Service over TCP; on error it returns no pins, which
-// the library treats as "pin a fresh snapshot".
-func (c *Client) GetPins(staleness time.Duration) []Pin {
-	resp, err := c.roundTrip(wire.NewBuffer(opGetPins).I64(int64(staleness)).Bytes())
+// GetPins implements Service over TCP; on error (or a cancelled ctx,
+// whose deadline bounds the round trip) it returns no pins, which the
+// library treats as "pin a fresh snapshot".
+func (c *Client) GetPins(ctx context.Context, staleness time.Duration) []Pin {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resp, err := c.roundTrip(ctx, wire.NewBuffer(opGetPins).I64(int64(staleness)).Bytes())
 	if err != nil {
 		return nil
 	}
@@ -187,17 +207,33 @@ func (c *Client) GetPins(staleness time.Duration) []Pin {
 	return pins
 }
 
-// Register implements Service over TCP.
+// opTimeout bounds Register/Release exchanges: they deliberately ignore
+// the (possibly cancelled) transaction context because pin bookkeeping
+// must survive cancellation, but a wedged daemon must not hang the
+// release path forever either. A lost Release is tolerated — the daemon's
+// Sweep reclaims leaked use-counts after the leak cutoff.
+const opTimeout = 5 * time.Second
+
+// Register implements Service over TCP; it runs on its own bounded
+// context so pin bookkeeping survives the registering transaction's
+// cancellation.
 func (c *Client) Register(ts interval.Timestamp, wall time.Time) {
-	c.roundTrip(wire.NewBuffer(opRegister).U64(uint64(ts)).I64(wall.UnixNano()).Bytes()) //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	c.roundTrip(ctx, wire.NewBuffer(opRegister).U64(uint64(ts)).I64(wall.UnixNano()).Bytes()) //nolint:errcheck
 }
 
-// Release implements Service over TCP.
+// Release implements Service over TCP; like Register it ignores the (by
+// now possibly cancelled) transaction context — releasing uses must
+// always be attempted or pins would linger until the daemon's
+// leak-cutoff sweep.
 func (c *Client) Release(tss []interval.Timestamp) {
 	e := wire.NewBuffer(opRelease)
 	e.U32(uint32(len(tss)))
 	for _, ts := range tss {
 		e.U64(uint64(ts))
 	}
-	c.roundTrip(e.Bytes()) //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	c.roundTrip(ctx, e.Bytes()) //nolint:errcheck
 }

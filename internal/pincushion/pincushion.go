@@ -7,6 +7,7 @@
 package pincushion
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -40,8 +41,9 @@ type Config struct {
 }
 
 type pinState struct {
-	wall   time.Time
-	active int // running transactions that may use this snapshot
+	wall    time.Time
+	lastUse time.Time // most recent GetPins/Register/Release touching this pin
+	active  int       // running transactions that may use this snapshot
 }
 
 // Pincushion tracks pinned snapshots. Safe for concurrent use.
@@ -54,6 +56,7 @@ type Pincushion struct {
 
 	statRequests uint64
 	statSweeps   uint64
+	statLeaked   uint64 // pins force-swept with a nonzero use-count
 }
 
 // New creates a Pincushion.
@@ -70,16 +73,24 @@ func New(cfg Config) *Pincushion {
 // GetPins returns every pinned snapshot at most staleness old, sorted by
 // timestamp ascending, and flags each as possibly in use by the caller's
 // transaction. The caller must Release the same set when its transaction
-// ends.
-func (p *Pincushion) GetPins(staleness time.Duration) []Pin {
+// ends. A cancelled ctx returns no pins (and flags nothing in use), which
+// the library treats the same as an empty pincushion; in-process the call
+// never blocks, so the check only stops cancelled transactions from
+// acquiring uses they would immediately release.
+func (p *Pincushion) GetPins(ctx context.Context, staleness time.Duration) []Pin {
+	if ctx != nil && ctx.Err() != nil {
+		return nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.statRequests++
-	cutoff := p.clk.Now().Add(-staleness)
+	now := p.clk.Now()
+	cutoff := now.Add(-staleness)
 	var out []Pin
 	for ts, st := range p.pins {
 		if !st.wall.Before(cutoff) {
 			st.active++
+			st.lastUse = now
 			out = append(out, Pin{TS: ts, Wall: st.wall})
 		}
 	}
@@ -99,6 +110,7 @@ func (p *Pincushion) Register(ts interval.Timestamp, wall time.Time) {
 		p.pins[ts] = st
 	}
 	st.active++
+	st.lastUse = p.clk.Now()
 }
 
 // Release drops the caller's uses of the given snapshots (the set returned
@@ -107,21 +119,41 @@ func (p *Pincushion) Register(ts interval.Timestamp, wall time.Time) {
 func (p *Pincushion) Release(tss []interval.Timestamp) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	now := p.clk.Now()
 	for _, ts := range tss {
 		if st := p.pins[ts]; st != nil && st.active > 0 {
 			st.active--
+			st.lastUse = now
 		}
 	}
 }
 
+// leakFactor scales the retention threshold into the leak cutoff: a pin
+// whose use-count has been nonzero with no GetPins/Register/Release
+// activity for leakFactor × Retention is considered leaked (a client
+// crashed, or a network fault lost a Release after the daemon had marked
+// uses) and is swept anyway. This is safe for running transactions: once
+// a transaction begins its database snapshot it holds its own engine pin
+// (db.BeginTx pins, Abort/Commit unpin), so the pincushion reference only
+// protects the short window between GetPins and the first query — far
+// shorter than the leak cutoff.
+const leakFactor = 4
+
 // Sweep unpins snapshots that are unused and older than the retention
-// threshold, returning how many were removed. Run it periodically.
+// threshold — plus pins whose use-counts have leaked (see leakFactor) —
+// returning how many were removed. Run it periodically.
 func (p *Pincushion) Sweep() int {
 	p.mu.Lock()
-	cutoff := p.clk.Now().Add(-p.cfg.Retention)
+	now := p.clk.Now()
+	cutoff := now.Add(-p.cfg.Retention)
+	leakCutoff := now.Add(-leakFactor * p.cfg.Retention)
 	var victims []interval.Timestamp
 	for ts, st := range p.pins {
-		if st.active == 0 && st.wall.Before(cutoff) {
+		switch {
+		case st.active == 0 && st.wall.Before(cutoff):
+			victims = append(victims, ts)
+		case st.active > 0 && st.wall.Before(cutoff) && st.lastUse.Before(leakCutoff):
+			p.statLeaked++
 			victims = append(victims, ts)
 		}
 	}

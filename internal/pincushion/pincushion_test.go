@@ -1,6 +1,7 @@
 package pincushion
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -31,12 +32,12 @@ func TestGetPinsFreshnessFilter(t *testing.T) {
 	clk.Advance(30 * time.Second)
 
 	// Staleness 25s: only the pin from 20s ago qualifies.
-	pins := p.GetPins(25 * time.Second)
+	pins := p.GetPins(context.Background(), 25*time.Second)
 	if len(pins) != 1 || pins[0].TS != 20 {
 		t.Fatalf("pins = %+v", pins)
 	}
 	// Staleness 40s: both.
-	pins = p.GetPins(40 * time.Second)
+	pins = p.GetPins(context.Background(), 40*time.Second)
 	if len(pins) != 2 || pins[0].TS != 10 || pins[1].TS != 20 {
 		t.Fatalf("pins = %+v (must be sorted ascending)", pins)
 	}
@@ -74,8 +75,11 @@ func TestGetPinsMarksInUse(t *testing.T) {
 	p.Register(10, clk.Now())
 	p.Release([]interval.Timestamp{10})
 
-	pins := p.GetPins(time.Minute) // marks 10 in use again
-	clk.Advance(time.Hour)
+	pins := p.GetPins(context.Background(), time.Minute) // marks 10 in use again
+	// Past retention but inside the leak cutoff: an in-use pin survives.
+	// (Beyond leakFactor×retention with no activity it would be treated as
+	// leaked — TestSweepReclaimsLeakedUses covers that.)
+	clk.Advance(2 * time.Second)
 	if n := p.Sweep(); n != 0 {
 		t.Fatal("in-use pin must not be swept")
 	}
@@ -121,7 +125,7 @@ func TestOverTCP(t *testing.T) {
 	defer c.Close()
 
 	c.Register(42, clk.Now())
-	pins := c.GetPins(time.Minute)
+	pins := c.GetPins(context.Background(), time.Minute)
 	if len(pins) != 1 || pins[0].TS != 42 {
 		t.Fatalf("pins = %+v", pins)
 	}
@@ -142,7 +146,7 @@ func TestConcurrentUse(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				ts := interval.Timestamp(i % 20)
 				p.Register(ts, time.Now())
-				pins := p.GetPins(time.Minute)
+				pins := p.GetPins(context.Background(), time.Minute)
 				var tss []interval.Timestamp
 				for _, pin := range pins {
 					tss = append(tss, pin.TS)
@@ -167,11 +171,49 @@ func BenchmarkGetPins(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pins := p.GetPins(time.Minute)
+		pins := p.GetPins(context.Background(), time.Minute)
 		tss := make([]interval.Timestamp, len(pins))
 		for j, pin := range pins {
 			tss[j] = pin.TS
 		}
 		p.Release(tss)
+	}
+}
+
+// TestSweepReclaimsLeakedUses: a use-count that is never released (client
+// crash, or a Release lost after the daemon marked uses) must not pin the
+// snapshot forever — after the leak cutoff (leakFactor × retention) Sweep
+// force-unpins it. A pin with recent activity survives even while in use.
+func TestSweepReclaimsLeakedUses(t *testing.T) {
+	clk := &clock.Virtual{}
+	db := &fakeDB{}
+	p := New(Config{Clock: clk, DB: db, Retention: 10 * time.Second})
+	p.Register(10, clk.Now()) // active=1, never released: the leak
+
+	// Within the leak cutoff the pin survives every sweep.
+	clk.Advance(2 * leakFactor * time.Second) // past retention, inside cutoff
+	if n := p.Sweep(); n != 0 {
+		t.Fatalf("sweep inside leak cutoff removed %d", n)
+	}
+
+	// Recent activity (another transaction marking the pin) resets the
+	// leak clock.
+	if pins := p.GetPins(context.Background(), time.Hour); len(pins) != 1 {
+		t.Fatalf("pins = %+v", pins)
+	}
+	clk.Advance(3 * 10 * time.Second) // < leakFactor×retention since GetPins
+	if n := p.Sweep(); n != 0 {
+		t.Fatalf("recently-used pin swept (%d)", n)
+	}
+
+	// No activity past the cutoff: force-swept despite active > 0.
+	clk.Advance(2 * leakFactor * 10 * time.Second)
+	if n := p.Sweep(); n != 1 {
+		t.Fatalf("leaked pin not swept (removed %d)", n)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.unpinned) != 1 || db.unpinned[0] != 10 {
+		t.Fatalf("db unpins = %v, want [10]", db.unpinned)
 	}
 }

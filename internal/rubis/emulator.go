@@ -1,6 +1,7 @@
 package rubis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"txcache/internal/core"
 	"txcache/internal/db"
 )
 
@@ -87,6 +89,12 @@ func checkMix(name string, mix *Mix, wantRW int) {
 
 // EmulatorConfig drives a closed-loop client population.
 type EmulatorConfig struct {
+	// Ctx, when set, is the parent context every session's transactions run
+	// under: cancelling it is an external "shed this load" signal. It is
+	// deliberately NOT cancelled when Duration elapses — in-flight
+	// interactions finish cleanly so a measurement window never ends on a
+	// burst of cancellation errors. Defaults to context.Background().
+	Ctx context.Context
 	// Clients is the number of concurrent emulated sessions.
 	Clients int
 	// Staleness is the BEGIN-RO staleness limit.
@@ -125,6 +133,7 @@ func (r EmulatorResult) Throughput() float64 {
 // session is one emulated browser.
 type session struct {
 	app  *App
+	ctx  context.Context
 	rng  *rand.Rand
 	user int64
 	now  func() int64
@@ -139,6 +148,10 @@ func RunEmulator(app *App, cfg EmulatorConfig) EmulatorResult {
 	mix := cfg.Mix
 	if mix == nil {
 		mix = &BiddingMix
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var (
 		requests, errors_, conflicts atomic.Uint64
@@ -155,6 +168,7 @@ func RunEmulator(app *App, cfg EmulatorConfig) EmulatorResult {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
 			s := &session{
 				app:  app,
+				ctx:  ctx,
 				rng:  rng,
 				user: int64(rng.Intn(app.DS.Scale.Users)),
 				now:  func() int64 { return time.Now().Unix() },
@@ -162,6 +176,8 @@ func RunEmulator(app *App, cfg EmulatorConfig) EmulatorResult {
 			for {
 				select {
 				case <-stop:
+					return
+				case <-ctx.Done():
 					return
 				default:
 				}
@@ -210,14 +226,17 @@ func RunEmulator(app *App, cfg EmulatorConfig) EmulatorResult {
 	return res
 }
 
-// DoInteraction executes one interaction of the mix as its own transaction,
-// for callers (benchmarks) that drive the load loop themselves. kind < 0
-// draws a random interaction from the bidding mix.
-func (a *App) DoInteraction(rng *rand.Rand, user int64, kind int, staleness time.Duration) error {
+// DoInteraction executes one interaction of the mix as its own transaction
+// under ctx, for callers (benchmarks) that drive the load loop themselves.
+// kind < 0 draws a random interaction from the bidding mix.
+func (a *App) DoInteraction(ctx context.Context, rng *rand.Rand, user int64, kind int, staleness time.Duration) error {
 	if kind < 0 {
 		kind = pick(rng, &BiddingMix)
 	}
-	s := &session{app: a, rng: rng, user: user, now: func() int64 { return time.Now().Unix() }}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &session{app: a, ctx: ctx, rng: rng, user: user, now: func() int64 { return time.Now().Unix() }}
 	return s.run(kind, staleness)
 }
 
@@ -238,73 +257,72 @@ func pick(rng *rand.Rand, mix *[numInteractions]int) int {
 }
 
 // run executes one interaction as one transaction, the way the PHP scripts
-// do: read-only pages under BEGIN-RO(staleness), stores under BEGIN-RW with
-// retry on serialization conflicts.
+// do: read-only pages through the ReadOnly runner with the staleness
+// limit, stores through the store interactions (whose ReadWrite runner
+// retries serialization conflicts).
 func (s *session) run(kind int, staleness time.Duration) error {
 	a := s.app
 	ds := a.DS
 	rng := s.rng
 
 	if IsReadWrite(kind) {
-		return RetryRW(func() error {
-			var err error
-			switch kind {
-			case IStoreBid:
-				item := s.randomActiveItem()
-				_, err = a.StoreBid(s.user, item, 1+rng.Float64()*200, s.now())
-			case IStoreBuyNow:
-				item := s.randomActiveItem()
-				_, err = a.StoreBuyNow(s.user, item, 1, s.now())
-			case IStoreComment:
-				to := int64(rng.Intn(ds.Scale.Users))
-				_, err = a.StoreComment(s.user, to, s.randomActiveItem(), int64(rng.Intn(5)), s.now(), "nice auction")
-			case IRegisterItem:
-				_, _, err = a.RegisterItem(s.user, int64(rng.Intn(ds.Scale.Categories)),
-					int64(rng.Intn(ds.Scale.Regions)), fmt.Sprintf("new-item-%d", rng.Int63()), 1+rng.Float64()*50, s.now())
-			case IRegisterUser:
-				_, _, err = a.RegisterUser(fmt.Sprintf("newuser-%d", rng.Int63()), "pw",
-					int64(rng.Intn(ds.Scale.Regions)), s.now())
-			}
-			if errors.Is(err, ErrNotFound) {
-				return nil // auction closed or sold out: a no-op store
-			}
-			return err
-		})
-	}
-
-	tx := s.app.C.BeginRO(staleness)
-	defer tx.Abort() // no-op after Commit
-	var err error
-	switch kind {
-	case IHome, IBrowse, IRegisterForm, ISell:
-		_, err = a.Home(tx)
-	case IBrowseCategories, ISelectCategoryToSell, ISellItemForm:
-		_, err = a.BrowseCategories(tx)
-	case ISearchItemsInCategory:
-		_, err = a.SearchItemsInCategory(tx, int64(rng.Intn(ds.Scale.Categories)), int64(rng.Intn(3)))
-	case IBrowseRegions:
-		_, err = a.BrowseRegions(tx)
-	case IBrowseCategoriesInRegion:
-		_, err = a.BrowseCategories(tx)
-	case ISearchItemsInRegion:
-		_, err = a.SearchItemsInRegion(tx, int64(rng.Intn(ds.Scale.Regions)), int64(rng.Intn(ds.Scale.Categories)))
-	case IViewItem, IBuyNow, IPutBid, IPutComment:
-		_, err = a.ViewItem(tx, s.randomItem())
-	case IViewUserInfo:
-		_, err = a.ViewUserInfo(tx, int64(rng.Intn(ds.Scale.Users)))
-	case IViewBidHistory:
-		_, err = a.ViewBidHistory(tx, s.randomItem())
-	case IBuyNowAuth, IPutBidAuth, IPutCommentAuth:
-		_, err = a.PutBidAuth(tx, fmt.Sprintf("user%d", s.user), fmt.Sprintf("password%d", s.user), s.randomItem())
-	case IAboutMe:
-		_, err = a.AboutMe(tx, s.user)
-	default:
-		_, err = a.Home(tx)
-	}
-	if err != nil && !errors.Is(err, ErrNotFound) {
+		var err error
+		switch kind {
+		case IStoreBid:
+			item := s.randomActiveItem()
+			_, err = a.StoreBid(s.ctx, s.user, item, 1+rng.Float64()*200, s.now())
+		case IStoreBuyNow:
+			item := s.randomActiveItem()
+			_, err = a.StoreBuyNow(s.ctx, s.user, item, 1, s.now())
+		case IStoreComment:
+			to := int64(rng.Intn(ds.Scale.Users))
+			_, err = a.StoreComment(s.ctx, s.user, to, s.randomActiveItem(), int64(rng.Intn(5)), s.now(), "nice auction")
+		case IRegisterItem:
+			_, _, err = a.RegisterItem(s.ctx, s.user, int64(rng.Intn(ds.Scale.Categories)),
+				int64(rng.Intn(ds.Scale.Regions)), fmt.Sprintf("new-item-%d", rng.Int63()), 1+rng.Float64()*50, s.now())
+		case IRegisterUser:
+			_, _, err = a.RegisterUser(s.ctx, fmt.Sprintf("newuser-%d", rng.Int63()), "pw",
+				int64(rng.Intn(ds.Scale.Regions)), s.now())
+		}
+		if errors.Is(err, ErrNotFound) {
+			return nil // auction closed or sold out: a no-op store
+		}
 		return err
 	}
-	_, err = tx.Commit()
+
+	_, err := a.C.ReadOnly(s.ctx, func(tx *core.Tx) error {
+		var err error
+		switch kind {
+		case IHome, IBrowse, IRegisterForm, ISell:
+			_, err = a.Home(tx)
+		case IBrowseCategories, ISelectCategoryToSell, ISellItemForm:
+			_, err = a.BrowseCategories(tx)
+		case ISearchItemsInCategory:
+			_, err = a.SearchItemsInCategory(tx, int64(rng.Intn(ds.Scale.Categories)), int64(rng.Intn(3)))
+		case IBrowseRegions:
+			_, err = a.BrowseRegions(tx)
+		case IBrowseCategoriesInRegion:
+			_, err = a.BrowseCategories(tx)
+		case ISearchItemsInRegion:
+			_, err = a.SearchItemsInRegion(tx, int64(rng.Intn(ds.Scale.Regions)), int64(rng.Intn(ds.Scale.Categories)))
+		case IViewItem, IBuyNow, IPutBid, IPutComment:
+			_, err = a.ViewItem(tx, s.randomItem())
+		case IViewUserInfo:
+			_, err = a.ViewUserInfo(tx, int64(rng.Intn(ds.Scale.Users)))
+		case IViewBidHistory:
+			_, err = a.ViewBidHistory(tx, s.randomItem())
+		case IBuyNowAuth, IPutBidAuth, IPutCommentAuth:
+			_, err = a.PutBidAuth(tx, fmt.Sprintf("user%d", s.user), fmt.Sprintf("password%d", s.user), s.randomItem())
+		case IAboutMe:
+			_, err = a.AboutMe(tx, s.user)
+		default:
+			_, err = a.Home(tx)
+		}
+		if errors.Is(err, ErrNotFound) {
+			return nil // a page about a vanished entity still renders
+		}
+		return err
+	}, core.WithStaleness(staleness))
 	return err
 }
 

@@ -1,12 +1,11 @@
 package rubis
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"txcache/internal/core"
-	"txcache/internal/db"
 	"txcache/internal/interval"
 )
 
@@ -135,143 +134,101 @@ func (a *App) AboutMe(tx *core.Tx, user int64) (string, error) {
 	return out, nil
 }
 
-// --- Read/write interactions (each runs its own RW transaction and
-// returns the commit timestamp for session causality).
+// --- Read/write interactions (each runs through the library's ReadWrite
+// closure runner, which retries serialization conflicts and returns the
+// commit timestamp for session causality).
 
 // StoreBid places a bid on an item: insert the bid, bump the item's bid
 // count and maximum (computed app-side; the engine's SQL subset has no
 // arithmetic).
-func (a *App) StoreBid(user, item int64, amount float64, now int64) (interval.Timestamp, error) {
-	rw, err := a.C.BeginRW()
-	if err != nil {
-		return 0, err
-	}
-	r, err := rw.Query("SELECT nb_of_bids, max_bid, end_date FROM items WHERE id = ?", item)
-	if err != nil {
-		rw.Abort()
-		return 0, err
-	}
-	if len(r.Rows) == 0 {
-		rw.Abort()
-		return 0, ErrNotFound // auction already closed
-	}
-	nb, maxBid := mustInt(r.Rows[0][0]), mustFloat(r.Rows[0][1])
-	if _, err := rw.Exec(`INSERT INTO bids (id, user_id, item_id, qty, bid, max_bid, date)
-		VALUES (?, ?, ?, ?, ?, ?, ?)`,
-		a.DS.NewBidID(), user, item, int64(1), amount, amount, now); err != nil {
-		rw.Abort()
-		return 0, err
-	}
-	newMax := maxBid
-	if amount > newMax {
-		newMax = amount
-	}
-	if _, err := rw.Exec("UPDATE items SET nb_of_bids = ?, max_bid = ? WHERE id = ?", nb+1, newMax, item); err != nil {
-		rw.Abort()
-		return 0, err
-	}
-	return rw.Commit()
+func (a *App) StoreBid(ctx context.Context, user, item int64, amount float64, now int64) (interval.Timestamp, error) {
+	return a.C.ReadWrite(ctx, func(rw *core.Tx) error {
+		r, err := rw.Query("SELECT nb_of_bids, max_bid, end_date FROM items WHERE id = ?", item)
+		if err != nil {
+			return err
+		}
+		if len(r.Rows) == 0 {
+			return ErrNotFound // auction already closed
+		}
+		nb, maxBid := mustInt(r.Rows[0][0]), mustFloat(r.Rows[0][1])
+		if _, err := rw.Exec(`INSERT INTO bids (id, user_id, item_id, qty, bid, max_bid, date)
+			VALUES (?, ?, ?, ?, ?, ?, ?)`,
+			a.DS.NewBidID(), user, item, int64(1), amount, amount, now); err != nil {
+			return err
+		}
+		newMax := maxBid
+		if amount > newMax {
+			newMax = amount
+		}
+		_, err = rw.Exec("UPDATE items SET nb_of_bids = ?, max_bid = ? WHERE id = ?", nb+1, newMax, item)
+		return err
+	})
 }
 
 // StoreBuyNow records an immediate purchase, decrementing quantity and
 // closing the auction when stock runs out (move to old_items).
-func (a *App) StoreBuyNow(user, item int64, qty, now int64) (interval.Timestamp, error) {
-	rw, err := a.C.BeginRW()
-	if err != nil {
-		return 0, err
-	}
-	r, err := rw.Query("SELECT quantity FROM items WHERE id = ?", item)
-	if err != nil {
-		rw.Abort()
-		return 0, err
-	}
-	if len(r.Rows) == 0 || mustInt(r.Rows[0][0]) < qty {
-		rw.Abort()
-		return 0, ErrNotFound
-	}
-	if _, err := rw.Exec(`INSERT INTO buy_now (id, buyer_id, item_id, qty, date) VALUES (?, ?, ?, ?, ?)`,
-		a.DS.NewBuyNowID(), user, item, qty, now); err != nil {
-		rw.Abort()
-		return 0, err
-	}
-	if _, err := rw.Exec("UPDATE items SET quantity = ? WHERE id = ?", mustInt(r.Rows[0][0])-qty, item); err != nil {
-		rw.Abort()
-		return 0, err
-	}
-	return rw.Commit()
+func (a *App) StoreBuyNow(ctx context.Context, user, item int64, qty, now int64) (interval.Timestamp, error) {
+	return a.C.ReadWrite(ctx, func(rw *core.Tx) error {
+		r, err := rw.Query("SELECT quantity FROM items WHERE id = ?", item)
+		if err != nil {
+			return err
+		}
+		if len(r.Rows) == 0 || mustInt(r.Rows[0][0]) < qty {
+			return ErrNotFound
+		}
+		if _, err := rw.Exec(`INSERT INTO buy_now (id, buyer_id, item_id, qty, date) VALUES (?, ?, ?, ?, ?)`,
+			a.DS.NewBuyNowID(), user, item, qty, now); err != nil {
+			return err
+		}
+		_, err = rw.Exec("UPDATE items SET quantity = ? WHERE id = ?", mustInt(r.Rows[0][0])-qty, item)
+		return err
+	})
 }
 
 // StoreComment leaves feedback about a user and updates their rating.
-func (a *App) StoreComment(from, to, item, rating, now int64, text string) (interval.Timestamp, error) {
-	rw, err := a.C.BeginRW()
-	if err != nil {
-		return 0, err
-	}
-	r, err := rw.Query("SELECT rating FROM users WHERE id = ?", to)
-	if err != nil || len(r.Rows) == 0 {
-		rw.Abort()
-		if err == nil {
-			err = ErrNotFound
+func (a *App) StoreComment(ctx context.Context, from, to, item, rating, now int64, text string) (interval.Timestamp, error) {
+	return a.C.ReadWrite(ctx, func(rw *core.Tx) error {
+		r, err := rw.Query("SELECT rating FROM users WHERE id = ?", to)
+		if err != nil {
+			return err
 		}
-		return 0, err
-	}
-	if _, err := rw.Exec(`INSERT INTO comments (id, from_user_id, to_user_id, item_id, rating, date, comment)
-		VALUES (?, ?, ?, ?, ?, ?, ?)`,
-		a.DS.NewCommentID(), from, to, item, rating, now, text); err != nil {
-		rw.Abort()
-		return 0, err
-	}
-	if _, err := rw.Exec("UPDATE users SET rating = ? WHERE id = ?", mustInt(r.Rows[0][0])+rating, to); err != nil {
-		rw.Abort()
-		return 0, err
-	}
-	return rw.Commit()
+		if len(r.Rows) == 0 {
+			return ErrNotFound
+		}
+		if _, err := rw.Exec(`INSERT INTO comments (id, from_user_id, to_user_id, item_id, rating, date, comment)
+			VALUES (?, ?, ?, ?, ?, ?, ?)`,
+			a.DS.NewCommentID(), from, to, item, rating, now, text); err != nil {
+			return err
+		}
+		_, err = rw.Exec("UPDATE users SET rating = ? WHERE id = ?", mustInt(r.Rows[0][0])+rating, to)
+		return err
+	})
 }
 
-// RegisterItem lists a new item for sale.
-func (a *App) RegisterItem(seller, category, region int64, name string, price float64, now int64) (int64, interval.Timestamp, error) {
-	rw, err := a.C.BeginRW()
-	if err != nil {
-		return 0, 0, err
-	}
+// RegisterItem lists a new item for sale. The item ID is allocated once up
+// front, so a conflict retry re-inserts the same listing rather than
+// duplicating it.
+func (a *App) RegisterItem(ctx context.Context, seller, category, region int64, name string, price float64, now int64) (int64, interval.Timestamp, error) {
 	id := a.DS.NewItemID()
-	if _, err := rw.Exec(`INSERT INTO items (id, name, description, initial_price, quantity, reserve_price, buy_now,
-		nb_of_bids, max_bid, start_date, end_date, seller, category, region)
-		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
-		id, name, "freshly listed: "+name, price, int64(1), price*1.2, price*2,
-		int64(0), price, now, now+7*86400, seller, category, region); err != nil {
-		rw.Abort()
-		return 0, 0, err
-	}
-	ts, err := rw.Commit()
+	ts, err := a.C.ReadWrite(ctx, func(rw *core.Tx) error {
+		_, err := rw.Exec(`INSERT INTO items (id, name, description, initial_price, quantity, reserve_price, buy_now,
+			nb_of_bids, max_bid, start_date, end_date, seller, category, region)
+			VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			id, name, "freshly listed: "+name, price, int64(1), price*1.2, price*2,
+			int64(0), price, now, now+7*86400, seller, category, region)
+		return err
+	})
 	return id, ts, err
 }
 
 // RegisterUser creates an account.
-func (a *App) RegisterUser(nick, pass string, region int64, now int64) (int64, interval.Timestamp, error) {
-	rw, err := a.C.BeginRW()
-	if err != nil {
-		return 0, 0, err
-	}
+func (a *App) RegisterUser(ctx context.Context, nick, pass string, region int64, now int64) (int64, interval.Timestamp, error) {
 	id := a.DS.NewUserID()
-	if _, err := rw.Exec(`INSERT INTO users (id, firstname, lastname, nickname, password, email, rating, balance, creation_date, region)
-		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
-		id, "New", "User", nick, pass, nick+"@rubis.example", int64(0), 0.0, now, region); err != nil {
-		rw.Abort()
-		return 0, 0, err
-	}
-	ts, err := rw.Commit()
+	ts, err := a.C.ReadWrite(ctx, func(rw *core.Tx) error {
+		_, err := rw.Exec(`INSERT INTO users (id, firstname, lastname, nickname, password, email, rating, balance, creation_date, region)
+			VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			id, "New", "User", nick, pass, nick+"@rubis.example", int64(0), 0.0, now, region)
+		return err
+	})
 	return id, ts, err
-}
-
-// RetryRW retries fn while it fails with a serialization conflict, the
-// standard client idiom under snapshot isolation.
-func RetryRW(fn func() error) error {
-	for attempt := 0; ; attempt++ {
-		err := fn()
-		if err == nil || !errors.Is(err, db.ErrSerialization) || attempt >= 5 {
-			return err
-		}
-		time.Sleep(time.Duration(attempt+1) * 100 * time.Microsecond)
-	}
 }

@@ -1,6 +1,7 @@
 package rubis
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -164,7 +165,7 @@ func TestStoreBidUpdatesItemAndInvalidates(t *testing.T) {
 	}
 	tx.Commit()
 
-	if _, err := app.StoreBid(2, 1, 99999, clk.Now().Unix()); err != nil {
+	if _, err := app.StoreBid(context.Background(), 2, 1, 99999, clk.Now().Unix()); err != nil {
 		t.Fatal(err)
 	}
 	settle(app, engine)
@@ -195,7 +196,7 @@ func TestStoreBuyNowDecrementsQuantity(t *testing.T) {
 	q0 := r.Rows[0][0].(int64)
 	tx.Abort()
 
-	if _, err := app.StoreBuyNow(3, 2, 1, clk.Now().Unix()); err != nil {
+	if _, err := app.StoreBuyNow(context.Background(), 3, 2, 1, clk.Now().Unix()); err != nil {
 		t.Fatal(err)
 	}
 	tx, _ = engine.Begin(true, 0)
@@ -208,7 +209,7 @@ func TestStoreBuyNowDecrementsQuantity(t *testing.T) {
 
 func TestRegisterUserThenLogin(t *testing.T) {
 	app, engine, clk := testSite(t, true)
-	_, _, err := app.RegisterUser("brandnew", "s3cret", 1, clk.Now().Unix())
+	_, _, err := app.RegisterUser(context.Background(), "brandnew", "s3cret", 1, clk.Now().Unix())
 	if err != nil {
 		t.Fatal(err)
 	}

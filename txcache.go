@@ -42,15 +42,31 @@
 //			return r.Rows[0][0].(string), nil
 //		})
 //
-//	tx := client.BeginRO(30 * time.Second)
+//	tx, err := client.Begin(ctx, txcache.WithStaleness(30*time.Second))
 //	name, err := getUser(tx, int64(7))
 //	ts, err := tx.Commit()
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// Or, with the closure runners (which begin, commit, release pins on every
+// exit path, and retry read/write serialization conflicts):
+//
+//	var name string
+//	ts, err := client.ReadOnly(ctx, func(tx *txcache.Tx) error {
+//		var err error
+//		name, err = getUser(tx, int64(7))
+//		return err
+//	})
+//
+// Every transaction is bound to a context: cancel it (or let its deadline
+// pass) and the transaction's statements, cache lookups, and remote round
+// trips stop promptly, releasing pinned snapshots on the way out. See
+// DESIGN.md ("Public API & context semantics") for the exact guarantees at
+// each layer and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
 package txcache
 
 import (
+	"time"
+
 	"txcache/internal/cacheserver"
 	"txcache/internal/clock"
 	"txcache/internal/core"
@@ -79,8 +95,38 @@ type Client = core.Client
 // Config configures a Client.
 type Config = core.Config
 
-// Tx is a TxCache transaction (BEGIN-RO/BEGIN-RW of paper Figure 2).
+// Tx is a TxCache transaction (BEGIN-RO/BEGIN-RW of paper Figure 2),
+// started with Client.Begin (or the ReadOnly/ReadWrite closure runners)
+// and bound to the context given there.
 type Tx = core.Tx
+
+// TxOption configures a transaction started by Client.Begin, ReadOnly, or
+// ReadWrite.
+type TxOption = core.TxOption
+
+// WithStaleness bounds how stale the read-only transaction's snapshot may
+// be; without it Config.DefaultStaleness (30s) applies.
+func WithStaleness(d time.Duration) TxOption { return core.WithStaleness(d) }
+
+// WithMinTimestamp guarantees the snapshot is no older than ts; thread a
+// Commit's timestamp into the next transaction for session causality.
+func WithMinTimestamp(ts Timestamp) TxOption { return core.WithMinTimestamp(ts) }
+
+// WithReadWrite makes the transaction read/write (latest state, cache
+// bypassed).
+func WithReadWrite() TxOption { return core.WithReadWrite() }
+
+// WithoutCache runs a read-only transaction with the cache disabled;
+// consistency guarantees are unchanged.
+func WithoutCache() TxOption { return core.WithoutCache() }
+
+// Tx errors.
+var (
+	// ErrTxDone is returned when using a finished transaction.
+	ErrTxDone = core.ErrTxDone
+	// ErrReadOnly is returned when a read-only transaction writes.
+	ErrReadOnly = core.ErrReadOnly
+)
 
 // ClientStats aggregates library counters.
 type ClientStats = core.ClientStats

@@ -1,6 +1,7 @@
 package txcache_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -9,8 +10,9 @@ import (
 
 // TestFacadeEndToEnd drives a full deployment purely through the public
 // facade: engine, bus, cache node, pincushion, client, cacheable function,
-// invalidation, causality.
+// invalidation, causality — all through the context-first Begin API.
 func TestFacadeEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	bus := txcache.NewBus(true)
 	engine := txcache.NewEngine(txcache.EngineOptions{Bus: bus})
 	node := txcache.NewCacheServer(txcache.CacheConfig{})
@@ -25,14 +27,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err := engine.DDL(`CREATE TABLE t (id BIGINT PRIMARY KEY, v TEXT)`); err != nil {
 		t.Fatal(err)
 	}
-	rw, err := client.BeginRW()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := rw.Exec("INSERT INTO t (id, v) VALUES (1, 'hello')"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := rw.Commit(); err != nil {
+	if _, err := client.ReadWrite(ctx, func(rw *txcache.Tx) error {
+		_, err := rw.Exec("INSERT INTO t (id, v) VALUES (1, 'hello')")
+		return err
+	}); err != nil {
 		t.Fatal(err)
 	}
 	waitForHorizon(t, node, engine)
@@ -47,7 +45,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 		})
 
 	for i := 0; i < 2; i++ {
-		tx := client.BeginRO(30 * time.Second)
+		tx, err := client.Begin(ctx, txcache.WithStaleness(30*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
 		v, err := getV(tx, int64(1))
 		if err != nil || v != "hello" {
 			t.Fatalf("getV = %q, %v", v, err)
@@ -61,18 +62,67 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 
 	// Update + causal read.
-	rw, _ = client.BeginRW()
-	rw.Exec("UPDATE t SET v = 'world' WHERE id = 1")
-	ts, err := rw.Commit()
+	ts, err := client.ReadWrite(ctx, func(rw *txcache.Tx) error {
+		_, err := rw.Exec("UPDATE t SET v = 'world' WHERE id = 1")
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitForHorizon(t, node, engine)
-	tx := client.BeginROSince(ts, 30*time.Second)
+	tx, err := client.Begin(ctx, txcache.WithStaleness(30*time.Second), txcache.WithMinTimestamp(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
 	v, err := getV(tx, int64(1))
 	tx.Commit()
 	if err != nil || v != "world" {
 		t.Fatalf("causal read = %q, %v", v, err)
+	}
+}
+
+// TestDeprecatedBeginWrappers is the compatibility suite for the old
+// BeginRO/BeginROSince/BeginRW entry points: they must keep working as
+// thin wrappers over Begin(ctx, opts...) with identical semantics.
+func TestDeprecatedBeginWrappers(t *testing.T) {
+	engine := txcache.NewEngine(txcache.EngineOptions{})
+	pc := txcache.NewPincushion(txcache.PincushionConfig{DB: engine})
+	client := txcache.NewClient(txcache.Config{
+		DB:         txcache.WrapEngine(engine),
+		Pincushion: pc,
+	})
+	if err := engine.DDL(`CREATE TABLE t (id BIGINT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	rw, err := client.BeginRW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.Exec("INSERT INTO t (id, v) VALUES (1, 'hello')"); err != nil {
+		t.Fatal(err)
+	}
+	wts, err := rw.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := client.BeginRO(30 * time.Second)
+	r, err := tx.Query("SELECT v FROM t WHERE id = 1")
+	if err != nil || len(r.Rows) != 1 {
+		t.Fatalf("BeginRO query: %v %v", r, err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = client.BeginROSince(wts, 30*time.Second)
+	r, err = tx.Query("SELECT v FROM t WHERE id = 1")
+	if err != nil || len(r.Rows) != 1 || r.Rows[0][0].(string) != "hello" {
+		t.Fatalf("BeginROSince query: %v %v", r, err)
+	}
+	if ts, err := tx.Commit(); err != nil || ts < wts {
+		t.Fatalf("BeginROSince commit ts = %v (%v), want >= %v", ts, err, wts)
 	}
 }
 

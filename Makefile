@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-write alloc-regression profile fuzz-smoke examples
+.PHONY: ci fmt vet build test race bench bench-node bench-write alloc-regression profile fuzz-smoke examples
 
 ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke
 
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run xxx -fuzz FuzzReadFrame -fuzztime=10s
 	$(GO) test ./internal/wire -run xxx -fuzz FuzzDecoder -fuzztime=10s
 	$(GO) test ./internal/cacheserver -run xxx -fuzz FuzzHandle -fuzztime=10s
+	$(GO) test ./internal/cacheserver -run xxx -fuzz FuzzShardRouting -fuzztime=10s
 
 # Concurrent-engine and cache-wire benchmarks (the CHANGES.md perf
 # trajectory).
@@ -50,6 +51,13 @@ bench:
 # pinned allocs/op ceilings.
 alloc-regression:
 	$(GO) test -run 'TestAllocBudget' ./internal/db ./internal/core ./internal/cacheserver
+
+# In-process cache-node contention sweep: mixed lookup/put/invalidate/stats
+# against one Server from parallel goroutines, across -cpu counts. On a
+# multi-core host the sharded node should scale with -cpu; on a single-core
+# host compare mutex profiles instead (see EXPERIMENTS.md).
+bench-node:
+	$(GO) test -run xxx -bench BenchmarkNodeContention -benchtime=2s -cpu 1,2,4 ./internal/cacheserver
 
 # Write-path smoke: a short pass over the commit-pipeline and vacuum
 # benchmarks (the instruments for the storage write-path refactor; see

@@ -1,6 +1,7 @@
 package cacheserver
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -54,6 +55,49 @@ func BenchmarkInvalidateApply(b *testing.B) {
 // tag-index posting, and the staleness-queue append — all amortized — so
 // the average must stay below 3.
 const invalidateAllocCeiling = 3
+
+// TestAllocBudgetLookup pins the sharded hit path at zero allocations: the
+// shard route is an inline hash, the horizon is one atomic load, and a hit
+// returns the version's own data and tag slices (zero-copy). Any allocation
+// here is a regression — the pre-shard node was allocation-free too.
+func TestAllocBudgetLookup(t *testing.T) {
+	s, _ := benchInvalServer(t, 64)
+	// Advance the horizon so still-valid entries have non-empty effective
+	// intervals (a fresh node serves nothing still-valid, see SetHorizon).
+	s.SetHorizon(1<<20, time.Unix(0, 0))
+	ctx := context.Background()
+	// Both flavors of hit: a still-valid version (tags returned, shared)
+	// and a bounded historical version.
+	s.Put("bounded", []byte("v"), interval.Interval{Lo: 5, Hi: 9}, false, 0, nil)
+	still := func() {
+		r := s.Lookup(ctx, "key-7", 8, 8, 0, interval.Infinity)
+		if !r.Found || !r.Still {
+			t.Fatalf("expected still-valid hit, got %+v", r)
+		}
+	}
+	bounded := func() {
+		r := s.Lookup(ctx, "bounded", 6, 6, 0, interval.Infinity)
+		if !r.Found || r.Still {
+			t.Fatalf("expected bounded hit, got %+v", r)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, still); avg > 0 {
+		t.Errorf("still-valid hit allocates %.1f objects/op, budget is 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, bounded); avg > 0 {
+		t.Errorf("bounded hit allocates %.1f objects/op, budget is 0", avg)
+	}
+	// A miss must be allocation-free too (miss classification is counter
+	// arithmetic, not error construction).
+	miss := func() {
+		if r := s.Lookup(ctx, "absent", 1, 1, 0, interval.Infinity); r.Found {
+			t.Fatal("absent key found")
+		}
+	}
+	if avg := testing.AllocsPerRun(200, miss); avg > 0 {
+		t.Errorf("miss allocates %.1f objects/op, budget is 0", avg)
+	}
+}
 
 func TestAllocBudgetInvalidate(t *testing.T) {
 	const n = 1024

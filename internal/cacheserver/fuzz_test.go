@@ -74,3 +74,48 @@ func FuzzHandle(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShardRouting pins the key→shard routing function over arbitrary keys:
+// deterministic (two servers with equal shard counts agree), in range, and
+// — because routing is FNV-1a with the high half folded into the mask —
+// equal to the reference computation spelled out here. A change to the hash
+// silently reshuffles every deployment's shard residency; this fuzz target
+// makes that a deliberate act instead of an accident.
+func FuzzShardRouting(f *testing.F) {
+	f.Add("")
+	f.Add("k")
+	f.Add("user:1234:profile")
+	f.Add("wide-63")
+	f.Add(string([]byte{0, 255, 0, 255}))
+	a := New(Config{Shards: 8})
+	b := New(Config{Shards: 8})
+	big := New(Config{Shards: 64})
+	one := New(Config{Shards: 1})
+	f.Fuzz(func(t *testing.T, key string) {
+		got := a.shardIndex(key)
+		if got != b.shardIndex(key) || got != a.shardIndex(key) {
+			t.Fatalf("routing of %q not deterministic", key)
+		}
+		if int(got) >= a.ShardCount() {
+			t.Fatalf("shard %d out of range for %q", got, key)
+		}
+		// Reference FNV-1a 64 with high-half fold.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(key); i++ {
+			h ^= uint64(key[i])
+			h *= 1099511628211
+		}
+		h ^= h >> 32
+		if want := uint32(h & 7); got != want {
+			t.Fatalf("route(%q) = %d, reference says %d", key, got, want)
+		}
+		// Masking consistency across shard counts: the wide router's shard
+		// reduces to the narrow router's under the narrower mask.
+		if wide := big.shardIndex(key); wide&7 != got {
+			t.Fatalf("route64(%q)=%d does not reduce to route8=%d", key, wide, got)
+		}
+		if one.shardIndex(key) != 0 {
+			t.Fatalf("single-shard route of %q nonzero", key)
+		}
+	})
+}

@@ -407,8 +407,13 @@ func (cs *churnSet) add(name string, c *Client) {
 func TestConcurrentPipelinedModel(t *testing.T) {
 	const (
 		nodes    = 3
-		keyCount = 12
+		keyCount = 16
 		maxTS    = 1500 // < default HistoryLen, so replay never falls back to conservative closing
+		// budgetBytes caps node 1 so the run exercises capacity eviction
+		// under the global atomic budget while invalidations fan out across
+		// shards; the other nodes are unbounded so completeness stays
+		// non-vacuous.
+		budgetBytes = 32 << 10
 	)
 	keys := make([]string, keyCount)
 	for i := range keys {
@@ -420,8 +425,17 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 	pushers := make([]*Client, nodes) // dedicated, never churned: the stream must be reliable and ordered
 	listeners := make([]net.Listener, nodes)
 	set := &churnSet{ring: consistent.New(64), m: make(map[string]*Client)}
+	// Shard-count diversity: node 0 is the default sharded node, node 1 the
+	// single-lock degenerate case (plus the byte budget), node 2 heavily
+	// sharded so most shards hold at most one key and wildcard invalidations
+	// really fan out. The oracle holds all three to the same facts.
+	cfgs := [nodes]Config{
+		{},
+		{Shards: 1, CapacityBytes: budgetBytes},
+		{Shards: 32},
+	}
 	for i := 0; i < nodes; i++ {
-		servers[i] = New(Config{})
+		servers[i] = New(cfgs[i])
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -646,10 +660,17 @@ func TestConcurrentPipelinedModel(t *testing.T) {
 	}
 
 	var puts, invals uint64
-	for _, s := range servers {
+	for i, s := range servers {
 		st := s.Stats()
 		puts += st.Puts
 		invals += st.Invalidations
+		if cap := cfgs[i].CapacityBytes; cap > 0 && st.BytesUsed > cap {
+			t.Errorf("node %d over budget: %d bytes used, budget %d (evictedCapacity=%d)",
+				i, st.BytesUsed, cap, st.EvictedCapacity)
+		}
+	}
+	if st := servers[1].Stats(); st.EvictedCapacity == 0 {
+		t.Logf("budgeted node never evicted (used=%d of %d) — budget check vacuous this run", st.BytesUsed, budgetBytes)
 	}
 	if puts == 0 || invals == 0 || hits.Load() == 0 || swept == 0 {
 		t.Fatalf("vacuous run: puts=%d invals=%d live-hits=%d swept=%d", puts, invals, hits.Load(), swept)

@@ -2,13 +2,26 @@
 // hash table whose entries carry validity intervals, support lookups by
 // timestamp bounds, and are kept current by the database's ordered
 // invalidation stream using dual-granularity invalidation tags.
+//
+// The node is sharded for multicore scaling, memcached-style: the key
+// space is split across power-of-two lock shards (shard.go), each owning
+// its own mutex, entry map, LRU list, staleness queue, and inverted tag
+// indexes, so operations on different keys never contend. What remains
+// global is exactly the state whose semantics are node-wide: the byte
+// budget (one atomic counter), the invalidation horizon (one atomic
+// timestamp), the retained message history (a read-mostly RWMutex
+// structure), and the stream itself (one mutex serializing ordered
+// message application). See DESIGN.md "Cache-node sharding & the global
+// eviction budget".
 package cacheserver
 
 import (
 	"container/list"
 	"context"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"txcache/internal/clock"
@@ -80,7 +93,10 @@ type entry struct {
 // Config configures a cache node.
 type Config struct {
 	// CapacityBytes bounds memory charged to cached versions; <= 0 means
-	// unlimited.
+	// unlimited. The budget is node-global: shards share it through one
+	// atomic counter, and eviction frees bytes wherever they are cheapest
+	// to free (the putting shard first), so there are no per-shard
+	// capacity cliffs.
 	CapacityBytes int64
 	// MaxStaleness lets the server eagerly drop versions invalidated more
 	// than this long ago ("too stale to be useful", §4.1); 0 disables.
@@ -89,59 +105,68 @@ type Config struct {
 	// order late still-valid inserts against already-processed
 	// invalidations. Defaults to 4096 messages.
 	HistoryLen int
+	// Shards sets the number of lock shards the key space is split
+	// across, rounded up to a power of two; <= 0 means the default
+	// max(8, 4×GOMAXPROCS). Shards: 1 restores the pre-shard single-lock
+	// node (exact global LRU order; useful in tests).
+	Shards int
 	// Clock supplies wall time; defaults to the real clock.
 	Clock clock.Clock
 }
 
 // Server is one cache node. All methods are safe for concurrent use.
+//
+// Synchronization layers, from hottest to coldest:
+//
+//   - shard mutexes (shard.go): all per-key state. Lookups, puts, and
+//     per-shard invalidation application take exactly one.
+//   - hist (RWMutex): the retained invalidation history. Writers are
+//     stream messages (one per committed write transaction); readers are
+//     still-valid Puts replaying their ordering window.
+//   - lastInval, used, per-shard stat counters: atomics. Lookups read the
+//     horizon with one load; Stats()/ResetStats() never touch a lock.
+//   - streamMu: serializes ApplyInvalidation/SetHorizon so stream
+//     messages apply in timestamp order across shard visits.
+//
+// Lock order: streamMu → hist.mu, and shard.mu → hist.mu (a Put replays
+// history while holding its shard). Nothing acquires a shard lock while
+// holding hist.mu, and nothing acquires two shard locks at once.
 type Server struct {
 	cfg Config
 	clk clock.Clock
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	lruList *list.List // *version; front = most recently used
-	used    int64
+	shards    []shard
+	shardMask uint64
 
-	// Invalidation state: the inverted tag→versions index. Keys are
-	// interned TagIDs — integer map probes, no per-registration or
-	// per-message string building. tableDeps and wildDeps are keyed by the
-	// table's wildcard TagID.
-	lastInval     interval.Timestamp
+	// used is the node-global byte budget counter (perVersionOverhead +
+	// key + payload per resident version).
+	used atomic.Int64
+
+	// lastInval is the node's consistency horizon: the timestamp of the
+	// newest stream message fully applied (or seeded via SetHorizon).
+	// It is advanced only after every affected shard has been visited,
+	// so a lookup that reads it can never extend a still-valid entry
+	// past an invalidation its shard has not yet absorbed.
+	lastInval atomic.Uint64
+
+	// streamMu serializes ordered stream application (ApplyInvalidation,
+	// SetHorizon) and guards the stream-side scratch below.
+	streamMu      sync.Mutex
 	lastInvalWall time.Time
-	exact         map[invalidation.TagID]map[*version]struct{} // key tag -> still-valid versions
-	tableDeps     map[invalidation.TagID]map[*version]struct{} // table -> all still-valid versions with any tag on it
-	wildDeps      map[invalidation.TagID]map[*version]struct{} // table -> still-valid versions with a wildcard tag on it
-	affected      map[*version]struct{}                        // per-message scratch, cleared after use
 	msgCount      uint64
+	fanoutScratch []uint64 // shard bitmap, one bit per shard
+
+	invalidations atomic.Uint64 // stream messages processed
 
 	// hist retains recent stream messages so a still-valid insert that
 	// arrives after a matching invalidation was already processed can be
-	// truncated retroactively (the other half of §4.2's ordering argument:
-	// entries and invalidations carry the same timestamps, so the node can
-	// order a late insert against messages it has already seen). histFloor
-	// is the newest timestamp dropped from the ring: inserts generated at
-	// snapshots older than it cannot be checked and are closed
-	// conservatively.
-	hist      []invalidation.Message
-	histFloor interval.Timestamp
+	// truncated retroactively (§4.2's ordering argument).
+	hist histIndex
 
-	// The history is tag-indexed so Put's retroactive replay is a few
-	// binary searches instead of a pairwise scan over the whole ring:
-	// histExact posts each message's key tags, histWild posts wildcard
-	// tags, and histTable posts every tag under its table's wildcard ID.
-	// Posting lists are ascending timestamps (messages arrive in order).
-	histExact map[invalidation.TagID][]interval.Timestamp
-	histWild  map[invalidation.TagID][]interval.Timestamp
-	histTable map[invalidation.TagID][]interval.Timestamp
-
-	// staleQ holds invalidated versions in (approximate) invalidation-wall-
-	// time order, so the staleness sweep pops a prefix instead of walking
-	// every cached version. Entries evicted for other reasons are skipped
-	// (their lru element is nil).
-	staleQ []*version
-
-	stats Stats
+	// deps counts, per tag and per shard, the still-valid versions
+	// registered under that tag, so ApplyInvalidation visits only shards
+	// that can match (shard.go).
+	deps depCounts
 }
 
 // Stats are cumulative cache-node counters.
@@ -175,6 +200,26 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
+// defaultShards is the shard count for Config.Shards <= 0: enough shards
+// that every core can run a lookup with a comfortably low collision
+// probability, floored so small-GOMAXPROCS processes still spread hot keys.
+func defaultShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to the next power of two (n >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // New creates a cache node.
 func New(cfg Config) *Server {
 	if cfg.Clock == nil {
@@ -183,20 +228,50 @@ func New(cfg Config) *Server {
 	if cfg.HistoryLen <= 0 {
 		cfg.HistoryLen = 4096
 	}
-	return &Server{
-		cfg:       cfg,
-		clk:       cfg.Clock,
-		entries:   make(map[string]*entry),
-		lruList:   list.New(),
-		exact:     make(map[invalidation.TagID]map[*version]struct{}),
-		tableDeps: make(map[invalidation.TagID]map[*version]struct{}),
-		wildDeps:  make(map[invalidation.TagID]map[*version]struct{}),
-		affected:  make(map[*version]struct{}),
-		histExact: make(map[invalidation.TagID][]interval.Timestamp),
-		histWild:  make(map[invalidation.TagID][]interval.Timestamp),
-		histTable: make(map[invalidation.TagID][]interval.Timestamp),
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultShards()
 	}
+	n = ceilPow2(n)
+	s := &Server{
+		cfg:           cfg,
+		clk:           cfg.Clock,
+		shards:        make([]shard, n),
+		shardMask:     uint64(n - 1),
+		fanoutScratch: make([]uint64, (n+63)/64),
+	}
+	for i := range s.shards {
+		s.shards[i].idx = i
+		s.shards[i].nShards = n
+		s.shards[i].init()
+	}
+	s.hist.init(cfg.HistoryLen)
+	s.deps.init()
+	return s
 }
+
+// ShardCount returns the number of lock shards the node was built with.
+func (s *Server) ShardCount() int { return len(s.shards) }
+
+// shardIndex routes a key to its shard: FNV-1a over the key bytes, high
+// half folded in so the power-of-two mask sees the whole hash. The routing
+// is a pure function of the key and the shard count — FuzzShardRouting
+// pins it.
+func (s *Server) shardIndex(key string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= h >> 32
+	return uint32(h & s.shardMask)
+}
+
+func (s *Server) shardOf(key string) *shard { return &s.shards[s.shardIndex(key)] }
 
 // LookupResult is the reply to a Lookup.
 type LookupResult struct {
@@ -224,258 +299,432 @@ type LookupResult struct {
 // window), used only to classify consistency misses. A cancelled ctx
 // degrades to a compulsory miss — the in-process node never blocks, so the
 // check exists only so a cancelled transaction stops doing cache work.
+// Only the key's shard is locked; lookups on keys of other shards proceed
+// in parallel.
 func (s *Server) Lookup(ctx context.Context, key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
 	if ctx != nil && ctx.Err() != nil {
 		return LookupResult{Miss: MissCompulsory}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lookupLocked(key, lo, hi, origLo, origHi)
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	r := sh.lookupLocked(key, lo, hi, origLo, origHi, interval.Timestamp(s.lastInval.Load()))
+	sh.mu.Unlock()
+	return r
 }
 
-// LookupBatch resolves many probes under one lock acquisition. Remote
-// clients send the whole batch in one frame, so a transaction's pin-set
-// probes cost one round trip instead of one per key. If ctx is cancelled
-// partway through a large batch, the remaining probes degrade to
-// compulsory misses rather than holding the lock to completion.
+// LookupBatch resolves many probes, grouping them by shard so each shard's
+// lock is taken exactly once per batch (remote clients send the whole
+// batch in one frame, so a transaction's pin-set probes cost one round
+// trip and at most one lock acquisition per shard touched). If ctx is
+// cancelled partway through a large batch, the remaining probes degrade to
+// compulsory misses rather than holding locks to completion.
 func (s *Server) LookupBatch(ctx context.Context, reqs []BatchLookup) []LookupResult {
 	out := make([]LookupResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
 	if ctx != nil && ctx.Err() != nil {
 		for i := range out {
 			out[i] = LookupResult{Miss: MissCompulsory}
 		}
 		return out
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, q := range reqs {
-		if i&63 == 63 && ctx != nil && ctx.Err() != nil {
-			for j := i; j < len(reqs); j++ {
-				out[j] = LookupResult{Miss: MissCompulsory}
+	if len(reqs) == 1 {
+		out[0] = s.Lookup(ctx, reqs[0].Key, reqs[0].Lo, reqs[0].Hi, reqs[0].OrigLo, reqs[0].OrigHi)
+		return out
+	}
+
+	// Counting sort of probe indexes by shard: one pass to route, one to
+	// place, then the probes run in shard-grouped order.
+	n := len(s.shards)
+	sids := make([]uint32, len(reqs))
+	counts := make([]uint32, n+1)
+	for i := range reqs {
+		sid := s.shardIndex(reqs[i].Key)
+		sids[i] = sid
+		counts[sid+1]++
+	}
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	order := make([]uint32, len(reqs))
+	for i := range reqs {
+		order[counts[sids[i]]] = uint32(i)
+		counts[sids[i]]++
+	}
+
+	cur := uint32(0)
+	var sh *shard
+	var last interval.Timestamp
+	cancelled := false
+	for k, oi := range order {
+		i := int(oi)
+		if !cancelled && k&63 == 63 && ctx != nil && ctx.Err() != nil {
+			cancelled = true
+			if sh != nil {
+				sh.mu.Unlock()
+				sh = nil
 			}
-			return out
 		}
-		out[i] = s.lookupLocked(q.Key, q.Lo, q.Hi, q.OrigLo, q.OrigHi)
+		if cancelled {
+			out[i] = LookupResult{Miss: MissCompulsory}
+			continue
+		}
+		if sh == nil || sids[i] != cur {
+			if sh != nil {
+				sh.mu.Unlock()
+			}
+			cur = sids[i]
+			sh = &s.shards[cur]
+			sh.mu.Lock()
+			last = interval.Timestamp(s.lastInval.Load())
+		}
+		q := &reqs[i]
+		out[i] = sh.lookupLocked(q.Key, q.Lo, q.Hi, q.OrigLo, q.OrigHi, last)
+	}
+	if sh != nil {
+		sh.mu.Unlock()
 	}
 	return out
-}
-
-func (s *Server) lookupLocked(key string, lo, hi, origLo, origHi interval.Timestamp) LookupResult {
-	s.stats.Lookups++
-
-	ent := s.entries[key]
-	if ent == nil || !ent.everPut {
-		s.stats.MissCompulsory++
-		return LookupResult{Miss: MissCompulsory}
-	}
-	var best *version
-	usableFresh := false
-	for i := len(ent.versions) - 1; i >= 0; i-- {
-		v := ent.versions[i]
-		effIv := interval.Interval{Lo: v.iv.Lo, Hi: v.effHi(s.lastInval)}
-		if effIv.OverlapsRange(lo, hi) {
-			best = v
-			break
-		}
-		if effIv.OverlapsRange(origLo, origHi) {
-			usableFresh = true
-		}
-	}
-	if best == nil {
-		switch {
-		case usableFresh:
-			s.stats.MissConsistency++
-			return LookupResult{Miss: MissConsistency}
-		case ent.capacityE:
-			s.stats.MissCapacity++
-			return LookupResult{Miss: MissCapacity}
-		default:
-			s.stats.MissStaleness++
-			return LookupResult{Miss: MissStaleness}
-		}
-	}
-	s.lruList.MoveToFront(best.lru)
-	s.stats.Hits++
-	r := LookupResult{
-		Found:    true,
-		Data:     best.data,
-		Validity: interval.Interval{Lo: best.iv.Lo, Hi: best.effHi(s.lastInval)},
-		Still:    best.still,
-	}
-	if best.still {
-		// Shared, not copied: tag slices are immutable once installed, so a
-		// hit costs no per-lookup allocation.
-		r.Tags = best.tags
-	}
-	return r
 }
 
 // Put stores a version of key valid over iv. If still is set, the entry
 // reflects the database state as of the generating snapshot genSnap (the
 // snapshot the computing transaction ran at) and will be invalidated when
 // a committed transaction touches any of its tags. Put never fails; under
-// memory pressure it evicts least-recently-used versions.
+// memory pressure it evicts least-recently-used versions, preferring the
+// shard it just stored into and spilling to other shards' LRU tails when
+// the global budget is still exceeded.
 //
 // A still-valid insert may arrive after the node has already processed an
 // invalidation that affects it (the flip side of §4.2's ordering race).
-// The node replays its retained message history over (genSnap, lastInval]:
-// a matching message truncates the entry retroactively; if the history no
-// longer reaches back to genSnap, the entry is conservatively closed at
+// The node replays its retained message history after genSnap: a matching
+// message truncates the entry retroactively; if the history no longer
+// reaches back to genSnap, the entry is conservatively closed at
 // genSnap+1 — correct for past readers, merely less reusable.
 func (s *Server) Put(key string, data []byte, iv interval.Interval, still bool, genSnap interval.Timestamp, tags []invalidation.TagID) {
 	if iv.Empty() && !still {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Puts++
-
-	ent := s.entries[key]
-	if ent == nil {
-		ent = &entry{key: key}
-		s.entries[key] = ent
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	v := sh.putLocked(s, key, data, iv, still, genSnap, tags)
+	sh.mu.Unlock()
+	if v != nil && s.cfg.CapacityBytes > 0 && s.used.Load() > s.cfg.CapacityBytes {
+		s.enforceBudget(sh, v)
 	}
-	ent.everPut = true
-	ent.capacityE = false
+}
 
-	// Duplicate suppression: another application server may have raced us
-	// computing the same value. Versions of one key have disjoint true
-	// validity intervals, so an equal Lo means the same version.
-	pos := sort.Search(len(ent.versions), func(i int) bool { return ent.versions[i].iv.Lo >= iv.Lo })
-	if pos < len(ent.versions) && ent.versions[pos].iv.Lo == iv.Lo {
+// enforceBudget evicts LRU versions until the node is back under its
+// global byte budget, starting with home (the shard that just grew) and
+// rotating through the others — budget-aware local eviction, never a
+// per-shard quota. except (the version just inserted) is never evicted
+// by its own Put. Runs with no locks held on entry; takes one shard lock
+// at a time.
+func (s *Server) enforceBudget(home *shard, except *version) {
+	capBytes := s.cfg.CapacityBytes
+	n := len(s.shards)
+	for s.used.Load() > capBytes {
+		evicted := false
+		for k := 0; k < n && s.used.Load() > capBytes; k++ {
+			sh := &s.shards[(home.idx+k)&int(s.shardMask)]
+			sh.mu.Lock()
+			for s.used.Load() > capBytes {
+				back := sh.lruList.Back()
+				if back == nil {
+					break
+				}
+				v := back.Value.(*version)
+				if v == except {
+					break // never evict the version we just inserted
+				}
+				sh.evictLocked(s, v, true)
+				evicted = true
+			}
+			sh.mu.Unlock()
+		}
+		if !evicted {
+			return // nothing evictable remains (only the fresh version)
+		}
+	}
+}
+
+// ApplyInvalidation processes one invalidation-stream message. Messages
+// must be applied in timestamp order; stale or duplicate messages are
+// ignored. For every affected still-valid version, the validity interval is
+// truncated at the message's timestamp — atomically for all tags of the
+// message within each shard, and the node's horizon only advances after
+// every affected shard has been visited, so no lookup can see the new
+// horizon before its shard reflects the message (paper §4.2).
+//
+// The fan-out is targeted: the message is recorded in the shared history,
+// the per-tag registration counters say which shards can possibly hold a
+// matching version, and only those shards are locked (a table-wildcard tag
+// visits every shard holding any still-valid version of that table).
+func (s *Server) ApplyInvalidation(m invalidation.Message) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if m.TS <= interval.Timestamp(s.lastInval.Load()) {
 		return
 	}
+	s.invalidations.Add(1)
 
-	v := &version{
-		key:   key,
-		iv:    iv,
-		still: still,
-		tags:  tags,
-		data:  data,
-		size:  int64(len(key)+len(data)) + perVersionOverhead,
-	}
-	if still {
-		v.iv.Hi = interval.Infinity
-		switch {
-		case len(tags) == 0:
-			// A pure function of its arguments: no database dependencies,
-			// nothing can ever invalidate it.
-		case genSnap < s.histFloor:
-			// History cannot prove no invalidation hit it in
-			// (genSnap, lastInval]; close it at the last timestamp the
-			// generating transaction proved it valid.
-			v.still = false
-			v.iv.Hi = genSnap + 1
-		default:
-			// Replay (genSnap, lastInval] against the tag-indexed history:
-			// the earliest posted timestamp after genSnap on any of the
-			// entry's tags (or their table wildcards) truncates it. A few
-			// binary searches replace the old pairwise scan over the whole
-			// retained ring, which was the server's hottest code path.
-			if ts := s.histFirstMatch(tags, genSnap); ts != interval.Infinity {
-				v.still = false
-				v.iv.Hi = ts
-				i := sort.Search(len(s.hist), func(i int) bool { return s.hist[i].TS >= ts })
-				if i < len(s.hist) && s.hist[i].TS == ts {
-					v.hiWall = s.hist[i].WallTime
-				}
-				if s.cfg.MaxStaleness > 0 {
-					s.staleQ = append(s.staleQ, v)
-				}
-			}
-		}
-		if v.iv.Empty() {
-			return
-		}
-		if v.still {
-			s.registerTags(v)
-		}
-	}
-	ent.versions = append(ent.versions, nil)
-	copy(ent.versions[pos+1:], ent.versions[pos:])
-	ent.versions[pos] = v
-	v.lru = s.lruList.PushFront(v)
-	s.used += v.size
+	// Retaining the message and reading the fan-out counters happen in ONE
+	// history critical section. A racing still-valid Put counts its tags
+	// (depCounts.add) before replaying the history under the read lock, so
+	// whichever of the two orders the history lock serializes us into, the
+	// insert is caught: if the Put's replay ran first, its counters are
+	// visible here and its shard gets visited (the visit serializes behind
+	// the Put's shard lock); if it ran second, the replay sees this
+	// message. There is no interleaving where both miss.
+	bm := s.fanoutScratch
+	s.hist.addAndFanout(m, &s.deps, bm, len(s.shards))
 
-	for s.cfg.CapacityBytes > 0 && s.used > s.cfg.CapacityBytes && s.lruList.Len() > 1 {
-		back := s.lruList.Back()
-		if back == v.lru {
-			break // never evict the version we just inserted
+	for i := range s.shards {
+		if bm[i>>6]&(1<<(uint(i)&63)) == 0 {
+			continue
 		}
-		s.evict(back.Value.(*version), true)
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.applyLocked(s, m)
+		sh.mu.Unlock()
+	}
+
+	s.lastInval.Store(uint64(m.TS))
+	s.lastInvalWall = m.WallTime
+
+	// Periodic eager staleness sweep (§4.1).
+	s.msgCount++
+	if s.cfg.MaxStaleness > 0 && s.msgCount%64 == 0 {
+		s.sweepStale()
 	}
 }
 
-// evict removes a version; capacity marks the reason.
-func (s *Server) evict(v *version, capacity bool) {
-	ent := s.entries[v.key]
-	for i, cand := range ent.versions {
-		if cand == v {
-			ent.versions = append(ent.versions[:i], ent.versions[i+1:]...)
-			break
-		}
+// sweepStale drops versions invalidated longer than MaxStaleness ago,
+// shard by shard.
+func (s *Server) sweepStale() {
+	cutoff := s.clk.Now().Add(-s.cfg.MaxStaleness)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.sweepStaleLocked(s, cutoff)
+		sh.mu.Unlock()
 	}
-	if capacity {
-		ent.capacityE = true
-		s.stats.EvictedCapacity++
-	} else {
-		s.stats.EvictedStale++
-	}
-	s.lruList.Remove(v.lru)
-	v.lru = nil // marks the version dead for the staleness queue
-	s.used -= v.size
-	if v.still {
-		s.unregisterTags(v)
-	}
-	// Drop the payload now: the staleness queue may keep the version
-	// header reachable until the sweep passes it, and a dead header must
-	// not pin the data. In-flight lookup results hold their own slice
-	// headers and are unaffected.
-	v.data = nil
-	v.tags = nil
 }
 
-func (s *Server) registerTags(v *version) {
-	for _, t := range v.tags {
+// SweepStale runs the eager staleness sweep immediately.
+func (s *Server) SweepStale() {
+	s.sweepStale()
+}
+
+// SetHorizon advances the node's consistency horizon (the timestamp of the
+// last known invalidation) without a stream message. It is used to
+// bootstrap a node that joins after history it will never replay: until the
+// horizon is seeded from the database's current commit timestamp, the node
+// refuses to serve still-valid entries (their effective validity intervals
+// are empty), which is safe but useless. Regressions are ignored.
+//
+// Seeding the horizon also raises the history floor first: the node has no
+// history below the seeded timestamp, so a still-valid insert generated at
+// an older snapshot cannot be checked against invalidations the node never
+// saw and must be conservatively closed at genSnap+1 (Put's floor path)
+// rather than served as valid through the horizon. A node that actually
+// replayed the stream has lastInval at the seed point already, making the
+// call a no-op that leaves its replayable history intact.
+func (s *Server) SetHorizon(ts interval.Timestamp, wall time.Time) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if ts <= interval.Timestamp(s.lastInval.Load()) {
+		return
+	}
+	// Floor before horizon: a Put that replays after this call must see
+	// the raised floor before any lookup can serve it through the raised
+	// horizon. (A Put fully concurrent with SetHorizon behaves like one
+	// that completed just before it — the same contract the single-lock
+	// node had.)
+	s.hist.raiseFloor(ts)
+	s.lastInval.Store(uint64(ts))
+	s.lastInvalWall = wall
+}
+
+// LastInvalidation returns the timestamp of the newest stream message
+// processed.
+func (s *Server) LastInvalidation() interval.Timestamp {
+	return interval.Timestamp(s.lastInval.Load())
+}
+
+// Stats returns a snapshot of counters, aggregated across shards. It reads
+// only atomics — a monitoring poll never contends with the data path.
+func (s *Server) Stats() Stats {
+	var st Stats
+	for i := range s.shards {
+		c := &s.shards[i].stats
+		st.Lookups += c.lookups.Load()
+		st.Hits += c.hits.Load()
+		st.MissCompulsory += c.missCompulsory.Load()
+		st.MissConsistency += c.missConsistency.Load()
+		st.MissStaleness += c.missStaleness.Load()
+		st.MissCapacity += c.missCapacity.Load()
+		st.Puts += c.puts.Load()
+		st.Invalidated += c.invalidated.Load()
+		st.EvictedCapacity += c.evictedCapacity.Load()
+		st.EvictedStale += c.evictedStale.Load()
+		st.Versions += int(c.versions.Load())
+		st.Keys += int(c.keys.Load())
+	}
+	st.Invalidations = s.invalidations.Load()
+	st.BytesUsed = s.used.Load()
+	return st
+}
+
+// ResetStats zeroes the counters (memory usage and residency gauges are
+// recomputed, not reset). Like Stats, it touches no data-path lock.
+func (s *Server) ResetStats() {
+	for i := range s.shards {
+		s.shards[i].stats.reset()
+	}
+	s.invalidations.Store(0)
+}
+
+// ConsumeStream applies messages from sub until it closes. Run it in a
+// goroutine per cache node.
+func (s *Server) ConsumeStream(sub *invalidation.Subscription) {
+	for m := range sub.C {
+		s.ApplyInvalidation(m)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared invalidation history.
+// ---------------------------------------------------------------------------
+
+// histIndex is the node-global retained window of invalidation-stream
+// messages, tag-indexed so a still-valid Put's retroactive replay is a few
+// binary searches instead of a pairwise scan over the whole ring. It is
+// read-mostly: every stream message appends once (writer), and only
+// still-valid Puts read it. Shards never hold hist.mu while another lock
+// is being acquired; Puts acquire it under their shard lock (lock order:
+// shard.mu → hist.mu).
+type histIndex struct {
+	mu     sync.RWMutex
+	maxLen int
+	msgs   []invalidation.Message
+	// floor is the newest timestamp dropped from the ring (or seeded via
+	// SetHorizon): inserts generated at snapshots older than it cannot be
+	// checked and are closed conservatively.
+	floor interval.Timestamp
+
+	// Posting lists are ascending timestamps (messages arrive in order):
+	// exact posts each message's key tags, wild posts wildcard tags, and
+	// table posts every tag under its table's wildcard ID.
+	exact map[invalidation.TagID][]interval.Timestamp
+	wild  map[invalidation.TagID][]interval.Timestamp
+	table map[invalidation.TagID][]interval.Timestamp
+}
+
+func (h *histIndex) init(maxLen int) {
+	h.maxLen = maxLen
+	h.exact = make(map[invalidation.TagID][]interval.Timestamp)
+	h.wild = make(map[invalidation.TagID][]interval.Timestamp)
+	h.table = make(map[invalidation.TagID][]interval.Timestamp)
+}
+
+// addAndFanout retains m and, in the same critical section, computes the
+// set of shards ApplyInvalidation must visit (bits in bm) from the
+// registration counters. Compaction is deferred until the slice doubles so
+// its cost (including the index rebuild) amortizes to O(1) per message.
+func (h *histIndex) addAndFanout(m invalidation.Message, deps *depCounts, bm []uint64, nShards int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.msgs = append(h.msgs, m)
+	h.indexMessage(m)
+	if len(h.msgs) > 2*h.maxLen {
+		drop := len(h.msgs) - h.maxLen
+		h.floor = h.msgs[drop-1].TS
+		h.msgs = append(h.msgs[:0:0], h.msgs[drop:]...)
+		h.rebuildIndex()
+	}
+	for i := range bm {
+		bm[i] = 0
+	}
+	for _, t := range m.Tags {
 		w := invalidation.WildOf(t)
 		if t == w {
-			addDep(s.wildDeps, w, v)
-		} else {
-			addDep(s.exact, t, v)
+			deps.orShards(bm, w, 1, nShards)
+			continue
 		}
-		addDep(s.tableDeps, w, v)
+		deps.orShards(bm, t, 0, nShards)
+		deps.orShards(bm, w, 0, nShards)
 	}
 }
 
-func (s *Server) unregisterTags(v *version) {
-	for _, t := range v.tags {
-		w := invalidation.WildOf(t)
-		if t == w {
-			delDep(s.wildDeps, w, v)
-		} else {
-			delDep(s.exact, t, v)
-		}
-		delDep(s.tableDeps, w, v)
+// firstMatch returns the timestamp (and wall time) of the earliest
+// retained message after genSnap whose tags affect an entry carrying tags,
+// honoring dual granularity in both directions (a key tag is hit by its
+// exact tag or its table's wildcard; a wildcard tag is hit by any tag of
+// its table). ts == Infinity means no match. belowFloor reports that the
+// history no longer reaches back to genSnap, so no proof is possible.
+func (h *histIndex) firstMatch(tags []invalidation.TagID, genSnap interval.Timestamp) (ts interval.Timestamp, wall time.Time, belowFloor bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if genSnap < h.floor {
+		return 0, time.Time{}, true
 	}
-}
-
-// histFirstMatch returns the timestamp of the earliest retained history
-// message after genSnap whose tags affect an entry carrying tags, honoring
-// dual granularity in both directions (a key tag is hit by its exact tag
-// or its table's wildcard; a wildcard tag is hit by any tag of its table).
-// Infinity means no match.
-func (s *Server) histFirstMatch(tags []invalidation.TagID, genSnap interval.Timestamp) interval.Timestamp {
 	best := interval.Infinity
 	for _, vt := range tags {
 		w := invalidation.WildOf(vt)
 		if vt == w {
-			best = minTS(best, firstAfter(s.histTable[w], genSnap))
+			best = minTS(best, firstAfter(h.table[w], genSnap))
 			continue
 		}
-		best = minTS(best, firstAfter(s.histExact[vt], genSnap))
-		best = minTS(best, firstAfter(s.histWild[w], genSnap))
+		best = minTS(best, firstAfter(h.exact[vt], genSnap))
+		best = minTS(best, firstAfter(h.wild[w], genSnap))
 	}
-	return best
+	if best == interval.Infinity {
+		return interval.Infinity, time.Time{}, false
+	}
+	i := sort.Search(len(h.msgs), func(i int) bool { return h.msgs[i].TS >= best })
+	if i < len(h.msgs) && h.msgs[i].TS == best {
+		wall = h.msgs[i].WallTime
+	}
+	return best, wall, false
+}
+
+// raiseFloor lifts the history floor to ts (SetHorizon bootstrap).
+func (h *histIndex) raiseFloor(ts interval.Timestamp) {
+	h.mu.Lock()
+	if ts > h.floor {
+		h.floor = ts
+	}
+	h.mu.Unlock()
+}
+
+// indexMessage posts a retained message's tags into the history index.
+// Caller holds h.mu.
+func (h *histIndex) indexMessage(m invalidation.Message) {
+	for _, t := range m.Tags {
+		w := invalidation.WildOf(t)
+		if t == w {
+			h.wild[w] = append(h.wild[w], m.TS)
+		} else {
+			h.exact[t] = append(h.exact[t], m.TS)
+		}
+		// Dedup per message: several tags of one table post one entry.
+		if tp := h.table[w]; len(tp) == 0 || tp[len(tp)-1] != m.TS {
+			h.table[w] = append(h.table[w], m.TS)
+		}
+	}
+}
+
+// rebuildIndex reindexes the retained window after compaction. Caller
+// holds h.mu.
+func (h *histIndex) rebuildIndex() {
+	clear(h.exact)
+	clear(h.wild)
+	clear(h.table)
+	for _, m := range h.msgs {
+		h.indexMessage(m)
+	}
 }
 
 // firstAfter returns the first timestamp in the ascending posting list
@@ -493,212 +742,4 @@ func minTS(a, b interval.Timestamp) interval.Timestamp {
 		return a
 	}
 	return b
-}
-
-// indexHistMessage posts a retained message's tags into the history index.
-func (s *Server) indexHistMessage(m invalidation.Message) {
-	for _, t := range m.Tags {
-		w := invalidation.WildOf(t)
-		if t == w {
-			s.histWild[w] = append(s.histWild[w], m.TS)
-		} else {
-			s.histExact[t] = append(s.histExact[t], m.TS)
-		}
-		// Dedup per message: several tags of one table post one entry.
-		if tp := s.histTable[w]; len(tp) == 0 || tp[len(tp)-1] != m.TS {
-			s.histTable[w] = append(s.histTable[w], m.TS)
-		}
-	}
-}
-
-// rebuildHistIndex reindexes the retained window after compaction.
-func (s *Server) rebuildHistIndex() {
-	clear(s.histExact)
-	clear(s.histWild)
-	clear(s.histTable)
-	for _, m := range s.hist {
-		s.indexHistMessage(m)
-	}
-}
-
-func addDep(m map[invalidation.TagID]map[*version]struct{}, k invalidation.TagID, v *version) {
-	set := m[k]
-	if set == nil {
-		set = make(map[*version]struct{})
-		m[k] = set
-	}
-	set[v] = struct{}{}
-}
-
-func delDep(m map[invalidation.TagID]map[*version]struct{}, k invalidation.TagID, v *version) {
-	if set := m[k]; set != nil {
-		delete(set, v)
-		if len(set) == 0 {
-			delete(m, k)
-		}
-	}
-}
-
-// ApplyInvalidation processes one invalidation-stream message. Messages
-// must be applied in timestamp order; stale or duplicate messages are
-// ignored. For every affected still-valid version, the validity interval is
-// truncated at the message's timestamp — atomically for all tags of the
-// message, because the whole message is applied under one lock (paper §4.2).
-func (s *Server) ApplyInvalidation(m invalidation.Message) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if m.TS <= s.lastInval {
-		return
-	}
-	s.stats.Invalidations++
-	// The scratch set dedupes versions reached through several of the
-	// message's tags; it is cleared after use so steady-state invalidation
-	// processing allocates nothing.
-	affected := s.affected
-	for _, t := range m.Tags {
-		w := invalidation.WildOf(t)
-		if t == w {
-			for v := range s.tableDeps[w] {
-				affected[v] = struct{}{}
-			}
-			continue
-		}
-		for v := range s.exact[t] {
-			affected[v] = struct{}{}
-		}
-		// A cached value that depends on a scan of the table is affected by
-		// any change to the table (dual granularity).
-		for v := range s.wildDeps[w] {
-			affected[v] = struct{}{}
-		}
-	}
-	for v := range affected {
-		v.iv.Hi = m.TS
-		v.still = false
-		v.hiWall = m.WallTime
-		s.unregisterTags(v)
-		// The staleness queue exists only for the sweep; without a
-		// MaxStaleness bound the sweep never runs and the queue would just
-		// pin evicted payloads forever.
-		if s.cfg.MaxStaleness > 0 {
-			s.staleQ = append(s.staleQ, v)
-		}
-		s.stats.Invalidated++
-	}
-	clear(affected)
-	s.lastInval = m.TS
-	s.lastInvalWall = m.WallTime
-
-	// Retain the message for late still-valid inserts. Compaction is
-	// deferred until the slice doubles so its cost (including the history
-	// tag index rebuild) amortizes to O(1) per message.
-	s.hist = append(s.hist, m)
-	s.indexHistMessage(m)
-	if len(s.hist) > 2*s.cfg.HistoryLen {
-		drop := len(s.hist) - s.cfg.HistoryLen
-		s.histFloor = s.hist[drop-1].TS
-		s.hist = append(s.hist[:0:0], s.hist[drop:]...)
-		s.rebuildHistIndex()
-	}
-
-	// Periodic eager staleness sweep (§4.1).
-	s.msgCount++
-	if s.cfg.MaxStaleness > 0 && s.msgCount%64 == 0 {
-		s.sweepStaleLocked()
-	}
-}
-
-// sweepStaleLocked drops versions invalidated longer than MaxStaleness
-// ago. It pops the staleness queue's expired prefix instead of walking
-// every cached version; the queue is in message order, so wall times are
-// (near-)monotone — a rare out-of-order entry from a retroactive Put
-// truncation just waits for the queue front to pass the cutoff.
-func (s *Server) sweepStaleLocked() {
-	cutoff := s.clk.Now().Add(-s.cfg.MaxStaleness)
-	i := 0
-	for ; i < len(s.staleQ); i++ {
-		v := s.staleQ[i]
-		if v.lru == nil || v.hiWall.IsZero() {
-			// Already evicted, or invalidated by a message with no wall
-			// time (the zero time is before every cutoff and must not mean
-			// "instantly stale").
-			continue
-		}
-		if !v.hiWall.Before(cutoff) {
-			break
-		}
-		s.evict(v, false)
-	}
-	if i > 0 {
-		n := copy(s.staleQ, s.staleQ[i:])
-		clear(s.staleQ[n:])
-		s.staleQ = s.staleQ[:n]
-	}
-}
-
-// SweepStale runs the eager staleness sweep immediately.
-func (s *Server) SweepStale() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepStaleLocked()
-}
-
-// SetHorizon advances the node's consistency horizon (the timestamp of the
-// last known invalidation) without a stream message. It is used to
-// bootstrap a node that joins after history it will never replay: until the
-// horizon is seeded from the database's current commit timestamp, the node
-// refuses to serve still-valid entries (their effective validity intervals
-// are empty), which is safe but useless. Regressions are ignored.
-//
-// Seeding the horizon also raises histFloor: the node has no history below
-// the seeded timestamp, so a still-valid insert generated at an older
-// snapshot cannot be checked against invalidations the node never saw and
-// must be conservatively closed at genSnap+1 (Put's histFloor path) rather
-// than served as valid through the horizon. A node that actually replayed
-// the stream has lastInval at the seed point already, making the call a
-// no-op that leaves its replayable history intact.
-func (s *Server) SetHorizon(ts interval.Timestamp, wall time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ts > s.lastInval {
-		s.lastInval = ts
-		s.lastInvalWall = wall
-		if ts > s.histFloor {
-			s.histFloor = ts
-		}
-	}
-}
-
-// LastInvalidation returns the timestamp of the newest stream message
-// processed.
-func (s *Server) LastInvalidation() interval.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lastInval
-}
-
-// Stats returns a snapshot of counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.BytesUsed = s.used
-	st.Versions = s.lruList.Len()
-	st.Keys = len(s.entries)
-	return st
-}
-
-// ResetStats zeroes the counters (memory usage gauges are recomputed).
-func (s *Server) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
-}
-
-// ConsumeStream applies messages from sub until it closes. Run it in a
-// goroutine per cache node.
-func (s *Server) ConsumeStream(sub *invalidation.Subscription) {
-	for m := range sub.C {
-		s.ApplyInvalidation(m)
-	}
 }

@@ -174,7 +174,10 @@ func TestOutOfOrderInvalidationIgnored(t *testing.T) {
 
 func TestCapacityEvictionLRU(t *testing.T) {
 	// Each version charges len(key)=2 + len(data)=9 + overhead bytes.
-	s := New(Config{CapacityBytes: 3 * (perVersionOverhead + 11)})
+	// Shards: 1 makes the LRU order exact and global; with several shards
+	// eviction under the global budget is LRU per shard, so the victim
+	// would depend on key routing.
+	s := New(Config{CapacityBytes: 3 * (perVersionOverhead + 11), Shards: 1})
 	payload := make([]byte, 9)
 	for i := 0; i < 3; i++ {
 		s.Put(fmt.Sprintf("k%d", i), payload, iv(10, 20), false, 0, nil)

@@ -171,6 +171,97 @@ func (p *Pincushion) Sweep() int {
 	return len(victims)
 }
 
+// PinClass partitions the tracked pins by how they interact with the
+// database's vacuum horizon: every pin holds the horizon back to its
+// snapshot, but what the system can do about it differs by class.
+type PinClass int
+
+const (
+	// PinActive pins are flagged in use by at least one running
+	// transaction; the database must retain their snapshots regardless of
+	// age. A heavy tail of old active pins is what makes short-horizon
+	// vacuuming ineffective.
+	PinActive PinClass = iota
+	// PinIdle pins are unused but within retention, kept warm so the next
+	// read-only transaction can share an already-pinned snapshot.
+	PinIdle
+	// PinExpired pins are unused and past retention: the next Sweep will
+	// unpin them. A persistent PinExpired population means the sweeper is
+	// running too rarely for the configured retention.
+	PinExpired
+
+	numPinClasses
+)
+
+func (c PinClass) String() string {
+	return [...]string{"active", "idle", "expired"}[c]
+}
+
+// horizonBuckets are the inclusive upper edges of the Stats age histogram;
+// ages beyond the last edge land in the overflow bucket. The edges skew
+// short because the open question is vacuum behavior at short horizons —
+// sub-retention resolution is the point.
+var horizonBuckets = [...]time.Duration{
+	time.Second, 5 * time.Second, 15 * time.Second, time.Minute, 5 * time.Minute,
+}
+
+// HorizonBuckets returns the histogram's bucket edges (a copy); bucket i of
+// Stats.Horizon counts pins aged at most edge i, and the final bucket
+// collects everything older.
+func HorizonBuckets() []time.Duration {
+	out := make([]time.Duration, len(horizonBuckets))
+	copy(out, horizonBuckets[:])
+	return out
+}
+
+// Stats is a read-only snapshot of the pincushion's counters and of the
+// current pin population's age distribution.
+type Stats struct {
+	Requests uint64 // GetPins calls served
+	Sweeps   uint64 // Sweep passes completed
+	Leaked   uint64 // pins force-swept with a nonzero use-count
+	Pins     int    // pins currently tracked
+
+	// Horizon[c][i] counts tracked pins of class c whose age (now minus
+	// the pin's snapshot wall time — exactly how far back the pin holds
+	// the database's vacuum horizon) is within the i'th HorizonBuckets
+	// edge; the last column is the overflow. Observability only: Stats
+	// takes the same snapshot lock as GetPins but mutates nothing.
+	Horizon [numPinClasses][len(horizonBuckets) + 1]int
+}
+
+// Stats returns a snapshot of counters and the per-class horizon histogram.
+func (p *Pincushion) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Requests: p.statRequests,
+		Sweeps:   p.statSweeps,
+		Leaked:   p.statLeaked,
+		Pins:     len(p.pins),
+	}
+	now := p.clk.Now()
+	cutoff := now.Add(-p.cfg.Retention)
+	for _, ps := range p.pins {
+		var c PinClass
+		switch {
+		case ps.active > 0:
+			c = PinActive
+		case ps.wall.Before(cutoff):
+			c = PinExpired
+		default:
+			c = PinIdle
+		}
+		age := now.Sub(ps.wall)
+		b := 0
+		for b < len(horizonBuckets) && age > horizonBuckets[b] {
+			b++
+		}
+		st.Horizon[c][b]++
+	}
+	return st
+}
+
 // Len returns the number of tracked pins.
 func (p *Pincushion) Len() int {
 	p.mu.Lock()

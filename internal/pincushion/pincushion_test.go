@@ -217,3 +217,71 @@ func TestSweepReclaimsLeakedUses(t *testing.T) {
 		t.Fatalf("db unpins = %v, want [10]", db.unpinned)
 	}
 }
+
+func TestStatsHorizonHistogram(t *testing.T) {
+	clk := &clock.Virtual{}
+	p := New(Config{Clock: clk, Retention: 30 * time.Second})
+	base := clk.Now()
+
+	// Four pins with staggered ages at observation time (clock advances
+	// 20s after the last Register):
+	//   ts=10: 80s old, held active  -> PinActive, 5-minute bucket
+	//   ts=20: 40s old, released     -> PinExpired (past 30s retention)
+	//   ts=30: 25s old, released     -> PinIdle, 60s bucket
+	//   ts=40: 20s old, never used   -> PinIdle, 60s bucket
+	p.Register(10, base)
+	clk.Advance(40 * time.Second)
+	p.Register(20, clk.Now())
+	clk.Advance(15 * time.Second)
+	p.Register(30, clk.Now())
+	clk.Advance(5 * time.Second)
+	p.Register(40, clk.Now())
+	p.Release([]interval.Timestamp{20, 30, 40})
+	clk.Advance(20 * time.Second)
+
+	st := p.Stats()
+	if st.Pins != 4 {
+		t.Fatalf("Pins = %d, want 4", st.Pins)
+	}
+	edges := HorizonBuckets()
+	sixty := 3   // index of the time.Minute edge
+	fiveMin := 4 // index of the 5*time.Minute edge
+	if edges[sixty] != time.Minute || edges[fiveMin] != 5*time.Minute {
+		t.Fatalf("bucket edges changed (%v); update the test's expectations", edges)
+	}
+	var want Stats
+	want.Pins = 4
+	want.Requests = st.Requests
+	want.Horizon[PinActive][fiveMin] = 1
+	want.Horizon[PinExpired][sixty] = 1
+	want.Horizon[PinIdle][sixty] = 2
+	if st.Horizon != want.Horizon {
+		t.Fatalf("Horizon = %v, want %v", st.Horizon, want.Horizon)
+	}
+
+	// Stats observes, never mutates: a sweep after polling behaves exactly
+	// as if Stats had not been called (expired pin unpinned, active kept).
+	p.cfg.DB = nil
+	if n := p.Sweep(); n != 1 {
+		t.Fatalf("Sweep removed %d pins, want 1 (the expired one)", n)
+	}
+	st = p.Stats()
+	if st.Sweeps != 1 || st.Pins != 3 || st.Horizon[PinExpired] != [len(horizonBuckets) + 1]int{} {
+		t.Fatalf("after sweep: %+v", st)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	clk := &clock.Virtual{}
+	p := New(Config{Clock: clk, Retention: time.Second})
+	p.Register(1, clk.Now())
+	p.GetPins(context.Background(), time.Minute)
+	p.GetPins(context.Background(), time.Minute)
+	// Age the pin far past the leak cutoff with its use-count still held.
+	clk.Advance(time.Hour)
+	p.Sweep()
+	st := p.Stats()
+	if st.Requests != 2 || st.Sweeps != 1 || st.Leaked != 1 || st.Pins != 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+}

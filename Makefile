@@ -1,8 +1,17 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-node bench-write alloc-regression profile fuzz-smoke examples
+.PHONY: ci fmt vet build test race bench bench-node bench-write alloc-regression profile fuzz-smoke examples serve-smoke
 
-ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke
+ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke serve-smoke
+
+# Open-loop smoke: boot the full TCP topology with the HTTP front end, drive
+# it at a modest arrival rate for half a minute, and fail unless requests
+# completed with an intended-time p99 under a generous bound. This is the
+# "req/s means production req/s" regression gate (see EXPERIMENTS.md).
+serve-smoke:
+	timeout 120 $(GO) run ./cmd/txcache-bench -exp serve -scale test \
+		-rate 300 -serve-workers 128 -warm 5s -measure 25s \
+		-serve-smoke -serve-smoke-p99 2s
 
 # Build and briefly run every example against the public API — the
 # examples are the documented quickstart path, so "compiles and runs" is a

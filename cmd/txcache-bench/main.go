@@ -26,7 +26,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, concurrency, churn, writeheavy, all")
+	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, concurrency, churn, writeheavy, serve, all")
+	rate := flag.Float64("rate", 500, "nominal open-loop arrival rate for -exp serve (req/s)")
+	serveURL := flag.String("serve-url", "", "existing txcache-serve base URL for -exp serve (empty: boot an in-process stack)")
+	serveWorkers := flag.Int("serve-workers", 256, "open-loop worker cap for -exp serve")
+	churnEvery := flag.Int("churn-every", 50, "close a load connection every N requests for -exp serve (0: never)")
+	serveBurst := flag.Bool("serve-burst", false, "square-wave arrivals (2x rate, 50% duty) instead of Poisson for -exp serve")
+	serveSmoke := flag.Bool("serve-smoke", false, "for -exp serve: exit nonzero unless the open-loop run completed requests under -serve-smoke-p99")
+	serveSmokeP99 := flag.Duration("serve-smoke-p99", 2*time.Second, "open-loop intended-p99 bound for -serve-smoke")
 	churnPeriod := flag.Duration("churn-period", 500*time.Millisecond, "cache-node drain+join period for -exp churn")
 	indexes := flag.Int("indexes", 3, "extra write-hot secondary indexes for -exp writeheavy")
 	clients := flag.Int("clients", 2*runtime.GOMAXPROCS(0), "closed-loop client population")
@@ -117,10 +124,32 @@ func main() {
 		"concurrency": func() error { _, err := bench.Concurrency(o); return err },
 		"churn":       func() error { _, err := bench.Churn(o, *churnPeriod); return err },
 		"writeheavy":  func() error { _, err := bench.WriteHeavy(o, *indexes); return err },
+		"serve": func() error {
+			open, _, err := bench.Serve(bench.ServeOpts{
+				Opts:       o,
+				Rate:       *rate,
+				Burst:      *serveBurst,
+				Workers:    *serveWorkers,
+				ChurnEvery: *churnEvery,
+				URL:        *serveURL,
+			})
+			if err != nil {
+				return err
+			}
+			if *serveSmoke {
+				if open.Completed == 0 {
+					return fmt.Errorf("serve-smoke: no requests completed")
+				}
+				if p99 := open.Intended.Quantile(0.99); p99 > *serveSmokeP99 {
+					return fmt.Errorf("serve-smoke: open-loop p99 %v exceeds bound %v", p99, *serveSmokeP99)
+				}
+			}
+			return nil
+		},
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"baseline", "fig5a", "fig6a", "fig5b", "fig6b", "fig7", "fig8", "concurrency", "churn", "writeheavy"} {
+		for _, name := range []string{"baseline", "fig5a", "fig6a", "fig5b", "fig6b", "fig7", "fig8", "concurrency", "churn", "writeheavy", "serve"} {
 			run(name, experiments[name])
 		}
 		return

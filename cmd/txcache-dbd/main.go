@@ -23,6 +23,7 @@ import (
 	"txcache/internal/db/dbnet"
 	"txcache/internal/invalidation"
 	"txcache/internal/rubis"
+	"txcache/internal/serve"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	caches := flag.String("caches", "", "comma-separated cache node addresses for the invalidation stream")
 	schema := flag.String("schema", "", "file of semicolon-separated CREATE statements to run at startup")
 	loadRubis := flag.String("load-rubis", "", "pre-load the RUBiS dataset: test, inmem, or disk")
+	wikiPages := flag.Int("wiki-pages", 0, "pre-load the wiki schema with this many pages (for txcache-serve -wiki)")
 	vacuumEvery := flag.Duration("vacuum-interval", 2*time.Second, "vacuum period")
 	diskPages := flag.Int("disk-pages", 0, "bound the buffer cache to this many pages (0 = in-memory)")
 	diskPenalty := flag.Duration("disk-penalty", 400*time.Microsecond, "simulated disk latency per buffer-cache miss")
@@ -115,6 +117,13 @@ func main() {
 		}
 		log.Printf("txcache-dbd: RUBiS %s dataset loaded in %v (last commit %d)",
 			*loadRubis, time.Since(start).Round(time.Millisecond), engine.LastCommit())
+	}
+
+	if *wikiPages > 0 {
+		if err := serve.LoadWiki(engine, *wikiPages, time.Now().Unix()); err != nil {
+			log.Fatalf("txcache-dbd: load wiki: %v", err)
+		}
+		log.Printf("txcache-dbd: wiki loaded with %d pages", *wikiPages)
 	}
 
 	// The engine schedules its own incremental vacuum passes from the

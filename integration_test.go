@@ -220,9 +220,6 @@ func TestDistributedConsistencyOverTCP(t *testing.T) {
 // TestDistributedRUBiSOverTCP runs a short RUBiS burst against the TCP
 // cluster — the same topology as examples/auction, as a regression test.
 func TestDistributedRUBiSOverTCP(t *testing.T) {
-	if testing.Short() {
-		t.Skip("network-heavy")
-	}
 	cl := startCluster(t)
 	ds, err := rubis.Load(cl.engine, rubis.TestScale, 21)
 	if err != nil {

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"txcache/internal/loadgen"
+	"txcache/internal/serve"
+)
+
+// ServeOpts configures the serve experiment: an open-loop load run against
+// the HTTP application server, with a closed-loop comparator at the same
+// nominal rate so the coordinated-omission gap is visible in one table.
+type ServeOpts struct {
+	Opts
+
+	// Rate is the nominal open-loop arrival rate in requests/second
+	// (default 500).
+	Rate float64
+	// Burst switches the open-loop schedule from Poisson to a square wave
+	// (2×Rate for half of each second) with the same nominal rate.
+	Burst bool
+	// Workers caps the open-loop in-flight concurrency (default 256); it
+	// bounds resources, not the arrival schedule.
+	Workers int
+	// ChurnEvery closes a worker's connection every N requests; 0 disables.
+	ChurnEvery int
+
+	// URL targets an already-running txcache-serve instead of booting an
+	// in-process full-TCP stack.
+	URL string
+	// Stack tunes the in-process stack when URL is empty.
+	Stack ServeStackConfig
+}
+
+func (o *ServeOpts) fill() {
+	o.Opts.fill()
+	if o.Rate <= 0 {
+		o.Rate = 500
+	}
+	if o.Workers <= 0 {
+		o.Workers = 256
+	}
+	if o.Stack.WikiPages == 0 {
+		o.Stack.WikiPages = 20
+	}
+}
+
+// serveViolations reads the server's consistency-violation counter off
+// /statsz, the same way an external monitor would.
+func serveViolations(ctx context.Context, baseURL string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/statsz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Serve serve.StatsSnapshot `json:"serve"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	return body.Serve.Violations, nil
+}
+
+// Serve is the open-loop experiment: production-style load (arrivals on a
+// wall-clock schedule, latency from intended send time) against the real
+// HTTP server over real TCP, then a closed-loop run at the same nominal
+// rate. The two rows disagree exactly where coordinated omission hides —
+// the closed loop's high percentiles only see requests it deigned to send.
+func Serve(o ServeOpts) (open, closed *loadgen.Result, err error) {
+	o.fill()
+
+	url := o.URL
+	if url == "" {
+		o.Stack.Scale = o.Scale
+		o.Stack.Seed = o.Seed
+		st, serr := StartServeStack(o.Stack)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if serr := st.Stop(ctx); serr != nil && err == nil {
+				err = fmt.Errorf("bench: stack teardown: %w", serr)
+			}
+		}()
+		url = st.URL
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ranges, err := loadgen.ProbeRanges(ctx, url)
+	cancel()
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: probe %s: %w", url, err)
+	}
+
+	var sched loadgen.Schedule
+	if o.Burst {
+		sched = loadgen.Burst{Peak: 2 * o.Rate, Period: time.Second, Duty: 500 * time.Millisecond}
+	} else {
+		sched = loadgen.Poisson{PerSec: o.Rate}
+	}
+
+	o.printf("# Serve: open-loop vs closed-loop at the same nominal rate\n")
+	o.printf("# target %s, dataset %+v\n", url, ranges)
+	o.printf("%-12s %9s %9s %9s %9s %9s %7s %7s\n",
+		"loop", "rate", "done/s", "p50", "p99", "p999", "sheds", "errs")
+
+	target := loadgen.NewHTTPTarget(url, ranges, o.Workers, o.ChurnEvery)
+	defer target.Close()
+
+	open = loadgen.Run(target, loadgen.Config{
+		Schedule: sched,
+		Duration: o.Warm + o.Measure,
+		Warmup:   o.Warm,
+		Workers:  o.Workers,
+		Seed:     o.Seed,
+	})
+	row := func(name string, r *loadgen.Result) {
+		s := r.Intended.Summarize()
+		o.printf("%-12s %9.0f %9.0f %9v %9v %9v %7d %7d\n",
+			name, r.Nominal, r.Throughput(), s.P50, s.P99, s.P999, r.Sheds, r.Errors)
+	}
+	openName := "open/poisson"
+	if o.Burst {
+		openName = "open/burst"
+	}
+	row(openName, open)
+
+	// Closed-loop comparator: the same client population, but each waits for
+	// its response before thinking — Clients/Think targets the same nominal
+	// rate, yet the schedule now stretches whenever the server stalls.
+	think := time.Duration(float64(o.Clients) / o.Rate * float64(time.Second))
+	closed = loadgen.RunClosed(target, loadgen.ClosedConfig{
+		Clients:  o.Clients,
+		Think:    think,
+		Duration: o.Warm + o.Measure,
+		Warmup:   o.Warm,
+		Seed:     o.Seed + 1,
+	})
+	row("closed", closed)
+
+	ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+	v, verr := serveViolations(ctx, url)
+	cancel()
+	if verr != nil {
+		return open, closed, fmt.Errorf("bench: statsz after run: %w", verr)
+	}
+	if v > 0 {
+		return open, closed, fmt.Errorf("bench: %d consistency violations during serve run", v)
+	}
+	return open, closed, nil
+}

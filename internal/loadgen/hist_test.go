@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistIndexRoundTrip checks the bucket geometry: indexes are monotone in
+// the value, every value lands inside [0, histNBuckets), and the bucket
+// midpoint stays within the advertised 1.6% relative error.
+func TestHistIndexRoundTrip(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < int64(1)<<43; v = v*5/4 + 1 {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histNBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range [0,%d)", v, idx, histNBuckets)
+		}
+		if idx < prev {
+			t.Fatalf("histIndex not monotone: histIndex(%d)=%d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		if v < int64(1)<<42 { // beyond the range values clamp; skip accuracy there
+			got := histValue(idx)
+			lo, hi := v-v/64-1, v+v/64+1
+			if got < lo || got > hi {
+				t.Fatalf("histValue(histIndex(%d)) = %d, want within ±1.6%% (got outside [%d,%d])", v, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestHistQuantile records a known uniform distribution and checks the
+// quantiles against closed-form answers within bucket resolution.
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.90, 9000 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+		{0.999, 9990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		tol := c.want / 32 // 2x bucket resolution
+		if got < c.want-tol || got > c.want+tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", c.q, got, c.want, tol)
+		}
+	}
+	if h.Max() != n*time.Microsecond {
+		t.Errorf("Max = %v, want %v", h.Max(), n*time.Microsecond)
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Errorf("Quantile(1) = %v, want exact max %v", got, h.Max())
+	}
+	mean := h.Mean()
+	if want := time.Duration(n+1) / 2 * time.Microsecond; mean < want-time.Microsecond || mean > want+time.Microsecond {
+		t.Errorf("Mean = %v, want %v", mean, want)
+	}
+}
+
+// TestHistMerge checks that merging two histograms matches recording into one.
+func TestHistMerge(t *testing.T) {
+	var a, b, all Hist
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int63n(int64(time.Second)))
+		all.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged Count = %d, want %d", a.Count(), all.Count())
+	}
+	if a.Max() != all.Max() {
+		t.Errorf("merged Max = %v, want %v", a.Max(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("merged Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+// TestHistConcurrentRecord hammers one histogram from many goroutines; under
+// -race this proves Record is safe to share, and the total count must be
+// exact because every path is atomic.
+func TestHistConcurrentRecord(t *testing.T) {
+	var h Hist
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestScheduleRates checks the nominal-rate bookkeeping used in reports.
+func TestScheduleRates(t *testing.T) {
+	if got := (Poisson{PerSec: 500}).Rate(); got != 500 {
+		t.Errorf("Poisson rate = %v, want 500", got)
+	}
+	u := Uniform{PerSec: 100}
+	if got := u.Interarrival(nil, 0); got != 10*time.Millisecond {
+		t.Errorf("Uniform interarrival = %v, want 10ms", got)
+	}
+	b := Burst{Base: 100, Peak: 900, Period: time.Second, Duty: 250 * time.Millisecond}
+	if got, want := b.Rate(), 100*0.75+900*0.25; got != want {
+		t.Errorf("Burst rate = %v, want %v", got, want)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Inside the duty window the mean gap must reflect the peak rate.
+	var sum time.Duration
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		sum += b.Interarrival(rng, 100*time.Millisecond)
+	}
+	mean := sum / draws
+	if mean < 600*time.Microsecond || mean > 1800*time.Microsecond {
+		t.Errorf("Burst duty-window mean gap = %v, want ≈1.11ms", mean)
+	}
+}

@@ -1,0 +1,273 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// IDRanges tells the HTTP target what entity IDs exist, so generated
+// requests hit real rows. A running txcache-serve publishes its ranges at
+// /statsz; ProbeRanges fetches them.
+type IDRanges struct {
+	Users      int64 `json:"users"`
+	Items      int64 `json:"items"`
+	Categories int64 `json:"categories"`
+	Regions    int64 `json:"regions"`
+	WikiPages  int64 `json:"wikiPages"`
+}
+
+// ProbeRanges asks a running txcache-serve for its dataset ID ranges.
+func ProbeRanges(ctx context.Context, baseURL string) (IDRanges, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(baseURL, "/")+"/statsz", nil)
+	if err != nil {
+		return IDRanges{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return IDRanges{}, fmt.Errorf("loadgen: probe %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return IDRanges{}, fmt.Errorf("loadgen: probe %s: %s", baseURL, resp.Status)
+	}
+	var body struct {
+		Dataset IDRanges `json:"dataset"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return IDRanges{}, fmt.Errorf("loadgen: probe %s: %w", baseURL, err)
+	}
+	if body.Dataset.Users == 0 || body.Dataset.Items == 0 {
+		return IDRanges{}, fmt.Errorf("loadgen: probe %s: server reports an empty dataset", baseURL)
+	}
+	return body.Dataset, nil
+}
+
+// httpReq is one weighted entry of the generated request mix.
+type httpReq struct {
+	name   string
+	weight int // 1/1000ths
+	method string
+	make   func(rng *rand.Rand, r IDRanges) (path string, form url.Values)
+}
+
+// rubisMix mirrors the RUBiS bidding workload's browse-heavy shape over the
+// txcache-serve URL surface: ~86% reads, ~12% writes, plus a 2% trickle of
+// /check requests — the consistency oracle riding inside the load itself.
+// Weights are per-request probabilities in 1/1000ths and sum to 1000.
+var rubisMix = []httpReq{
+	{"home", 120, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) { return "/", nil }},
+	{"categories", 90, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) { return "/browse/categories", nil }},
+	{"regions", 40, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) { return "/browse/regions", nil }},
+	{"searchCat", 190, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return fmt.Sprintf("/search/category?cat=%d&page=%d", rng.Int63n(r.Categories), rng.Int63n(3)), nil
+	}},
+	{"searchReg", 70, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return fmt.Sprintf("/search/region?region=%d&cat=%d", rng.Int63n(r.Regions), rng.Int63n(r.Categories)), nil
+	}},
+	{"item", 160, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return fmt.Sprintf("/item?id=%d", rng.Int63n(r.Items)), nil
+	}},
+	{"user", 70, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return fmt.Sprintf("/user?id=%d", rng.Int63n(r.Users)), nil
+	}},
+	{"bids", 40, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return fmt.Sprintf("/bids?item=%d", rng.Int63n(r.Items)), nil
+	}},
+	{"about", 30, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return fmt.Sprintf("/about?user=%d", rng.Int63n(r.Users)), nil
+	}},
+	{"auth", 30, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		u := rng.Int63n(r.Users)
+		return fmt.Sprintf("/auth?nick=user%d&pass=password%d&item=%d", u, u, rng.Int63n(r.Items)), nil
+	}},
+	{"check", 20, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return fmt.Sprintf("/check?item=%d", rng.Int63n(r.Items)), nil
+	}},
+	// Wiki subset (redistributed onto the home page when disabled).
+	{"wikiView", 10, "GET", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		if r.WikiPages == 0 {
+			return "/", nil
+		}
+		return fmt.Sprintf("/wiki?title=page-%d", rng.Int63n(r.WikiPages)), nil
+	}},
+	// Read/write interactions (~12%, the bidding mix's neighborhood).
+	{"bid", 60, "POST", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return "/bid", url.Values{
+			"user":   {fmt.Sprint(rng.Int63n(r.Users))},
+			"item":   {fmt.Sprint(rng.Int63n(r.Items))},
+			"amount": {fmt.Sprintf("%.2f", 1+rng.Float64()*200)},
+		}
+	}},
+	{"buynow", 10, "POST", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return "/buynow", url.Values{
+			"user": {fmt.Sprint(rng.Int63n(r.Users))},
+			"item": {fmt.Sprint(rng.Int63n(r.Items))},
+			"qty":  {"1"},
+		}
+	}},
+	{"comment", 20, "POST", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return "/comment", url.Values{
+			"from":   {fmt.Sprint(rng.Int63n(r.Users))},
+			"to":     {fmt.Sprint(rng.Int63n(r.Users))},
+			"item":   {fmt.Sprint(rng.Int63n(r.Items))},
+			"rating": {fmt.Sprint(rng.Int63n(5))},
+			"text":   {"nice auction"},
+		}
+	}},
+	{"registerItem", 15, "POST", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return "/item", url.Values{
+			"seller":   {fmt.Sprint(rng.Int63n(r.Users))},
+			"category": {fmt.Sprint(rng.Int63n(r.Categories))},
+			"region":   {fmt.Sprint(rng.Int63n(r.Regions))},
+			"name":     {fmt.Sprintf("loadgen-item-%d", rng.Int63())},
+			"price":    {fmt.Sprintf("%.2f", 1+rng.Float64()*50)},
+		}
+	}},
+	{"registerUser", 10, "POST", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		return "/user", url.Values{
+			"nick":   {fmt.Sprintf("loadgen-user-%d", rng.Int63())},
+			"pass":   {"pw"},
+			"region": {fmt.Sprint(rng.Int63n(r.Regions))},
+		}
+	}},
+	{"wikiEdit", 15, "POST", func(rng *rand.Rand, r IDRanges) (string, url.Values) {
+		if r.WikiPages == 0 {
+			return "/", nil // wiki disabled: Do degrades this to a home-page GET
+		}
+		return "/wiki", url.Values{
+			"title":  {fmt.Sprintf("page-%d", rng.Int63n(r.WikiPages))},
+			"body":   {fmt.Sprintf("edited at %d", rng.Int63())},
+			"editor": {fmt.Sprint(rng.Int63n(r.Users))},
+		}
+	}},
+}
+
+func init() {
+	sum := 0
+	for _, e := range rubisMix {
+		sum += e.weight
+	}
+	if sum != 1000 {
+		panic(fmt.Sprintf("loadgen: rubisMix sums to %d, want 1000", sum))
+	}
+}
+
+// HTTPTarget drives a txcache-serve front end with the RUBiS request mix.
+// All workers share one Transport (one connection pool), but each worker's
+// keep-alive connection is distinct while it stays busy; ChurnEvery forces
+// per-worker connection turnover the way real user populations continually
+// arrive with cold connections.
+type HTTPTarget struct {
+	base   string
+	ranges IDRanges
+	client *http.Client
+	tr     *http.Transport
+
+	// churnEvery forces every worker's N-th request onto a fresh
+	// connection (Connection: close on the previous one). 0 disables.
+	churnEvery int
+	reqCount   []int // per-worker request counter; worker-owned, no atomics
+
+	// CheckOnly narrows the mix to consistency checks (tests).
+	CheckOnly bool
+}
+
+// NewHTTPTarget builds a target for workers simulated users.
+func NewHTTPTarget(baseURL string, ranges IDRanges, workers, churnEvery int) *HTTPTarget {
+	tr := &http.Transport{
+		MaxIdleConns:        workers + 16,
+		MaxIdleConnsPerHost: workers + 16,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &HTTPTarget{
+		base:       strings.TrimRight(baseURL, "/"),
+		ranges:     ranges,
+		client:     &http.Client{Transport: tr},
+		tr:         tr,
+		churnEvery: churnEvery,
+		reqCount:   make([]int, workers),
+	}
+}
+
+// Close releases idle connections.
+func (t *HTTPTarget) Close() { t.tr.CloseIdleConnections() }
+
+// Do issues one request drawn from the mix.
+func (t *HTTPTarget) Do(ctx context.Context, rng *rand.Rand, worker int) error {
+	e := t.pick(rng)
+	path, form := e.make(rng, t.ranges)
+	method := e.method
+	var body io.Reader
+	if method == http.MethodPost {
+		if form == nil {
+			method = http.MethodGet // wiki disabled: degrade to the home page
+		} else {
+			body = strings.NewReader(form.Encode())
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	if t.churnEvery > 0 && worker < len(t.reqCount) {
+		t.reqCount[worker]++
+		if t.reqCount[worker]%t.churnEvery == 0 {
+			req.Close = true // churn: tear this connection down after the reply
+		}
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	// Drain so the connection is reusable.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode < 500:
+		// 2xx, 404 (vanished entity), 4xx — all fine from the harness's
+		// point of view.
+		return nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		if resp.Header.Get("X-Txcache-Shed") != "" {
+			return ErrShed
+		}
+		// Serialization-conflict 503s (Retry-After, no shed marker) are a
+		// server answering honestly under contention, not an error.
+		return nil
+	default:
+		return fmt.Errorf("loadgen: %s %s: %s", method, path, resp.Status)
+	}
+}
+
+// pick draws a mix entry.
+func (t *HTTPTarget) pick(rng *rand.Rand) httpReq {
+	if t.CheckOnly {
+		for _, e := range rubisMix {
+			if e.name == "check" {
+				return e
+			}
+		}
+	}
+	n := rng.Intn(1000)
+	acc := 0
+	for _, e := range rubisMix {
+		acc += e.weight
+		if n < acc {
+			return e
+		}
+	}
+	return rubisMix[0]
+}

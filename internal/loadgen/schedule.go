@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Schedule generates the arrival process: the sequence of instants at which
+// requests are *supposed* to be sent, independent of how the system under
+// test responds. Interarrival returns the gap between the arrival at
+// elapsed time `at` (measured from the start of the run) and the next one.
+type Schedule interface {
+	Interarrival(rng *rand.Rand, at time.Duration) time.Duration
+	// Rate reports the nominal long-run arrival rate in requests/second,
+	// for labeling reports.
+	Rate() float64
+}
+
+// Poisson is a memoryless arrival process at a fixed mean rate — the
+// standard model of independent users showing up at a service. Interarrival
+// gaps are exponentially distributed, so transient clumps of near-
+// simultaneous arrivals occur naturally, exactly as they do in production.
+type Poisson struct {
+	PerSec float64 // mean arrivals per second
+}
+
+// Interarrival draws an exponential gap.
+func (p Poisson) Interarrival(rng *rand.Rand, _ time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() / p.PerSec * float64(time.Second))
+}
+
+// Rate returns the nominal rate.
+func (p Poisson) Rate() float64 { return p.PerSec }
+
+// Uniform is a deterministic arrival process: one request every 1/PerSec
+// seconds, jitter-free. Useful in tests where the schedule must be exactly
+// known (the coordinated-omission property test feeds one to the driver).
+type Uniform struct {
+	PerSec float64
+}
+
+// Interarrival returns the constant gap.
+func (u Uniform) Interarrival(_ *rand.Rand, _ time.Duration) time.Duration {
+	return time.Duration(float64(time.Second) / u.PerSec)
+}
+
+// Rate returns the nominal rate.
+func (u Uniform) Rate() float64 { return u.PerSec }
+
+// Burst alternates between a base Poisson rate and a peak Poisson rate: the
+// first Duty of every Period runs at Peak, the rest at Base. It models
+// flash-crowd traffic, which is what makes queues collapse in practice and
+// what a closed-loop driver is structurally incapable of generating.
+type Burst struct {
+	Base, Peak float64       // arrivals per second
+	Period     time.Duration // cycle length
+	Duty       time.Duration // leading slice of each Period that runs at Peak
+}
+
+// Interarrival draws from the rate active at `at`. A zero Base means the
+// trough is silent: the next arrival after a burst window closes is the
+// start of the next window (a pure flash crowd).
+func (b Burst) Interarrival(rng *rand.Rand, at time.Duration) time.Duration {
+	rate := b.Base
+	if b.Period > 0 && at%b.Period < b.Duty {
+		rate = b.Peak
+	}
+	if rate <= 0 {
+		if b.Period <= 0 {
+			return time.Hour // degenerate config: no arrivals, ever
+		}
+		return b.Period - at%b.Period
+	}
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// Rate returns the duty-cycle-weighted mean rate.
+func (b Burst) Rate() float64 {
+	if b.Period <= 0 {
+		return b.Base
+	}
+	duty := float64(b.Duty) / float64(b.Period)
+	return b.Peak*duty + b.Base*(1-duty)
+}
+
+// label names a schedule for report headers.
+func label(s Schedule) string {
+	switch s := s.(type) {
+	case Poisson:
+		return fmt.Sprintf("poisson@%.0f/s", s.PerSec)
+	case Uniform:
+		return fmt.Sprintf("uniform@%.0f/s", s.PerSec)
+	case Burst:
+		return fmt.Sprintf("burst@%.0f/%.0f/s(%v/%v)", s.Base, s.Peak, s.Duty, s.Period)
+	default:
+		return fmt.Sprintf("%.0f/s", s.Rate())
+	}
+}

@@ -44,6 +44,12 @@ type pinState struct {
 	wall    time.Time
 	lastUse time.Time // most recent GetPins/Register/Release touching this pin
 	active  int       // running transactions that may use this snapshot
+	// placed counts PIN placements on the database for this snapshot. Two
+	// clients can race past GetPins and both ★-pin the same latest
+	// timestamp; the database reference-counts those placements, so the
+	// sweeper must issue exactly as many UNPINs as there were PINs or the
+	// snapshot stays pinned forever and silently holds back vacuum.
+	placed int
 }
 
 // Pincushion tracks pinned snapshots. Safe for concurrent use.
@@ -110,6 +116,7 @@ func (p *Pincushion) Register(ts interval.Timestamp, wall time.Time) {
 		p.pins[ts] = st
 	}
 	st.active++
+	st.placed++
 	st.lastUse = p.clk.Now()
 }
 
@@ -147,27 +154,63 @@ func (p *Pincushion) Sweep() int {
 	now := p.clk.Now()
 	cutoff := now.Add(-p.cfg.Retention)
 	leakCutoff := now.Add(-leakFactor * p.cfg.Retention)
-	var victims []interval.Timestamp
+	var victims []pinRef
 	for ts, st := range p.pins {
 		switch {
 		case st.active == 0 && st.wall.Before(cutoff):
-			victims = append(victims, ts)
+			victims = append(victims, pinRef{ts, st.placed})
 		case st.active > 0 && st.wall.Before(cutoff) && st.lastUse.Before(leakCutoff):
 			p.statLeaked++
-			victims = append(victims, ts)
+			victims = append(victims, pinRef{ts, st.placed})
 		}
 	}
-	for _, ts := range victims {
-		delete(p.pins, ts)
+	for _, v := range victims {
+		delete(p.pins, v.ts)
 	}
 	p.statSweeps++
 	p.mu.Unlock()
-	// Unpin outside the lock: the database takes its own locks.
-	if p.cfg.DB != nil {
-		for _, ts := range victims {
-			p.cfg.DB.Unpin(ts)
+	p.unpin(victims)
+	return len(victims)
+}
+
+// pinRef pairs a swept timestamp with how many PIN placements it carries.
+type pinRef struct {
+	ts     interval.Timestamp
+	placed int
+}
+
+// unpin releases every placement of each swept pin on the database,
+// outside the registry lock: the database takes its own locks, and it
+// reference-counts placements, so one UNPIN per PIN.
+func (p *Pincushion) unpin(victims []pinRef) {
+	if p.cfg.DB == nil {
+		return
+	}
+	for _, v := range victims {
+		n := v.placed
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			p.cfg.DB.Unpin(v.ts)
 		}
 	}
+}
+
+// SweepAll unpins every tracked snapshot regardless of age or use-count,
+// returning how many were removed. Teardown only: a drained deployment has
+// no transaction left that could use them, and any pin that outlives the
+// daemon would hold the database's vacuum horizon forever.
+func (p *Pincushion) SweepAll() int {
+	p.mu.Lock()
+	victims := make([]pinRef, 0, len(p.pins))
+	for ts, st := range p.pins {
+		victims = append(victims, pinRef{ts, st.placed})
+	}
+	p.pins = make(map[interval.Timestamp]*pinState)
+	p.statSweeps++
+	p.mu.Unlock()
+	p.unpin(victims)
 	return len(victims)
 }
 

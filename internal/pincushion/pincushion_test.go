@@ -285,3 +285,49 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatalf("counters: %+v", st)
 	}
 }
+
+// TestSweepUnpinsEveryPlacement: the database reference-counts PIN
+// placements, and two clients can race past GetPins and both ★-pin the
+// same latest snapshot. The sweeper must then issue one UNPIN per PIN —
+// a single UNPIN would leave the snapshot pinned forever, silently
+// holding back vacuum.
+func TestSweepUnpinsEveryPlacement(t *testing.T) {
+	clk := &clock.Virtual{}
+	db := &fakeDB{}
+	p := New(Config{Clock: clk, Retention: 15 * time.Second, DB: db})
+	base := clk.Now()
+	p.Register(10, base) // two clients raced: both pinned snapshot 10
+	p.Register(10, base)
+	p.Release([]interval.Timestamp{10, 10})
+
+	clk.Advance(30 * time.Second)
+	if n := p.Sweep(); n != 1 {
+		t.Fatalf("sweep removed %d pins, want 1", n)
+	}
+	if len(db.unpinned) != 2 || db.unpinned[0] != 10 || db.unpinned[1] != 10 {
+		t.Fatalf("db unpins = %v, want [10 10]", db.unpinned)
+	}
+}
+
+// TestSweepAllForcesTeardown: SweepAll unpins everything regardless of
+// age or use-count — the clean-shutdown path, where nothing can still be
+// using the pins and anything left would leak an engine reference.
+func TestSweepAllForcesTeardown(t *testing.T) {
+	clk := &clock.Virtual{}
+	db := &fakeDB{}
+	p := New(Config{Clock: clk, Retention: time.Hour, DB: db})
+	base := clk.Now()
+	p.Register(10, base) // still active, well within retention
+	p.Register(20, base)
+	p.Register(20, base) // double placement
+
+	if n := p.SweepAll(); n != 2 {
+		t.Fatalf("sweepall removed %d pins, want 2", n)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("len = %d after SweepAll", p.Len())
+	}
+	if len(db.unpinned) != 3 {
+		t.Fatalf("db unpins = %v, want three (one for 10, two for 20)", db.unpinned)
+	}
+}

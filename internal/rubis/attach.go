@@ -1,0 +1,131 @@
+package rubis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"txcache/internal/core"
+)
+
+// ErrInconsistent marks a consistency-oracle failure: a read-only
+// transaction observed a state no serial execution of the write interactions
+// could have produced. Any occurrence is a system bug, never load.
+var ErrInconsistent = errors.New("rubis: consistency violation")
+
+// Attach recovers a Dataset from a database that was loaded elsewhere — the
+// application-server case, where txcache-serve connects to a txcache-dbd
+// that ran Load at startup and the ID allocators must resume where the
+// loader stopped. It reads the maximum allocated ID of every generated
+// table in one read-only transaction (uncached: allocator recovery must see
+// the database, not a cache entry) and positions the allocators one past
+// them, exactly as Load would have left them.
+func Attach(ctx context.Context, c *core.Client) (*Dataset, error) {
+	ds := &Dataset{}
+	_, err := c.ReadOnly(ctx, func(tx *core.Tx) error {
+		maxID := func(table string) (int64, error) {
+			r, err := tx.Query(`SELECT id FROM ` + table + ` ORDER BY id DESC LIMIT 1`)
+			if err != nil {
+				return 0, err
+			}
+			if len(r.Rows) == 0 {
+				return -1, nil
+			}
+			return mustInt(r.Rows[0][0]), nil
+		}
+		items, err := maxID("items")
+		if err != nil {
+			return err
+		}
+		old, err := maxID("old_items")
+		if err != nil {
+			return err
+		}
+		if old > items {
+			items = old // Load allocates item IDs across both tables
+		}
+		users, err := maxID("users")
+		if err != nil {
+			return err
+		}
+		bids, err := maxID("bids")
+		if err != nil {
+			return err
+		}
+		comments, err := maxID("comments")
+		if err != nil {
+			return err
+		}
+		buys, err := maxID("buy_now")
+		if err != nil {
+			return err
+		}
+		cats, err := maxID("categories")
+		if err != nil {
+			return err
+		}
+		regs, err := maxID("regions")
+		if err != nil {
+			return err
+		}
+		if users < 0 || items < 0 || cats < 0 || regs < 0 {
+			return fmt.Errorf("rubis: attach: database holds no RUBiS dataset (users=%d items=%d categories=%d regions=%d)",
+				users+1, items+1, cats+1, regs+1)
+		}
+		ds.Scale = Scale{
+			Users:      int(users + 1),
+			Categories: int(cats + 1),
+			Regions:    int(regs + 1),
+			// Active/old split is not recoverable from IDs alone; the
+			// combined range is what samplers need.
+			ActiveItems: int(items + 1),
+		}
+		ds.nextItemID.Store(items + 1)
+		ds.nextUserID.Store(users + 1)
+		ds.nextBidID.Store(bids + 1)
+		ds.nextCmtID.Store(comments + 1)
+		ds.nextBuyID.Store(buys + 1)
+		return nil
+	}, core.WithoutCache())
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Ranges reports the half-open ID ranges currently allocated: IDs in
+// [0, users) and [0, items) exist or existed. Servers publish these so load
+// generators hit real rows.
+func (d *Dataset) Ranges() (users, items, categories, regions int64) {
+	return d.nextUserID.Load(), d.nextItemID.Load(),
+		int64(d.Scale.Categories), int64(d.Scale.Regions)
+}
+
+// CheckItem is the consistency oracle: inside the caller's transaction — one
+// snapshot, possibly served from cache — it verifies the invariant every
+// write interaction preserves: an item's nb_of_bids equals its bid-row
+// count, and max_bid is at least every recorded bid. StoreBid updates the
+// counter, the maximum, and the bid row atomically, and the generator seeds
+// them consistent, so any observed violation means a reader was shown data
+// from two different moments in time.
+func (a *App) CheckItem(tx *core.Tx, item int64) error {
+	it, err := a.getItem(tx, item) // through the cache, like any page
+	if err != nil {
+		return err
+	}
+	r, err := tx.Query(`SELECT bid FROM bids WHERE item_id = ?`, item)
+	if err != nil {
+		return err
+	}
+	if int64(len(r.Rows)) != it.NbOfBids {
+		return fmt.Errorf("%w: item %d has nb_of_bids=%d but %d bid rows",
+			ErrInconsistent, item, it.NbOfBids, len(r.Rows))
+	}
+	for _, w := range r.Rows {
+		if b := mustFloat(w[0]); b > it.MaxBid {
+			return fmt.Errorf("%w: item %d has max_bid=%.2f below recorded bid %.2f",
+				ErrInconsistent, item, it.MaxBid, b)
+		}
+	}
+	return nil
+}

@@ -1,8 +1,17 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-node bench-write alloc-regression profile fuzz-smoke examples serve-smoke
+.PHONY: ci fmt vet build test race bench bench-node bench-write alloc-regression profile fuzz-smoke examples serve-smoke crash-smoke
 
-ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke serve-smoke
+ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke serve-smoke crash-smoke
+
+# Kill-9 crash-recovery property test: build the real txcache-dbd, drive
+# writers over the wire, SIGKILL it repeatedly, and check on every reboot
+# that acked commits survived, surviving rows are a contiguous per-worker
+# prefix, the counters oracle matches, and the cache node's horizon was
+# warm-booted past the recovered timestamp. Bounded: a wedged recovery is
+# a failure, not a hung pipeline.
+crash-smoke:
+	timeout 120 $(GO) test -race -run TestCrashRecovery -count=3 .
 
 # Open-loop smoke: boot the full TCP topology with the HTTP front end, drive
 # it at a modest arrival rate for half a minute, and fail unless requests

@@ -22,10 +22,11 @@ func main() {
 	listen := flag.String("listen", ":7600", "address to listen on")
 	dbAddr := flag.String("db", "", "database daemon address for UNPIN (optional)")
 	retention := flag.Duration("retention", 60*time.Second, "keep unused pins this long")
+	staleness := flag.Duration("staleness", 0, "largest staleness bound applications use; lets the sweeper trim unused pins early (0: retention only)")
 	sweepEvery := flag.Duration("sweep-interval", 5*time.Second, "sweep period")
 	flag.Parse()
 
-	cfg := pincushion.Config{Retention: *retention}
+	cfg := pincushion.Config{Retention: *retention, Staleness: *staleness}
 	if *dbAddr != "" {
 		cl, err := dbnet.Dial(*dbAddr, 2)
 		if err != nil {

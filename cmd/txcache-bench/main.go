@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"txcache/internal/bench"
+	"txcache/internal/db"
 	"txcache/internal/rubis"
+	"txcache/internal/wal"
 )
 
 func main() {
@@ -40,6 +42,8 @@ func main() {
 	warm := flag.Duration("warm", 2*time.Second, "warmup per point")
 	measure := flag.Duration("measure", 3*time.Second, "measurement per point")
 	scale := flag.String("scale", "inmem", "dataset scale: test, inmem, disk")
+	durability := flag.String("durability", "off", "WAL sync mode for the database under test: off (no log; what every perf gate uses), none, fdatasync, odsync")
+	durDir := flag.String("durability-dir", "", "parent directory for WAL data when -durability is not off (default: a temp dir, removed at exit)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -88,6 +92,22 @@ func main() {
 		o.Scale = rubis.DiskBoundScale
 	default:
 		log.Fatalf("txcache-bench: unknown scale %q", *scale)
+	}
+	if *durability != "off" {
+		mode, err := wal.ParseSyncMode(*durability)
+		if err != nil {
+			log.Fatalf("txcache-bench: -durability: %v", err)
+		}
+		parent := *durDir
+		if parent == "" {
+			tmp, err := os.MkdirTemp("", "txcache-bench-wal-")
+			if err != nil {
+				log.Fatalf("txcache-bench: -durability: %v", err)
+			}
+			defer os.RemoveAll(tmp)
+			parent = tmp
+		}
+		o.Durability = &db.DurabilityOptions{Dir: parent, Sync: mode}
 	}
 
 	run := func(name string, fn func() error) {

@@ -4,18 +4,30 @@
 // invalidation stream out to the configured cache nodes, and vacuums
 // periodically.
 //
+// With -data-dir the engine is durable: commits are group-committed to a
+// write-ahead log before they become visible, checkpoints bound the log, and
+// a restart replays to the last committed timestamp. After a crash recovery
+// the daemon warm-boots every cache node (pushes the recovered horizon so no
+// node extends a cached entry across the lost invalidation gap) before the
+// stream resumes. SIGTERM/SIGINT shut down cleanly: a final checkpoint and a
+// clean-shutdown marker make the next boot skip replay entirely.
+//
 // Usage:
 //
-//	txcache-dbd -listen :7700 -caches cache1:7500,cache2:7500 -load-rubis inmem
+//	txcache-dbd -listen :7700 -caches cache1:7500,cache2:7500 \
+//	    -data-dir /var/lib/txcache -wal-sync fdatasync -load-rubis inmem
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"txcache/internal/cacheserver"
@@ -24,7 +36,19 @@ import (
 	"txcache/internal/invalidation"
 	"txcache/internal/rubis"
 	"txcache/internal/serve"
+	"txcache/internal/wal"
 )
+
+// status is what -status-file publishes once the daemon is serving: the
+// crash harness (and operators) read it to learn what a boot recovered
+// without scraping logs.
+type status struct {
+	PID        int             `json:"pid"`
+	Addr       string          `json:"addr"`
+	Durable    bool            `json:"durable"`
+	Recovery   db.RecoveryInfo `json:"recovery"`
+	LastCommit uint64          `json:"lastCommit"`
+}
 
 func main() {
 	listen := flag.String("listen", ":7700", "address to listen on")
@@ -35,6 +59,10 @@ func main() {
 	vacuumEvery := flag.Duration("vacuum-interval", 2*time.Second, "vacuum period")
 	diskPages := flag.Int("disk-pages", 0, "bound the buffer cache to this many pages (0 = in-memory)")
 	diskPenalty := flag.Duration("disk-penalty", 400*time.Microsecond, "simulated disk latency per buffer-cache miss")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty runs in-memory")
+	walSync := flag.String("wal-sync", "fdatasync", "WAL sync discipline: none, fdatasync, fsync, odsync")
+	ckptBytes := flag.Int64("checkpoint-bytes", 16<<20, "checkpoint after this many WAL bytes (negative disables)")
+	statusFile := flag.String("status-file", "", "write a JSON status snapshot here once serving (atomic rename)")
 	flag.Parse()
 
 	bus := invalidation.NewBus(false)
@@ -42,11 +70,41 @@ func main() {
 	if *diskPages > 0 {
 		opts.Pool = &db.PoolConfig{CapacityPages: *diskPages, MissPenalty: *diskPenalty}
 	}
-	engine := db.New(opts)
+
+	var (
+		engine *db.Engine
+		info   db.RecoveryInfo
+	)
+	durable := *dataDir != ""
+	if durable {
+		mode, err := wal.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("txcache-dbd: %v", err)
+		}
+		opts.Durability = &db.DurabilityOptions{Dir: *dataDir, Sync: mode, CheckpointBytes: *ckptBytes}
+		start := time.Now()
+		engine, info, err = db.Open(opts)
+		if err != nil {
+			log.Fatalf("txcache-dbd: open %s: %v", *dataDir, err)
+		}
+		log.Printf("txcache-dbd: recovered %s in %v: ts %d (checkpoint %d, %d commits + %d DDL replayed, torn=%v, clean=%v)",
+			*dataDir, time.Since(start).Round(time.Millisecond), info.RecoveredTS, info.CheckpointTS,
+			info.CommitsReplayed, info.DDLReplayed, info.TornTail, info.CleanBoot)
+	} else {
+		engine = db.New(opts)
+		info = db.RecoveryInfo{RecoveredTS: engine.LastCommit()}
+	}
+	// RecoveredTS 1 is the empty database: anything past it means the data
+	// directory already holds a loaded dataset and the bootstrap flags must
+	// not re-run against it.
+	recovered := durable && info.RecoveredTS > 1
 
 	// Invalidation fan-out to cache nodes: the paper's reliable
 	// application-level multicast, realized as one ordered TCP push stream
-	// per node.
+	// per node. On a durable boot each node is warm-booted FIRST — the
+	// recovered horizon closes every cached entry that could otherwise be
+	// extended across the crash's lost-invalidation gap — and only then does
+	// the node see new stream traffic.
 	for _, addr := range strings.Split(*caches, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
@@ -55,6 +113,21 @@ func main() {
 		cl, err := cacheserver.Dial(addr, 1)
 		if err != nil {
 			log.Fatalf("txcache-dbd: dial cache %s: %v", addr, err)
+		}
+		if durable {
+			for attempt := 0; ; attempt++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err := cl.WarmBoot(ctx, info.RecoveredTS, time.Now())
+				cancel()
+				if err == nil {
+					break
+				}
+				if attempt == 0 {
+					log.Printf("txcache-dbd: warm boot of %s failed (retrying): %v", addr, err)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			log.Printf("txcache-dbd: cache %s warm-booted to ts %d", addr, info.RecoveredTS)
 		}
 		sub := bus.Subscribe()
 		go func(addr string) {
@@ -84,7 +157,7 @@ func main() {
 		}(addr)
 	}
 
-	if *schema != "" {
+	if *schema != "" && !recovered {
 		text, err := os.ReadFile(*schema)
 		if err != nil {
 			log.Fatalf("txcache-dbd: %v", err)
@@ -99,7 +172,7 @@ func main() {
 		}
 		log.Printf("txcache-dbd: schema loaded from %s", *schema)
 	}
-	if *loadRubis != "" {
+	if *loadRubis != "" && !recovered {
 		var sc rubis.Scale
 		switch *loadRubis {
 		case "test":
@@ -119,11 +192,14 @@ func main() {
 			*loadRubis, time.Since(start).Round(time.Millisecond), engine.LastCommit())
 	}
 
-	if *wikiPages > 0 {
+	if *wikiPages > 0 && !recovered {
 		if err := serve.LoadWiki(engine, *wikiPages, time.Now().Unix()); err != nil {
 			log.Fatalf("txcache-dbd: load wiki: %v", err)
 		}
 		log.Printf("txcache-dbd: wiki loaded with %d pages", *wikiPages)
+	}
+	if recovered {
+		log.Printf("txcache-dbd: data directory already populated; skipping schema/dataset bootstrap")
 	}
 
 	// The engine schedules its own incremental vacuum passes from the
@@ -145,6 +221,55 @@ func main() {
 	if err != nil {
 		log.Fatalf("txcache-dbd: %v", err)
 	}
-	log.Printf("txcache-dbd: serving on %s", l.Addr())
-	log.Fatal((&dbnet.Server{Engine: engine}).Serve(l))
+	log.Printf("txcache-dbd: serving on %s (durable=%v)", l.Addr(), durable)
+
+	if *statusFile != "" {
+		blob, err := json.Marshal(status{
+			PID: os.Getpid(), Addr: l.Addr().String(), Durable: durable,
+			Recovery: info, LastCommit: uint64(engine.LastCommit()),
+		})
+		if err == nil {
+			// Plain JSON (no WAL framing): operators cat this. Temp+rename
+			// keeps readers from ever seeing a torn write.
+			tmp := *statusFile + ".tmp"
+			err = os.WriteFile(tmp, blob, 0o644)
+			if err == nil {
+				err = os.Rename(tmp, *statusFile)
+			}
+		}
+		if err != nil {
+			log.Fatalf("txcache-dbd: status file: %v", err)
+		}
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- (&dbnet.Server{Engine: engine}).Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		log.Fatalf("txcache-dbd: %v", err)
+	case sig := <-sigc:
+		// Graceful shutdown: stop accepting work, flush a final checkpoint,
+		// and leave the clean-shutdown marker so the next boot skips replay.
+		// Engine.Close waits out in-flight commits (they hold the WAL open),
+		// so data already acked to clients is on disk before exit.
+		log.Printf("txcache-dbd: %v: shutting down", sig)
+		l.Close()
+		start := time.Now()
+		if err := engine.Close(); err != nil {
+			log.Fatalf("txcache-dbd: close: %v", err)
+		}
+		if durable {
+			ds := engine.DurabilityStats()
+			avg := 0.0
+			if ds.Groups > 0 {
+				avg = float64(ds.GroupedCommits) / float64(ds.Groups)
+			}
+			log.Printf("txcache-dbd: clean shutdown in %v: wal %d records / %d bytes / %d syncs, %d groups (avg %.1f commits/group), %d checkpoints",
+				time.Since(start).Round(time.Millisecond), ds.WAL.Records, ds.WAL.Bytes, ds.WAL.Syncs,
+				ds.Groups, avg, ds.Checkpoints)
+		}
+	}
 }

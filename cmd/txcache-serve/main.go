@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"log"
 	"net"
@@ -106,6 +107,11 @@ func main() {
 		MaxQueue:       *maxQueue,
 		Staleness:      *staleness,
 		Logf:           log.Printf,
+		DBStats: func() (json.RawMessage, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			return dbClient.ServerStats(ctx)
+		},
 	})
 
 	l, err := net.Listen("tcp", *listen)

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"txcache/internal/db"
@@ -23,6 +24,12 @@ type Opts struct {
 	Seed  int64
 	// Out receives the printed rows; nil discards them.
 	Out io.Writer
+	// Durability, when set, opens every site's engine with a write-ahead
+	// log: each BuildSite gets its own fresh directory under Durability.Dir
+	// (two engines cannot share a log). Nil — the default, and the
+	// -durability=off escape hatch — keeps the engines purely in memory so
+	// regression gates compare like with like.
+	Durability *db.DurabilityOptions
 }
 
 func (o *Opts) fill() {
@@ -42,6 +49,22 @@ func (o *Opts) fill() {
 
 func (o *Opts) printf(format string, args ...any) {
 	fmt.Fprintf(o.Out, format, args...)
+}
+
+// site builds one deployment, stamping the shared durability knob onto its
+// config first: each site writes its log under a fresh subdirectory of
+// Opts.Durability.Dir.
+func (o *Opts) site(cfg SiteConfig) (*Site, error) {
+	if o.Durability != nil {
+		dir, err := os.MkdirTemp(o.Durability.Dir, "site-")
+		if err != nil {
+			return nil, err
+		}
+		d := *o.Durability
+		d.Dir = dir
+		cfg.Durability = &d
+	}
+	return BuildSite(cfg)
 }
 
 // CacheSizesInMemory is the Figure 5(a)/6(a) sweep. The paper used
@@ -79,7 +102,7 @@ func Baseline(o Opts) (map[string]RunResult, error) {
 	o.printf("# Baseline: RUBiS directly on the database (no cache)\n")
 	o.printf("%-22s %12s\n", "config", "req/s")
 	for _, c := range configs {
-		site, err := BuildSite(SiteConfig{
+		site, err := o.site(SiteConfig{
 			Mode: ModeBaseline, Scale: o.Scale, Pool: c.pool,
 			DisableValidityTracking: c.disable, Seed: o.Seed,
 		})
@@ -115,7 +138,7 @@ func figure5(o Opts, pool *db.PoolConfig, sizes []int64, withNoCon bool) (map[st
 	o.fill()
 	out := map[string][]RunResult{}
 
-	base, err := BuildSite(SiteConfig{Mode: ModeBaseline, Scale: o.Scale, Pool: pool, Seed: o.Seed})
+	base, err := o.site(SiteConfig{Mode: ModeBaseline, Scale: o.Scale, Pool: pool, Seed: o.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +155,7 @@ func figure5(o Opts, pool *db.PoolConfig, sizes []int64, withNoCon bool) (map[st
 	}
 	for _, size := range sizes {
 		for _, mode := range modes {
-			site, err := BuildSite(SiteConfig{Mode: mode, Scale: o.Scale, Pool: pool, CacheBytes: size, Seed: o.Seed})
+			site, err := o.site(SiteConfig{Mode: mode, Scale: o.Scale, Pool: pool, CacheBytes: size, Seed: o.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -167,7 +190,7 @@ func Figure6(o Opts, diskBound bool) ([]RunResult, error) {
 	o.printf("%-16s %8s\n", "cache size", "hit%")
 	var out []RunResult
 	for _, size := range sizes {
-		site, err := BuildSite(SiteConfig{Mode: ModeTxCache, Scale: o.Scale, Pool: pool, CacheBytes: size, Seed: o.Seed})
+		site, err := o.site(SiteConfig{Mode: ModeTxCache, Scale: o.Scale, Pool: pool, CacheBytes: size, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +212,7 @@ func Figure7(o Opts, cacheBytes int64) ([]RunResult, error) {
 	if cacheBytes <= 0 {
 		cacheBytes = 2 << 20
 	}
-	base, err := BuildSite(SiteConfig{Mode: ModeBaseline, Scale: o.Scale, Seed: o.Seed})
+	base, err := o.site(SiteConfig{Mode: ModeBaseline, Scale: o.Scale, Seed: o.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +224,7 @@ func Figure7(o Opts, cacheBytes int64) ([]RunResult, error) {
 	o.printf("%-14s %12.0f %10s %8s\n", "baseline", baseRes.Throughput, "1.00x", "-")
 	out := []RunResult{baseRes}
 	for _, st := range StalenessPoints {
-		site, err := BuildSite(SiteConfig{
+		site, err := o.site(SiteConfig{
 			Mode: ModeTxCache, Scale: o.Scale, CacheBytes: cacheBytes,
 			StalenessPaperSec: st, Seed: o.Seed,
 		})
@@ -252,7 +275,7 @@ func Figure8(o Opts) ([]MissBreakdown, error) {
 	o.printf("# Figure 8: breakdown of cache misses by type (%% of total misses)\n")
 	o.printf("%-18s %11s %11s %12s %11s %10s\n", "config", "compulsory", "stale/cap", "consistency", "(stale)", "(capacity)")
 	for _, c := range configs {
-		site, err := BuildSite(SiteConfig{
+		site, err := o.site(SiteConfig{
 			Mode: ModeTxCache, Scale: c.scale, Pool: c.pool,
 			CacheBytes: c.bytes, StalenessPaperSec: c.staleness, Seed: o.Seed,
 		})
@@ -313,7 +336,7 @@ func WriteHeavy(o Opts, extraIndexes int) ([]WriteHeavyResult, error) {
 		if mode == ModeTxCache {
 			cfg.CacheBytes = 4 << 20
 		}
-		site, err := BuildSite(cfg)
+		site, err := o.site(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +387,7 @@ func Churn(o Opts, period time.Duration) ([]ChurnResult, error) {
 	o.printf("%-12s %12s %8s %8s %8s\n", "cluster", "req/s", "hit%", "joined", "left")
 	var out []ChurnResult
 	for _, churn := range []bool{false, true} {
-		site, err := BuildSite(SiteConfig{
+		site, err := o.site(SiteConfig{
 			Mode: ModeTxCache, Scale: o.Scale, CacheBytes: 4 << 20,
 			CacheNodes: 3, Seed: o.Seed,
 		})

@@ -155,6 +155,7 @@ func StartServeStack(cfg ServeStackConfig) (st *ServeStack, err error) {
 	st.pc = pincushion.New(pincushion.Config{
 		Clock: clk, DB: pcDB,
 		Retention: 2 * (cfg.Staleness + time.Second),
+		Staleness: cfg.Staleness + time.Second,
 	})
 	pcL, err := listen()
 	if err != nil {

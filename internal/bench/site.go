@@ -78,7 +78,13 @@ type SiteConfig struct {
 	// on the write-hot tables after load (the writeheavy experiment's
 	// index-count knob; each one multiplies per-commit index maintenance).
 	ExtraWriteIndexes int
-	Seed              int64
+	// Durability, when set, opens the engine with a write-ahead log in
+	// Durability.Dir so experiments can price the fsync tax. Nil — the
+	// default, and what every perf gate uses — keeps the engine purely in
+	// memory so regression comparisons stay like-with-like
+	// (the -durability=off escape hatch).
+	Durability *db.DurabilityOptions
+	Seed       int64
 }
 
 // WriteHotIndexes are additional secondary indexes on the tables the
@@ -132,16 +138,24 @@ func BuildSite(cfg SiteConfig) (*Site, error) {
 	}
 	clk := clock.Real{}
 	bus := invalidation.NewBus(false)
-	engine := db.New(db.Options{
+	engine, _, err := db.Open(db.Options{
 		Clock: clk, Bus: bus, Pool: cfg.Pool,
 		DisableValidityTracking: cfg.DisableValidityTracking,
 		EagerVisibilityCheck:    cfg.EagerVisibilityCheck,
+		Durability:              cfg.Durability,
 	})
+	if err != nil {
+		return nil, err
+	}
 	pc := pincushion.New(pincushion.Config{
 		Clock: clk,
 		DB:    engine,
-		// Retain pins for twice the staleness window (paper-scaled).
+		// Retain pins for twice the staleness window (paper-scaled), but
+		// let the sweeper trim unused pins as soon as they age past the
+		// staleness bound itself — nothing can be handed such a pin again,
+		// and holding it only drags the vacuum horizon.
 		Retention: 2 * scaled(cfg.StalenessPaperSec+1),
+		Staleness: scaled(cfg.StalenessPaperSec + 1),
 	})
 
 	s := &Site{Cfg: cfg, Engine: engine, Bus: bus, PC: pc, stop: make(chan struct{})}
@@ -255,11 +269,13 @@ func (s *Site) StartChurn(period time.Duration) (stop func()) {
 	return func() { close(stopc); <-done }
 }
 
-// Close stops background maintenance and drains the cache cluster (the
-// client owns every node's stream subscription and closes them).
+// Close stops background maintenance, drains the cache cluster (the
+// client owns every node's stream subscription and closes them), and — on
+// durable sites — flushes the WAL through a final checkpoint.
 func (s *Site) Close() {
 	close(s.stop)
 	s.Client.Close()
+	_ = s.Engine.Close() // no-op unless Cfg.Durability was set
 }
 
 // CacheStats sums the stats across cache nodes.

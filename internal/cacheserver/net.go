@@ -62,6 +62,7 @@ const (
 	opErr             byte = 9
 	opLookupBatch     byte = 10
 	opLookupBatchResp byte = 11
+	opWarmBoot        byte = 12
 )
 
 // MaxBatchLookup bounds the probes of one batched lookup so a corrupt
@@ -221,7 +222,19 @@ func (s *Server) handle(req []byte) []byte {
 		e.U64(st.Puts).U64(st.Invalidations).U64(st.Invalidated)
 		e.U64(st.EvictedCapacity).U64(st.EvictedStale)
 		e.I64(st.BytesUsed).I64(int64(st.Versions)).I64(int64(st.Keys))
+		e.U64(uint64(st.Horizon))
 		return e.Bytes()
+	case opWarmBoot:
+		ts := interval.Timestamp(d.U64())
+		wallNano := d.I64()
+		if d.Err() != nil {
+			return fail(d.Err())
+		}
+		s.WarmBoot(ts, time.Unix(0, wallNano))
+		if id == 0 {
+			return nil
+		}
+		return wire.NewBuffer(opAck).U32(id).Bytes()
 	case opInval:
 		m, err := invalidation.DecodeMessage(d)
 		if err != nil {
@@ -915,7 +928,26 @@ func (c *Client) Stats() Stats {
 	st.BytesUsed = d.I64()
 	st.Versions = int(d.I64())
 	st.Keys = int(d.I64())
+	st.Horizon = interval.Timestamp(d.U64())
 	return st
+}
+
+// WarmBoot implements the crash-recovery horizon push over TCP: the
+// database daemon calls it on every cache node after recovering, before
+// resuming the invalidation stream (see Server.WarmBoot for why a plain
+// horizon seed is not enough after a crash). Acked like an invalidation
+// push — a nil return means the node applied it.
+func (c *Client) WarmBoot(ctx context.Context, ts interval.Timestamp, wall time.Time) error {
+	e := newReq(opWarmBoot)
+	e.U64(uint64(ts)).I64(wall.UnixNano())
+	resp, err := c.roundTrip(ctx, e.Bytes())
+	if err != nil {
+		return err
+	}
+	if len(resp) == 0 || resp[0] != opAck {
+		return fmt.Errorf("cacheserver: unexpected warm-boot response opcode %d", resp[0])
+	}
+	return nil
 }
 
 // ResetStats implements Node over TCP. Failures are counted in

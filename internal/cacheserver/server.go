@@ -185,6 +185,10 @@ type Stats struct {
 	BytesUsed       int64
 	Versions        int
 	Keys            int
+	// Horizon is the node's consistency horizon (LastInvalidation): the
+	// newest timestamp it can serve still-valid entries through. After a
+	// database warm boot it must be at least the recovered timestamp.
+	Horizon interval.Timestamp
 }
 
 // Misses returns the total miss count.
@@ -547,6 +551,50 @@ func (s *Server) SetHorizon(ts interval.Timestamp, wall time.Time) {
 	s.lastInvalWall = wall
 }
 
+// WarmBoot transitions the node across a database crash-recovery gap: the
+// database recovered to ts (its replayed WAL watermark) and is about to
+// resume publishing invalidations from there. The cached data itself is
+// fine — every entry the node holds was computed from commits the WAL made
+// durable before they became visible — but invalidation messages that were
+// published and not yet delivered when the daemon died are gone forever,
+// so a still-valid entry must NOT be carried across the gap: the next
+// message to arrive would advance the horizon and silently extend entries
+// whose invalidation fell into the gap. SetHorizon alone is therefore
+// wrong after a crash.
+//
+// WarmBoot closes every tag-registered still-valid version at the node's
+// old horizon L — bounding it at L+1, exactly the effective validity
+// (effHi) it already served, so no lookup result changes — then raises the
+// history floor and seeds the horizon to ts, exactly like SetHorizon.
+// Tagless still-valid entries (pure functions of their arguments) have no
+// database dependencies and survive open. Bounded versions keep serving
+// reads at pinned past snapshots throughout: a warm boot loses freshness,
+// never the cache.
+func (s *Server) WarmBoot(ts interval.Timestamp, wall time.Time) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	old := interval.Timestamp(s.lastInval.Load())
+	if ts <= old {
+		// No gap to bridge: the node is already at or past the recovered
+		// timestamp (e.g. recovery replayed everything the node ever saw).
+		return
+	}
+	// Floor before the shard sweep, sweep before the horizon store: a Put
+	// racing this call either replays against the raised floor (closed
+	// conservatively at its genSnap) or lands in a shard before the sweep
+	// visits it (closed at L+1). Either way nothing stays open across the
+	// gap before the horizon rises.
+	s.hist.raiseFloor(ts)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.closeStillLocked(s, old, wall)
+		sh.mu.Unlock()
+	}
+	s.lastInval.Store(uint64(ts))
+	s.lastInvalWall = wall
+}
+
 // LastInvalidation returns the timestamp of the newest stream message
 // processed.
 func (s *Server) LastInvalidation() interval.Timestamp {
@@ -574,6 +622,7 @@ func (s *Server) Stats() Stats {
 	}
 	st.Invalidations = s.invalidations.Load()
 	st.BytesUsed = s.used.Load()
+	st.Horizon = s.LastInvalidation()
 	return st
 }
 

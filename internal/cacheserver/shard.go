@@ -300,6 +300,33 @@ func (sh *shard) applyLocked(s *Server, m invalidation.Message) {
 	clear(affected)
 }
 
+// closeStillLocked bounds every tag-registered still-valid version of this
+// shard at hi+1 — its current effective validity under horizon hi — so it
+// cannot be extended past a crash-recovery gap (Server.WarmBoot). Tagless
+// still-valid versions are untouched: nothing in the database can ever
+// invalidate them. Caller holds sh.mu.
+func (sh *shard) closeStillLocked(s *Server, hi interval.Timestamp, wall time.Time) {
+	// Collect first: unregisterTags mutates the very maps being iterated.
+	affected := sh.affected
+	for _, set := range sh.tableDeps {
+		for v := range set {
+			affected[v] = struct{}{}
+		}
+	}
+	for v := range affected {
+		v.iv.Hi = hi + 1
+		v.still = false
+		v.hiWall = wall
+		sh.unregisterTags(v)
+		s.deps.remove(sh, v.tags)
+		if s.cfg.MaxStaleness > 0 {
+			sh.staleQ = append(sh.staleQ, v)
+		}
+		sh.stats.invalidated.Add(1)
+	}
+	clear(affected)
+}
+
 func (sh *shard) registerTags(v *version) {
 	for _, t := range v.tags {
 		w := invalidation.WildOf(t)

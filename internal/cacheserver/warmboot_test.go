@@ -1,0 +1,115 @@
+package cacheserver
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"txcache/internal/interval"
+	"txcache/internal/invalidation"
+)
+
+// Warm-boot semantics (crash recovery): the database lost the invalidation
+// messages it had published but not delivered, so the node must not let any
+// tag-registered still-valid entry be extended across the gap. WarmBoot
+// closes each one at exactly its current effective validity and raises the
+// horizon to the recovered timestamp.
+
+func TestWarmBootClosesStillEntries(t *testing.T) {
+	s := New(Config{})
+	advanceTo(s, 20) // horizon L = 20
+	tag := invalidation.KeyTag("users", "id", "7")
+	s.Put("dep", []byte("v"), iv(5, interval.Infinity), true, 10, ids([]invalidation.Tag{tag}))
+	s.Put("pure", []byte("p"), iv(5, interval.Infinity), true, 10, nil)
+
+	// Before: both serve with effective validity [5, 21).
+	if r := s.Lookup(context.Background(), "dep", 5, 50, 5, 50); !r.Still || r.Validity != iv(5, 21) {
+		t.Fatalf("pre warm boot: %+v", r)
+	}
+
+	s.WarmBoot(50, time.Now())
+	if got := s.LastInvalidation(); got != 50 {
+		t.Fatalf("horizon after warm boot = %d, want 50", got)
+	}
+
+	// The tagged entry keeps exactly the validity it already had — no lookup
+	// answer changed — but it is closed: the horizon jump must not extend it.
+	r := s.Lookup(context.Background(), "dep", 5, 50, 5, 50)
+	if !r.Found || r.Still || r.Validity != iv(5, 21) {
+		t.Fatalf("tagged entry after warm boot: %+v", r)
+	}
+	// The tagless entry nothing can invalidate rides the new horizon.
+	r = s.Lookup(context.Background(), "pure", 5, 50, 5, 50)
+	if !r.Found || !r.Still || r.Validity != iv(5, 51) {
+		t.Fatalf("tagless entry after warm boot: %+v", r)
+	}
+
+	// A post-recovery message matching the tag must not resurrect or extend
+	// the closed entry (its registration is gone).
+	s.ApplyInvalidation(invalidation.Message{TS: 60, Tags: ids([]invalidation.Tag{tag}), WallTime: time.Now()})
+	r = s.Lookup(context.Background(), "dep", 5, 50, 5, 50)
+	if !r.Found || r.Still || r.Validity != iv(5, 21) {
+		t.Fatalf("tagged entry after post-recovery message: %+v", r)
+	}
+
+	// Backward (or equal) warm boots are no-ops: the stream may redeliver.
+	s.WarmBoot(40, time.Now())
+	if got := s.LastInvalidation(); got != 60 {
+		t.Fatalf("backward warm boot moved horizon to %d", got)
+	}
+}
+
+// TestWarmBootRaisesHistoryFloor: after a warm boot to R, the history cannot
+// prove anything about (old horizon, R], so a still-valid Put generated
+// below R must be closed at its generation snapshot, not trusted across the
+// gap.
+func TestWarmBootRaisesHistoryFloor(t *testing.T) {
+	s := New(Config{})
+	advanceTo(s, 20)
+	s.WarmBoot(50, time.Now())
+
+	tag := invalidation.KeyTag("users", "id", "9")
+	s.Put("late", []byte("v"), iv(5, interval.Infinity), true, 30, ids([]invalidation.Tag{tag}))
+	r := s.Lookup(context.Background(), "late", 5, 50, 5, 50)
+	if !r.Found || r.Still || r.Validity != iv(5, 31) {
+		t.Fatalf("put below warm-boot floor: %+v", r)
+	}
+
+	// A put generated at (or after) the recovered timestamp is checkable
+	// again and registers normally.
+	s.Put("fresh", []byte("v"), iv(50, interval.Infinity), true, 50, ids([]invalidation.Tag{tag}))
+	r = s.Lookup(context.Background(), "fresh", 50, 60, 50, 60)
+	if !r.Found || !r.Still || r.Validity != iv(50, 51) {
+		t.Fatalf("put at warm-boot floor: %+v", r)
+	}
+}
+
+// TestWarmBootOverTCP drives the opWarmBoot round trip and the Horizon
+// field of the stats wire format.
+func TestWarmBootOverTCP(t *testing.T) {
+	s, addr := startServer(t)
+	advanceTo(s, 20)
+	tag := invalidation.KeyTag("users", "id", "7")
+	s.Put("dep", []byte("v"), iv(5, interval.Infinity), true, 10, ids([]invalidation.Tag{tag}))
+
+	c, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.WarmBoot(context.Background(), 50, time.Now()); err != nil {
+		t.Fatalf("WarmBoot: %v", err)
+	}
+	if got := s.LastInvalidation(); got != 50 {
+		t.Fatalf("horizon after acked warm boot = %d, want 50", got)
+	}
+	r := c.Lookup(context.Background(), "dep", 5, 50, 5, 50)
+	if !r.Found || r.Still || r.Validity != iv(5, 21) {
+		t.Fatalf("entry after TCP warm boot: %+v", r)
+	}
+	st := c.Stats()
+	if st.Horizon != 50 {
+		t.Fatalf("Stats.Horizon over wire = %d, want 50", st.Horizon)
+	}
+}

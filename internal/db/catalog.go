@@ -183,10 +183,17 @@ func (t *Table) addIndex(ci *sql.CreateIndex) error {
 		return fmt.Errorf("db: column %q of %q is already indexed", ci.Column, ci.Table)
 	}
 	idx := &Index{name: ci.Name, column: ci.Column, colPos: pos, unique: ci.Unique, tree: btree.New()}
-	// Backfill by bulk load: collect one (key, id) pair per existing
-	// version, sort, merge duplicates into posting lists, and build the
-	// tree bottom-up — no per-version root descents. A Scan here is fine:
-	// CREATE INDEX is a DDL-time bulk operation, not the steady state.
+	idx.tree = t.buildIndexTree(pos)
+	t.attachIndex(idx)
+	return nil
+}
+
+// buildIndexTree bulk-loads an index tree for the column at pos: collect
+// one (key, id) pair per existing version, sort, merge duplicates into
+// posting lists, and build the tree bottom-up — no per-version root
+// descents. A Scan here is fine: callers (CREATE INDEX backfill, recovery
+// index rebuild) are bulk operations, not the steady state.
+func (t *Table) buildIndexTree(pos int) *btree.Tree {
 	type pair struct {
 		key []byte
 		id  uint64
@@ -222,9 +229,16 @@ func (t *Table) addIndex(ci *sql.CreateIndex) error {
 		}
 		items = append(items, btree.Item{Key: p.key, Posts: []uint64{p.id}})
 	}
-	idx.tree = btree.BulkLoad(items)
-	t.attachIndex(idx)
-	return nil
+	return btree.BulkLoad(items)
+}
+
+// rebuildIndexes regenerates every index tree from the version store.
+// Recovery-only: runs single-threaded before the engine serves traffic, so
+// no lock is taken.
+func (t *Table) rebuildIndexes() {
+	for _, idx := range t.idxList {
+		idx.tree = t.buildIndexTree(idx.colPos)
+	}
 }
 
 // checkRow validates arity and column types against the schema.

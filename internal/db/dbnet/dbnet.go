@@ -9,6 +9,7 @@ package dbnet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -41,7 +42,16 @@ const (
 	opUnpin      byte = 12
 	opAck        byte = 13
 	opErr        byte = 14
+	opStats      byte = 15
+	opStatsResp  byte = 16
 )
+
+// ServerStats is the daemon-side counter snapshot carried by opStatsResp,
+// JSON-encoded on the wire so operators (and /statsz) get it verbatim.
+type ServerStats struct {
+	DB         db.Stats           `json:"db"`
+	Durability db.DurabilityStats `json:"durability"`
+}
 
 // Server serves one engine. Transactions are scoped to the connection that
 // began them (like a SQL session); a dropped connection aborts its
@@ -163,6 +173,15 @@ func (s *Server) handle(req []byte, txs map[uint64]*db.Tx, nextID *uint64) []byt
 	case opUnpin:
 		s.Engine.Unpin(interval.Timestamp(d.U64()))
 		return wire.NewBuffer(opAck).Bytes()
+	case opStats:
+		blob, err := json.Marshal(ServerStats{
+			DB:         s.Engine.Stats(),
+			Durability: s.Engine.DurabilityStats(),
+		})
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.NewBuffer(opStatsResp).Str(string(blob)).Bytes()
 	default:
 		return errFrame(fmt.Errorf("dbnet: unknown opcode %d", op))
 	}
@@ -353,6 +372,32 @@ func (cl *Client) PinLatest() (interval.Timestamp, time.Time) {
 	d := wire.NewDecoder(resp)
 	d.Op()
 	return interval.Timestamp(d.U64()), time.Unix(0, d.I64())
+}
+
+// ServerStats fetches the daemon's engine + durability counters as the
+// JSON the daemon encoded (see the ServerStats type), so callers can embed
+// it in their own status payloads without re-marshalling.
+func (cl *Client) ServerStats(ctx context.Context) (json.RawMessage, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var c *conn
+	select {
+	case c = <-cl.pool:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("dbnet: stats: %w", ctx.Err())
+	}
+	defer func() { cl.pool <- c }()
+	resp, err := c.roundTripCtx(ctx, wire.NewBuffer(opStats).Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	if d.Op() != opStatsResp {
+		return nil, errors.New("dbnet: unexpected stats response opcode")
+	}
+	blob := d.Str()
+	return json.RawMessage(blob), d.Err()
 }
 
 // Unpin releases a pinned snapshot on the daemon; the exchange is bounded

@@ -33,6 +33,10 @@ var (
 	// ErrNotPinned is returned when beginning a read-only transaction at an
 	// unpinned past snapshot.
 	ErrNotPinned = errors.New("db: snapshot is not pinned")
+	// ErrClosed is returned by writes arriving after Close began shutting
+	// the durable engine down (reads keep working; durability is a
+	// write-path property).
+	ErrClosed = errors.New("db: engine closed")
 )
 
 // Options configures an Engine.
@@ -68,6 +72,10 @@ type Options struct {
 	// default (256); negative disables automatic vacuum (callers then run
 	// Vacuum themselves, as tests do).
 	VacuumEvery int
+	// Durability enables the write-ahead log and checkpointing. Only Open
+	// honors it (recovery must run before the engine serves traffic); New
+	// ignores it and builds the in-memory configuration.
+	Durability *DurabilityOptions
 }
 
 // defaultVacuumEvery is the auto-vacuum horizon delta when unset.
@@ -93,6 +101,11 @@ type Engine struct {
 	// seq stamps read/write commits and publishes them in timestamp
 	// order (the pipelined commit path).
 	seq commitSequencer
+
+	// dur is the durability runtime (WAL writer, checkpoint state); nil
+	// for a pure in-memory engine. Set by Open before the engine serves
+	// traffic and immutable afterwards.
+	dur *durState
 
 	// planCache memoizes projection plans per parsed SELECT (*sql.Select →
 	// *selPlan). Keyed per engine: statement ASTs are shared process-wide
@@ -175,6 +188,15 @@ func (e *Engine) DDL(src string) error {
 	if err != nil {
 		return err
 	}
+	if e.dur != nil {
+		// DDL appends to the WAL; hold the shutdown gate like Commit does
+		// so it cannot race Close's writer teardown (see durState.gate).
+		e.dur.gate.RLock()
+		defer e.dur.gate.RUnlock()
+		if e.dur.closed.Load() {
+			return ErrClosed
+		}
+	}
 	e.catMu.Lock()
 	defer e.catMu.Unlock()
 	switch s := st.(type) {
@@ -187,7 +209,6 @@ func (e *Engine) DDL(src string) error {
 			return err
 		}
 		e.tables[s.Name] = t
-		return nil
 	case *sql.CreateIndex:
 		t, ok := e.tables[s.Table]
 		if !ok {
@@ -197,11 +218,23 @@ func (e *Engine) DDL(src string) error {
 		// tables, but statements already past resolution hold only the
 		// table lock; take it to wait them out before backfilling.
 		t.mu.Lock()
-		defer t.mu.Unlock()
-		return t.addIndex(s)
+		err := t.addIndex(s)
+		t.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("db: DDL expects CREATE TABLE/INDEX, got %T", st)
 	}
+	// Log the statement before releasing the catalog lock: no commit
+	// against the new table can resolve it (resolution shares catMu) until
+	// the record is durable, so a commit-group record can never precede
+	// the DDL that defines its table. Recovery replays with dur unset, so
+	// replayed DDL is never re-logged.
+	if e.dur != nil {
+		return e.walAppendDDL(src)
+	}
+	return nil
 }
 
 // PinLatest pins the latest committed snapshot and returns its id and the

@@ -33,6 +33,8 @@ type txScratch struct {
 	idBuf    []uint64       // range-scan posting staging
 	keyBuf   []byte         // index-probe key encoding
 
+	walBuf []byte // commit WAL-payload encoding (durable engines)
+
 	bindBuf  []binding     // SELECT table bindings
 	condBuf  []localCond   // base binding's bound WHERE conjuncts
 	localFor [][]localCond // per-binding condition headers

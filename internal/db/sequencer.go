@@ -33,6 +33,7 @@ package db
 // of later commits proceed while a group's batches install.
 
 import (
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 
@@ -40,11 +41,16 @@ import (
 	"txcache/internal/invalidation"
 )
 
-// commitRec is one applied commit awaiting publish: its invalidation tags
-// and the tables whose pending index batches it contributed to.
+// commitRec is one applied commit awaiting publish: its invalidation tags,
+// the tables whose pending index batches it contributed to, and its encoded
+// WAL payload (nil on a non-durable engine). The payload aliases the
+// committing transaction's pooled scratch; that is safe because the owner
+// blocks in finishCommit until the head committer has both copied it into
+// the group record and published — the scratch cannot be recycled earlier.
 type commitRec struct {
 	tags   []invalidation.TagID
 	tables []*Table
+	wal    []byte
 }
 
 // commitSequencer allocates commit timestamps and publishes applied
@@ -62,6 +68,7 @@ type commitSequencer struct {
 
 	batchBuf []invalidation.Message // reused per group
 	tabBuf   []*Table               // reused per group (deduped flush set)
+	walBuf   []byte                 // reused per group (the assembled WAL record)
 }
 
 func (s *commitSequencer) init(start uint64) {
@@ -82,16 +89,28 @@ func (s *commitSequencer) allocate() interval.Timestamp {
 // it is visible. The committer that finds itself at the head of the
 // pipeline publishes every consecutive applied commit as one group: the
 // group's queued index mutations are flushed as one sorted batch per index
-// per table, the watermark advances once, and the group's invalidation
-// messages go to the bus as a single ordered batch — the bus append is an
-// enqueue, never a blocking delivery. A burst of commits costs one index
-// batch and one bus append instead of one per commit.
-func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID, tables []*Table) {
+// per table, the group becomes exactly one WAL record made durable with
+// one sync (group commit), the watermark advances once, and the group's
+// invalidation messages go to the bus as a single ordered batch — the bus
+// append is an enqueue, never a blocking delivery. A burst of commits
+// costs one index batch, one fsync, and one bus append instead of one per
+// commit. Because the sync strictly precedes the watermark advance,
+// durability precedes visibility: nothing a reader, the bus, or a cache
+// node ever observed can be lost to a crash.
+func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID, tables []*Table, walPayload []byte) {
 	s := &e.seq
 	t := uint64(ts)
 	s.mu.Lock()
-	s.ready[t] = commitRec{tags: tags, tables: tables}
-	for s.published < t-1 || s.flushing {
+	s.ready[t] = commitRec{tags: tags, tables: tables, wal: walPayload}
+	// Wait until either a predecessor's group drained us (published >= t —
+	// done, regardless of any flush in progress) or we are next in line with
+	// no flush running (head). A drained committer must NOT keep waiting on
+	// s.flushing: the flush it would wait for belongs to a *later* group, and
+	// on a busy system that head starts a new flush in the gap between its
+	// broadcast and this goroutine rescheduling — drained committers would
+	// bounce from wake straight back to Wait for cycles, throttling the whole
+	// pipeline to one in-flight commit (and groups of one).
+	for s.published < t && (s.published < t-1 || s.flushing) {
 		s.turn.Wait()
 	}
 	if s.published >= t {
@@ -102,19 +121,34 @@ func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID, 
 	// Head of the pipeline: drain the contiguous ready prefix as one group.
 	batch := s.batchBuf[:0]
 	tabs := s.tabBuf[:0]
+	rec := s.walBuf[:0]
+	if e.dur != nil {
+		rec = append(rec, recCommitGroup)
+		rec = appendU32(rec, 0) // commit count, patched after the drain
+	}
 	now := e.clk.Now()
 	w := s.published
+	n := 0
 	for {
-		rec, ok := s.ready[w+1]
+		cr, ok := s.ready[w+1]
 		if !ok {
 			break
 		}
 		delete(s.ready, w+1)
 		w++
-		if e.bus != nil {
-			batch = append(batch, invalidation.Message{TS: interval.Timestamp(w), WallTime: now, Tags: rec.tags})
+		n++
+		if e.dur != nil {
+			// Copy the commit's payload into the group record here, under
+			// the mutex, while its owner is still parked in the wait loop
+			// above — the pooled buffer it aliases is guaranteed live.
+			rec = appendU64(rec, w)
+			rec = appendU32(rec, uint32(len(cr.wal)))
+			rec = append(rec, cr.wal...)
 		}
-		for _, tb := range rec.tables {
+		if e.bus != nil {
+			batch = append(batch, invalidation.Message{TS: interval.Timestamp(w), WallTime: now, Tags: cr.tags})
+		}
+		for _, tb := range cr.tables {
 			if !containsTable(tabs, tb) {
 				tabs = append(tabs, tb)
 			}
@@ -131,6 +165,14 @@ func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID, 
 		tb.flushIndexOps()
 	}
 
+	// Durability stage: one record, one sync, for the whole group. Runs
+	// outside the mutex (the flushing flag keeps this committer the sole
+	// head), so later commits apply concurrently with the disk wait.
+	if e.dur != nil {
+		binary.LittleEndian.PutUint32(rec[1:5], uint32(n))
+		e.walAppendGroup(rec, w, n)
+	}
+
 	s.mu.Lock()
 	s.published = w
 	e.lastCommit.Store(w)
@@ -142,6 +184,7 @@ func (e *Engine) finishCommit(ts interval.Timestamp, tags []invalidation.TagID, 
 	}
 	s.batchBuf = batch[:0]
 	s.tabBuf = tabs[:0]
+	s.walBuf = rec[:0]
 	s.turn.Broadcast()
 	s.mu.Unlock()
 

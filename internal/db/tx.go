@@ -225,6 +225,16 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	}
 
 	e := tx.e
+	if e.dur != nil {
+		// Hold the shutdown gate shared for the rest of the commit: Close
+		// waits this out before closing the WAL writer, so the group append
+		// below can never race the writer teardown (see durState.gate).
+		e.dur.gate.RLock()
+		defer e.dur.gate.RUnlock()
+		if e.dur.closed.Load() {
+			return 0, ErrClosed
+		}
+	}
 	names := tx.sc.names[:0]
 	for tname := range tx.writes {
 		names = append(names, tname)
@@ -282,8 +292,18 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	// Apply updates and deletes. New versions go to the store now; index
 	// mutations are queued on each table's pending batch (the sequencer's
 	// index-maintenance stage installs them before ts becomes visible).
+	// On a durable engine the same loop encodes the commit's WAL payload
+	// (one section per table) into the pooled scratch buffer; the head
+	// committer copies it into the group record before this transaction is
+	// released, so the buffer's reuse is safe.
+	durable := e.dur != nil
+	walRec := tx.sc.walBuf[:0]
 	for tname, rows := range tx.writes {
 		t := ls.mustGet(tname)
+		var fix, nOps int
+		if durable {
+			walRec, fix = walSectionStart(walRec, tname)
+		}
 		for id, w := range rows {
 			old, _ := t.store.VisibleAt(mvcc.RowID(id), tx.snap)
 			oldRow := old.Data.([]sql.Value)
@@ -293,16 +313,31 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 				t.queueIndexOps(mvcc.RowID(id), w.data)
 				tags.addRow(t, oldRow)
 				tags.addRow(t, w.data)
+				if durable {
+					walRec = walUpdate(walRec, mvcc.RowID(id), w.data)
+					nOps++
+				}
 			case opDelete:
 				t.store.Delete(mvcc.RowID(id), ts)
 				t.rowCount--
 				tags.addRow(t, oldRow)
+				if durable {
+					walRec = walDelete(walRec, mvcc.RowID(id))
+					nOps++
+				}
 			}
+		}
+		if durable {
+			walRec = walSectionEnd(walRec, fix, nOps)
 		}
 	}
 	// Apply inserts.
 	for tname, rows := range tx.inserted {
 		t := ls.mustGet(tname)
+		var fix, nOps int
+		if durable {
+			walRec, fix = walSectionStart(walRec, tname)
+		}
 		for _, ins := range rows {
 			if ins.deleted {
 				continue
@@ -311,8 +346,16 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 			t.queueIndexOps(id, ins.data)
 			t.rowCount++
 			tags.addRow(t, ins.data)
+			if durable {
+				walRec = walInsert(walRec, id, ins.data)
+				nOps++
+			}
+		}
+		if durable {
+			walRec = walSectionEnd(walRec, fix, nOps)
 		}
 	}
+	tx.sc.walBuf = walRec
 	if inline {
 		for _, t := range ls.tables {
 			t.flushIndexOpsLocked()
@@ -328,7 +371,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	if e.bus != nil {
 		tagList = tags.tags()
 	}
-	e.finishCommit(ts, tagList, ls.tables)
+	e.finishCommit(ts, tagList, ls.tables, walRec)
 	return ts, nil
 }
 

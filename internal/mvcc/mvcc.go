@@ -221,6 +221,44 @@ func (s *Store) Delete(id RowID, ts interval.Timestamp) {
 	s.dead.push(id, *last)
 }
 
+// RestoreInsert installs a row under an explicit id with a single unbounded
+// version created at ts. It is the recovery path's insert: checkpoint
+// restore and WAL replay must reproduce the row ids the original run
+// assigned (index postings and later log records reference them), so the id
+// comes from the log, and nextID is raised past it so post-recovery inserts
+// never collide. Returns false if the id is already present (corrupt log).
+func (s *Store) RestoreInsert(id RowID, data any, ts interval.Timestamp) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.rows[id]; dup {
+		return false
+	}
+	s.rows[id] = []Version{{Created: ts, Deleted: interval.Infinity, Data: data}}
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	return true
+}
+
+// EnsureNextID raises the id allocator to at least next. Checkpoint restore
+// calls it with the allocator value the checkpoint recorded, so ids of rows
+// that were inserted and fully vacuumed before the checkpoint are still
+// never reused.
+func (s *Store) EnsureNextID(next RowID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if next > s.nextID {
+		s.nextID = next
+	}
+}
+
+// NextID returns the current id allocator value (checkpoint serialization).
+func (s *Store) NextID() RowID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextID
+}
+
 // Latest returns the newest version of id and whether the row exists (it may
 // still be a deleted version).
 func (s *Store) Latest(id RowID) (Version, bool) {

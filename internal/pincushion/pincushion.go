@@ -34,6 +34,14 @@ type Config struct {
 	// the database. It should be at least the largest staleness limit any
 	// application uses. Defaults to 60s.
 	Retention time.Duration
+	// Staleness, when set, is an upper bound on the staleness argument any
+	// caller passes to GetPins. It lets Sweep trim unused pins early: a pin
+	// older than this bound can never be handed out again (GetPins filters
+	// by wall age), so keeping it warm until Retention only drags the
+	// database's vacuum horizon — reclamation of the prefix below the
+	// oldest pin that still matters would otherwise lag by up to
+	// Retention ≈ 2× the staleness limit. 0 disables early trimming.
+	Staleness time.Duration
 	// Clock supplies wall time; defaults to the real clock.
 	Clock clock.Clock
 	// DB, when set, is told to UNPIN swept snapshots.
@@ -146,13 +154,24 @@ func (p *Pincushion) Release(tss []interval.Timestamp) {
 // shorter than the leak cutoff.
 const leakFactor = 4
 
-// Sweep unpins snapshots that are unused and older than the retention
-// threshold — plus pins whose use-counts have leaked (see leakFactor) —
-// returning how many were removed. Run it periodically.
+// trimAge is the age past which an unused pin is reclaimed: Retention,
+// tightened to the staleness bound when Config.Staleness promises that no
+// GetPins call can ever return a pin that old again.
+func (p *Pincushion) trimAge() time.Duration {
+	if p.cfg.Staleness > 0 && p.cfg.Staleness < p.cfg.Retention {
+		return p.cfg.Staleness
+	}
+	return p.cfg.Retention
+}
+
+// Sweep unpins snapshots that are unused and older than the trim threshold
+// (Retention, or the tighter Config.Staleness bound) — plus pins whose
+// use-counts have leaked (see leakFactor) — returning how many were
+// removed. Run it periodically.
 func (p *Pincushion) Sweep() int {
 	p.mu.Lock()
 	now := p.clk.Now()
-	cutoff := now.Add(-p.cfg.Retention)
+	cutoff := now.Add(-p.trimAge())
 	leakCutoff := now.Add(-leakFactor * p.cfg.Retention)
 	var victims []pinRef
 	for ts, st := range p.pins {
@@ -228,9 +247,11 @@ const (
 	// PinIdle pins are unused but within retention, kept warm so the next
 	// read-only transaction can share an already-pinned snapshot.
 	PinIdle
-	// PinExpired pins are unused and past retention: the next Sweep will
-	// unpin them. A persistent PinExpired population means the sweeper is
-	// running too rarely for the configured retention.
+	// PinExpired pins are unused and past the trim threshold (Retention, or
+	// the tighter Config.Staleness bound): the next Sweep will unpin them.
+	// A persistent PinExpired population means the sweeper is running too
+	// rarely for the configured thresholds — every pin in this class is
+	// pointlessly holding the database's vacuum horizon back.
 	PinExpired
 
 	numPinClasses
@@ -284,7 +305,7 @@ func (p *Pincushion) Stats() Stats {
 		Pins:     len(p.pins),
 	}
 	now := p.clk.Now()
-	cutoff := now.Add(-p.cfg.Retention)
+	cutoff := now.Add(-p.trimAge())
 	for _, ps := range p.pins {
 		var c PinClass
 		switch {
@@ -327,11 +348,46 @@ func (p *Pincushion) Newest() (Pin, bool) {
 	return best, found
 }
 
-// RunSweeper sweeps every interval until stop is closed.
+// NextTrim reports when the next currently-unused pin crosses the trim
+// threshold (false if no unused pins are tracked). The sweeper uses it to
+// schedule the pass that reclaims the vacuum-horizon prefix below the
+// oldest pin that still matters, instead of letting expired pins sit until
+// the next fixed tick.
+func (p *Pincushion) NextTrim() (time.Time, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var at time.Time
+	found := false
+	for _, st := range p.pins {
+		if st.active > 0 {
+			continue
+		}
+		t := st.wall.Add(p.trimAge())
+		if !found || t.Before(at) {
+			at = t
+			found = true
+		}
+	}
+	return at, found
+}
+
+// RunSweeper sweeps until stop is closed: at least every interval, and
+// sooner when NextTrim says an idle pin is about to become reclaimable —
+// the per-class horizon histogram in Stats shows the payoff as an empty
+// expired class.
 func (p *Pincushion) RunSweeper(every time.Duration, stop <-chan struct{}) {
-	t := time.NewTicker(every)
+	t := time.NewTimer(every)
 	defer t.Stop()
 	for {
+		wait := every
+		if at, ok := p.NextTrim(); ok {
+			// Floor the adaptive delay so a burst of near-expiry pins cannot
+			// degenerate into a busy loop of one-victim sweeps.
+			if d := at.Sub(p.clk.Now()); d < wait {
+				wait = max(d, every/8, 10*time.Millisecond)
+			}
+		}
+		t.Reset(wait)
 		select {
 		case <-t.C:
 			p.Sweep()

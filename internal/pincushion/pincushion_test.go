@@ -331,3 +331,61 @@ func TestSweepAllForcesTeardown(t *testing.T) {
 		t.Fatalf("db unpins = %v, want three (one for 10, two for 20)", db.unpinned)
 	}
 }
+
+// TestStalenessEarlyTrim: with Config.Staleness set, an unused pin older
+// than the staleness bound — one GetPins can never hand out again — is
+// reclaimed without waiting out the (much longer) retention, so the
+// database's vacuum horizon advances as soon as the pin stops mattering.
+func TestStalenessEarlyTrim(t *testing.T) {
+	clk := &clock.Virtual{}
+	db := &fakeDB{}
+	p := New(Config{Clock: clk, Retention: time.Minute, Staleness: 10 * time.Second, DB: db})
+	base := clk.Now()
+	p.Register(10, base)
+	p.Register(20, base)
+	p.Release([]interval.Timestamp{10, 20})
+	p.Register(30, base) // still active: must survive any trim
+
+	// Inside the staleness bound nothing is trimmable.
+	clk.Advance(5 * time.Second)
+	if n := p.Sweep(); n != 0 {
+		t.Fatalf("sweep inside staleness removed %d", n)
+	}
+
+	// Past staleness but far inside retention: both idle pins go; the
+	// active one stays regardless of age.
+	clk.Advance(10 * time.Second)
+	if at, ok := p.NextTrim(); !ok || clk.Now().Before(at) {
+		t.Fatalf("NextTrim = %v ok=%v, want a due time", at, ok)
+	}
+	if n := p.Sweep(); n != 2 {
+		t.Fatalf("early trim removed %d pins, want 2", n)
+	}
+	if len(db.unpinned) != 2 {
+		t.Fatalf("db unpins = %v", db.unpinned)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len = %d, want the active pin only", p.Len())
+	}
+}
+
+// TestStatsClassifiesByTrimThreshold: with a staleness bound, the horizon
+// histogram's expired class means "trimmable now" — unused pins past the
+// staleness bound count as expired even though retention hasn't elapsed.
+func TestStatsClassifiesByTrimThreshold(t *testing.T) {
+	clk := &clock.Virtual{}
+	p := New(Config{Clock: clk, Retention: time.Minute, Staleness: 10 * time.Second})
+	base := clk.Now()
+	p.Register(10, base)
+	p.Release([]interval.Timestamp{10})
+	clk.Advance(15 * time.Second)
+
+	st := p.Stats()
+	total := 0
+	for _, n := range st.Horizon[PinExpired] {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("expired class = %d pins, want 1 (histogram %+v)", total, st.Horizon)
+	}
+}

@@ -47,6 +47,11 @@ type Config struct {
 	Staleness time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
+	// DBStats, when set, is polled by /statsz for the database daemon's own
+	// counters (engine, WAL, recovery) and embedded under "db" — one status
+	// endpoint for the whole stack. The hook must be safe for concurrent
+	// use and bound its own round trip.
+	DBStats func() (json.RawMessage, error)
 }
 
 // Stats counts request outcomes. Shed is incremented where the 503 response
@@ -597,6 +602,7 @@ func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 		Serve  StatsSnapshot      `json:"serve"`
 		Client core.StatsSnapshot `json:"client"`
 		Queued int64              `json:"queued"`
+		DB     json.RawMessage    `json:"db,omitempty"`
 		Data   struct {
 			Users      int64 `json:"users"`
 			Items      int64 `json:"items"`
@@ -612,6 +618,15 @@ func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 	payload.Data.Users, payload.Data.Items = users, items
 	payload.Data.Categories, payload.Data.Regions = cats, regs
 	payload.Data.WikiPages = wikiPages
+	if s.cfg.DBStats != nil {
+		blob, err := s.cfg.DBStats()
+		if err != nil {
+			blob, _ = json.Marshal(struct {
+				Error string `json:"error"`
+			}{err.Error()})
+		}
+		payload.DB = blob
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(payload)
 }

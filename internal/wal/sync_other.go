@@ -1,0 +1,17 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// Portable fallbacks: O_DSYNC and fdatasync degrade to full fsync where
+// the platform-specific fast paths are unavailable.
+const odsyncFlag = 0
+
+// odsyncReal is false here: SyncODsync falls back to an explicit fsync per
+// append (see Writer.syncLocked).
+const odsyncReal = false
+
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-node bench-write alloc-regression profile fuzz-smoke examples serve-smoke crash-smoke
+.PHONY: ci fmt vet build test race bench bench-node bench-write bench-durability alloc-regression profile fuzz-smoke examples serve-smoke crash-smoke
 
 ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke serve-smoke crash-smoke
 
@@ -12,6 +12,7 @@ ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke serve-sm
 # a failure, not a hung pipeline.
 crash-smoke:
 	timeout 120 $(GO) test -race -run TestCrashRecovery -count=3 .
+	timeout 120 $(GO) test -race -run TestReplayEquivalence ./internal/db
 
 # Open-loop smoke: boot the full TCP topology with the HTTP front end, drive
 # it at a modest arrival rate for half a minute, and fail unless requests
@@ -82,6 +83,15 @@ bench-node:
 # EXPERIMENTS.md for the measured trajectory).
 bench-write:
 	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkVacuum' -benchtime=200ms ./internal/db
+
+# Durability perf gate: commit latency under a forced streaming checkpoint,
+# cold-start recovery over a 100 MB generated log (serial vs parallel), and
+# allocs per durable commit. Emits BENCH_durability.json; also runs the
+# in-package recovery benchmark. See EXPERIMENTS.md "Fast durability".
+bench-durability:
+	timeout 300 $(GO) run ./cmd/txcache-bench -exp durability
+	RECOVERY_LOG_MB=100 timeout 300 $(GO) test -run xxx -bench BenchmarkRecovery \
+		-benchtime=3x ./internal/db
 
 # CPU + allocation profiles of the Figure-5a workload; see EXPERIMENTS.md
 # for the reading methodology.

@@ -28,7 +28,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, concurrency, churn, writeheavy, serve, all")
+	exp := flag.String("exp", "all", "experiment: baseline, fig5a, fig5b, fig6a, fig6b, fig7, fig8, concurrency, churn, writeheavy, durability, serve, all")
+	durLogMB := flag.Int("durability-log-mb", 100, "WAL size to generate for -exp durability's recovery measurement")
+	durJSON := flag.String("durability-json", "BENCH_durability.json", "machine-readable output path for -exp durability (empty disables)")
 	rate := flag.Float64("rate", 500, "nominal open-loop arrival rate for -exp serve (req/s)")
 	serveURL := flag.String("serve-url", "", "existing txcache-serve base URL for -exp serve (empty: boot an in-process stack)")
 	serveWorkers := flag.Int("serve-workers", 256, "open-loop worker cap for -exp serve")
@@ -144,6 +146,10 @@ func main() {
 		"concurrency": func() error { _, err := bench.Concurrency(o); return err },
 		"churn":       func() error { _, err := bench.Churn(o, *churnPeriod); return err },
 		"writeheavy":  func() error { _, err := bench.WriteHeavy(o, *indexes); return err },
+		"durability": func() error {
+			_, err := bench.Durability(o, *durLogMB, *durJSON)
+			return err
+		},
 		"serve": func() error {
 			open, _, err := bench.Serve(bench.ServeOpts{
 				Opts:       o,

@@ -41,13 +41,31 @@ import (
 
 // status is what -status-file publishes once the daemon is serving: the
 // crash harness (and operators) read it to learn what a boot recovered
-// without scraping logs.
+// without scraping logs. It is rewritten on the vacuum ticker so the
+// durability counters — checkpoint failures in particular — stay current
+// for the life of the process.
 type status struct {
-	PID        int             `json:"pid"`
-	Addr       string          `json:"addr"`
-	Durable    bool            `json:"durable"`
-	Recovery   db.RecoveryInfo `json:"recovery"`
-	LastCommit uint64          `json:"lastCommit"`
+	PID        int                `json:"pid"`
+	Addr       string             `json:"addr"`
+	Durable    bool               `json:"durable"`
+	Recovery   db.RecoveryInfo    `json:"recovery"`
+	LastCommit uint64             `json:"lastCommit"`
+	Durability db.DurabilityStats `json:"durability"`
+}
+
+// writeStatus publishes one status snapshot. Plain JSON (no WAL framing):
+// operators cat this. Temp+rename keeps readers from ever seeing a torn
+// write.
+func writeStatus(path string, st status) error {
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func main() {
@@ -62,6 +80,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty runs in-memory")
 	walSync := flag.String("wal-sync", "fdatasync", "WAL sync discipline: none, fdatasync, fsync, odsync")
 	ckptBytes := flag.Int64("checkpoint-bytes", 16<<20, "checkpoint after this many WAL bytes (negative disables)")
+	recoveryWorkers := flag.Int("recovery-workers", 0, "boot-time replay parallelism (0 = GOMAXPROCS, negative = serial)")
 	statusFile := flag.String("status-file", "", "write a JSON status snapshot here once serving (atomic rename)")
 	flag.Parse()
 
@@ -81,7 +100,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("txcache-dbd: %v", err)
 		}
-		opts.Durability = &db.DurabilityOptions{Dir: *dataDir, Sync: mode, CheckpointBytes: *ckptBytes}
+		opts.Durability = &db.DurabilityOptions{
+			Dir: *dataDir, Sync: mode,
+			CheckpointBytes: *ckptBytes, RecoveryWorkers: *recoveryWorkers,
+		}
 		start := time.Now()
 		engine, info, err = db.Open(opts)
 		if err != nil {
@@ -223,23 +245,26 @@ func main() {
 	}
 	log.Printf("txcache-dbd: serving on %s (durable=%v)", l.Addr(), durable)
 
-	if *statusFile != "" {
-		blob, err := json.Marshal(status{
+	statusSnap := func() status {
+		return status{
 			PID: os.Getpid(), Addr: l.Addr().String(), Durable: durable,
 			Recovery: info, LastCommit: uint64(engine.LastCommit()),
-		})
-		if err == nil {
-			// Plain JSON (no WAL framing): operators cat this. Temp+rename
-			// keeps readers from ever seeing a torn write.
-			tmp := *statusFile + ".tmp"
-			err = os.WriteFile(tmp, blob, 0o644)
-			if err == nil {
-				err = os.Rename(tmp, *statusFile)
-			}
+			Durability: engine.DurabilityStats(),
 		}
-		if err != nil {
+	}
+	if *statusFile != "" {
+		if err := writeStatus(*statusFile, statusSnap()); err != nil {
 			log.Fatalf("txcache-dbd: status file: %v", err)
 		}
+		// Keep it current: a checkpoint loop dying mid-run (disk full)
+		// shows up in durability.checkpointErrors on the next refresh.
+		go func() {
+			for range time.Tick(*vacuumEvery) {
+				if err := writeStatus(*statusFile, statusSnap()); err != nil {
+					log.Printf("txcache-dbd: status file refresh: %v", err)
+				}
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)

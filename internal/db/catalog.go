@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"txcache/internal/btree"
+	"txcache/internal/interval"
 	"txcache/internal/invalidation"
 	"txcache/internal/mvcc"
 	"txcache/internal/sql"
@@ -180,7 +181,7 @@ func (t *Table) addIndex(ci *sql.CreateIndex) error {
 		return fmt.Errorf("db: no column %q in table %q", ci.Column, ci.Table)
 	}
 	if _, exists := t.indexes[ci.Column]; exists {
-		return fmt.Errorf("db: column %q of %q is already indexed", ci.Column, ci.Table)
+		return fmt.Errorf("%w: column %q of %q is already indexed", ErrAlreadyExists, ci.Column, ci.Table)
 	}
 	idx := &Index{name: ci.Name, column: ci.Column, colPos: pos, unique: ci.Unique, tree: btree.New()}
 	idx.tree = t.buildIndexTree(pos)
@@ -188,25 +189,16 @@ func (t *Table) addIndex(ci *sql.CreateIndex) error {
 	return nil
 }
 
-// buildIndexTree bulk-loads an index tree for the column at pos: collect
-// one (key, id) pair per existing version, sort, merge duplicates into
-// posting lists, and build the tree bottom-up — no per-version root
-// descents. A Scan here is fine: callers (CREATE INDEX backfill, recovery
-// index rebuild) are bulk operations, not the steady state.
-func (t *Table) buildIndexTree(pos int) *btree.Tree {
-	type pair struct {
-		key []byte
-		id  uint64
-	}
-	var pairs []pair
-	t.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
-		for _, v := range chain {
-			row := v.Data.([]sql.Value)
-			pairs = append(pairs, pair{key: sql.EncodeKey(nil, row[pos]), id: uint64(id)})
-		}
-		return true
-	})
-	slices.SortFunc(pairs, func(a, b pair) int {
+// keyPair is one (encoded key, row id) index entry staged for bulk load.
+type keyPair struct {
+	key []byte
+	id  uint64
+}
+
+// bulkLoadPairs sorts staged entries, merges duplicate keys into posting
+// lists, and builds the tree bottom-up — no per-version root descents.
+func bulkLoadPairs(pairs []keyPair) *btree.Tree {
+	slices.SortFunc(pairs, func(a, b keyPair) int {
 		if c := bytes.Compare(a.key, b.key); c != 0 {
 			return c
 		}
@@ -232,13 +224,46 @@ func (t *Table) buildIndexTree(pos int) *btree.Tree {
 	return btree.BulkLoad(items)
 }
 
-// rebuildIndexes regenerates every index tree from the version store.
-// Recovery-only: runs single-threaded before the engine serves traffic, so
-// no lock is taken.
-func (t *Table) rebuildIndexes() {
-	for _, idx := range t.idxList {
-		idx.tree = t.buildIndexTree(idx.colPos)
+// buildIndexTree bulk-loads an index tree for the column at pos: one
+// (key, id) pair per existing version. A Scan here is fine: the caller
+// (CREATE INDEX backfill) is a bulk operation, not the steady state.
+func (t *Table) buildIndexTree(pos int) *btree.Tree {
+	var pairs []keyPair
+	t.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
+		for _, v := range chain {
+			row := v.Data.([]sql.Value)
+			pairs = append(pairs, keyPair{key: sql.EncodeKey(nil, row[pos]), id: uint64(id)})
+		}
+		return true
+	})
+	return bulkLoadPairs(pairs)
+}
+
+// rebuildDerived regenerates the table's derived state — every index tree
+// and the live-row count — in a single pass over the version store, where
+// the pre-fusion recovery path made one Scan per index plus one more for
+// the count. Recovery-only: runs before the engine serves traffic (tables
+// are partitioned across the recovery worker pool, one worker per table),
+// so no lock is taken.
+func (t *Table) rebuildDerived() {
+	staged := make([][]keyPair, len(t.idxList))
+	live := 0
+	t.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
+		if chain[len(chain)-1].Deleted == interval.Infinity {
+			live++
+		}
+		for _, v := range chain {
+			row := v.Data.([]sql.Value)
+			for i, idx := range t.idxList {
+				staged[i] = append(staged[i], keyPair{key: sql.EncodeKey(nil, row[idx.colPos]), id: uint64(id)})
+			}
+		}
+		return true
+	})
+	for i, idx := range t.idxList {
+		idx.tree = bulkLoadPairs(staged[i])
 	}
+	t.rowCount = live
 }
 
 // checkRow validates arity and column types against the schema.

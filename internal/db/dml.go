@@ -42,13 +42,7 @@ func (tx *Tx) runInsert(ins *sql.Insert, t *Table, args []sql.Value) (int, error
 		if err := t.checkRow(row); err != nil {
 			return 0, err
 		}
-		if tx.inserted == nil {
-			tx.inserted = make(map[string][]*insertedRow)
-		}
-		tx.inserted[t.name] = append(tx.inserted[t.name], &insertedRow{
-			tempID: syntheticBit | uint64(len(tx.inserted[t.name])+1),
-			data:   row,
-		})
+		tx.stageInsert(t.name, row)
 		count++
 	}
 	return count, nil
@@ -113,14 +107,15 @@ func (tx *Tx) runUpdate(u *sql.Update, t *Table, args []sql.Value) (int, error) 
 			return 0, err
 		}
 		if sr.id&syntheticBit != 0 {
-			for _, ins := range tx.inserted[t.name] {
-				if ins.tempID == sr.id {
-					ins.data = newData
+			rows := tx.sc.inserted[t.name]
+			for i := range rows {
+				if rows[i].tempID == sr.id {
+					rows[i].data = newData
 					break
 				}
 			}
 		} else {
-			tx.write(t.name, sr.id, &rowWrite{op: opUpdate, data: newData})
+			tx.write(t.name, sr.id, rowWrite{op: opUpdate, data: newData})
 		}
 		count++
 	}
@@ -143,28 +138,57 @@ func (tx *Tx) runDelete(d *sql.Delete, t *Table, args []sql.Value) (int, error) 
 	x.sc.rowBuf = x.scanTableInto(x.sc.rowBuf[:0], t, local)
 	for _, sr := range x.sc.rowBuf {
 		if sr.id&syntheticBit != 0 {
-			for _, ins := range tx.inserted[t.name] {
-				if ins.tempID == sr.id {
-					ins.deleted = true
+			rows := tx.sc.inserted[t.name]
+			for i := range rows {
+				if rows[i].tempID == sr.id {
+					rows[i].deleted = true
 					break
 				}
 			}
 		} else {
-			tx.write(t.name, sr.id, &rowWrite{op: opDelete})
+			tx.write(t.name, sr.id, rowWrite{op: opDelete})
 		}
 		count++
 	}
 	return count, nil
 }
 
-func (tx *Tx) write(table string, id uint64, w *rowWrite) {
-	if tx.writes == nil {
-		tx.writes = make(map[string]map[uint64]*rowWrite)
+// write buffers one update/delete, drawing the per-table map from the
+// scratch free list so steady-state commits allocate no write-set
+// containers.
+func (tx *Tx) write(table string, id uint64, w rowWrite) {
+	sc := tx.sc
+	if sc.writes == nil {
+		sc.writes = make(map[string]map[uint64]rowWrite)
 	}
-	m := tx.writes[table]
+	m := sc.writes[table]
 	if m == nil {
-		m = make(map[uint64]*rowWrite)
-		tx.writes[table] = m
+		if n := len(sc.rwFree); n > 0 {
+			m, sc.rwFree = sc.rwFree[n-1], sc.rwFree[:n-1]
+		} else {
+			m = make(map[uint64]rowWrite)
+		}
+		sc.writes[table] = m
 	}
 	m[id] = w
+}
+
+// stageInsert buffers one insert, reusing a parked per-table slice when
+// one is available.
+func (tx *Tx) stageInsert(table string, row []sql.Value) {
+	sc := tx.sc
+	if sc.inserted == nil {
+		sc.inserted = make(map[string][]insertedRow)
+	}
+	rows, ok := sc.inserted[table]
+	if !ok {
+		if n := len(sc.insFree); n > 0 {
+			rows, sc.insFree = sc.insFree[n-1], sc.insFree[:n-1]
+		}
+	}
+	rows = append(rows, insertedRow{
+		tempID: syntheticBit | uint64(len(rows)+1),
+		data:   row,
+	})
+	sc.inserted[table] = rows
 }

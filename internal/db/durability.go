@@ -30,6 +30,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -55,9 +56,24 @@ type DurabilityOptions struct {
 	// (16 MiB); negative disables automatic checkpoints (callers then run
 	// Checkpoint themselves, as tests do).
 	CheckpointBytes int64
+	// RecoveryWorkers bounds boot-time replay parallelism: snapshot table
+	// sections decode concurrently, logged commits are partitioned by table
+	// across a worker pool, and the post-replay derived-state rebuild
+	// (index trees + row counts) runs one table per worker. 0 selects
+	// GOMAXPROCS; negative (or 1) forces the serial path.
+	RecoveryWorkers int
 }
 
 const defaultCheckpointBytes = 16 << 20
+
+// ckptBatchBytes bounds how many snapshot bytes the checkpoint encoder
+// stages per table-lock acquisition. Between batches the lock is released,
+// so a commit to the table being checkpointed waits at most one batch's
+// encode time (tens of microseconds), not the full table scan. The pinned
+// snapshot timestamp makes the release sound: every version visible at
+// ckptTS stays reachable (vacuum respects the pin), and visibility at a
+// fixed timestamp is insensitive to commits that land between batches.
+const ckptBatchBytes = 64 << 10
 
 // WAL record types (first payload byte).
 const (
@@ -73,11 +89,24 @@ const (
 )
 
 // Snapshot / marker file naming.
+//
+// Snapshot format v2 (framed by wal.ReadFileChecked's length+CRC header):
+//
+//	u8 version | u64 snapshot ts | u32 nTables
+//	nTables back-to-back table sections (schema, indexes, next-id, rows;
+//	  rows run to the end of the section — no row count)
+//	footer: nTables × u64 section byte lengths
+//
+// The section lengths live in a *footer* rather than per-section headers so
+// the encoder can stream each section straight into the checkpoint file —
+// patching a length back into already-written bytes would invalidate the
+// file writer's running CRC. The footer is what lets recovery slice the
+// payload into independent sections and decode them concurrently.
 const (
 	ckptPrefix  = "ckpt-"
 	ckptSuffix  = ".snap"
 	cleanMarker = "clean"
-	snapVersion = 1
+	snapVersion = 2
 )
 
 func ckptName(ts interval.Timestamp) string {
@@ -113,12 +142,18 @@ type RecoveryInfo struct {
 // DurabilityStats snapshots WAL and checkpoint counters for the daemon's
 // stats surfaces.
 type DurabilityStats struct {
-	Enabled        bool         `json:"enabled"`
-	WAL            wal.Stats    `json:"wal"`
-	Groups         uint64       `json:"groups"`         // group records appended
-	GroupedCommits uint64       `json:"groupedCommits"` // commits covered by them (avg group size = GroupedCommits/Groups)
-	Checkpoints    uint64       `json:"checkpoints"`
-	Recovery       RecoveryInfo `json:"recovery"`
+	Enabled        bool      `json:"enabled"`
+	WAL            wal.Stats `json:"wal"`
+	Groups         uint64    `json:"groups"`         // group records appended
+	GroupedCommits uint64    `json:"groupedCommits"` // commits covered by them (avg group size = GroupedCommits/Groups)
+	Checkpoints    uint64    `json:"checkpoints"`
+	// CheckpointErrors counts failed checkpoint passes and
+	// LastCheckpointError holds the most recent failure, so a dying
+	// auto-checkpoint loop (disk full, permissions) is visible on /statsz
+	// and in the daemon's status file instead of only on stderr.
+	CheckpointErrors    uint64       `json:"checkpointErrors"`
+	LastCheckpointError string       `json:"lastCheckpointError,omitempty"`
+	Recovery            RecoveryInfo `json:"recovery"`
 }
 
 // durState is the engine's durability runtime.
@@ -144,6 +179,24 @@ type durState struct {
 	statGroups       atomic.Uint64
 	statGroupCommits atomic.Uint64
 	statCheckpoints  atomic.Uint64
+	statCkptErrs     atomic.Uint64
+
+	ckptErrMu   sync.Mutex // guards lastCkptErr
+	lastCkptErr string
+
+	// Checkpoint-encoder scratch, reused across passes (serialized by
+	// ckptMu): the staging buffer for one lock-hold batch and the row-id
+	// snapshot of the table being serialized.
+	ckptBuf []byte
+	ckptIDs []mvcc.RowID
+}
+
+// noteCkptErr records a failed checkpoint pass for the stats surfaces.
+func (d *durState) noteCkptErr(err error) {
+	d.statCkptErrs.Add(1)
+	d.ckptErrMu.Lock()
+	d.lastCkptErr = err.Error()
+	d.ckptErrMu.Unlock()
 }
 
 // DurabilityStats returns the durability counters; Enabled is false for a
@@ -152,13 +205,18 @@ func (e *Engine) DurabilityStats() DurabilityStats {
 	if e.dur == nil {
 		return DurabilityStats{}
 	}
+	e.dur.ckptErrMu.Lock()
+	lastErr := e.dur.lastCkptErr
+	e.dur.ckptErrMu.Unlock()
 	return DurabilityStats{
-		Enabled:        true,
-		WAL:            e.dur.w.Stats(),
-		Groups:         e.dur.statGroups.Load(),
-		GroupedCommits: e.dur.statGroupCommits.Load(),
-		Checkpoints:    e.dur.statCheckpoints.Load(),
-		Recovery:       e.dur.recovery,
+		Enabled:             true,
+		WAL:                 e.dur.w.Stats(),
+		Groups:              e.dur.statGroups.Load(),
+		GroupedCommits:      e.dur.statGroupCommits.Load(),
+		Checkpoints:         e.dur.statCheckpoints.Load(),
+		CheckpointErrors:    e.dur.statCkptErrs.Load(),
+		LastCheckpointError: lastErr,
+		Recovery:            e.dur.recovery,
 	}
 }
 
@@ -316,15 +374,20 @@ func (d *payloadDec) done() bool { return d.err != nil || d.off >= len(d.b) }
 // ---------------------------------------------------------------------------
 
 // walSectionStart opens a per-table section in the transaction's commit
-// payload, reserving the op-count slot; walSectionEnd patches it.
+// payload, reserving the byte-length and op-count slots; walSectionEnd
+// patches both. The byte length is what lets recovery slice a commit into
+// per-table op streams in O(1) and hand them to replay workers without
+// decoding ops on the dispatch path.
 func walSectionStart(b []byte, table string) ([]byte, int) {
 	b = appendStr(b, table)
 	fix := len(b)
+	b = appendU32(b, 0) // section byte length (ops only)
 	return appendU32(b, 0), fix
 }
 
 func walSectionEnd(b []byte, fix int, n int) []byte {
-	binary.LittleEndian.PutUint32(b[fix:fix+4], uint32(n))
+	binary.LittleEndian.PutUint32(b[fix:fix+4], uint32(len(b)-(fix+8)))
+	binary.LittleEndian.PutUint32(b[fix+4:fix+8], uint32(n))
 	return b
 }
 
@@ -406,8 +469,17 @@ func (e *Engine) Checkpoint() error {
 	return e.checkpointLocked()
 }
 
-// checkpointLocked is the checkpoint body; caller holds ckptMu.
+// checkpointLocked is the checkpoint body; caller holds ckptMu. A failed
+// pass is recorded in the checkpoint-error counters before returning.
 func (e *Engine) checkpointLocked() error {
+	err := e.checkpointPass()
+	if err != nil {
+		e.dur.noteCkptErr(err)
+	}
+	return err
+}
+
+func (e *Engine) checkpointPass() error {
 	// Rotate first: every record of the sealed segments carries a
 	// timestamp at or below any watermark pinned after this point, so
 	// truncation below can delete them the moment the snapshot is durable.
@@ -417,9 +489,8 @@ func (e *Engine) checkpointLocked() error {
 	e.dur.sinceCkpt.Store(0)
 	ckptTS, _ := e.PinLatest()
 	defer e.Unpin(ckptTS)
-	payload := e.encodeSnapshot(ckptTS)
 	path := filepath.Join(e.dur.dir, ckptName(ckptTS))
-	if err := wal.WriteFileAtomic(path, payload); err != nil {
+	if err := e.writeSnapshot(path, ckptTS); err != nil {
 		return fmt.Errorf("db: checkpoint write: %w", err)
 	}
 	// The snapshot is durable: drop covered segments and older snapshots.
@@ -438,11 +509,14 @@ func (e *Engine) checkpointLocked() error {
 	return nil
 }
 
-// encodeSnapshot serializes the engine at snapshot ts: schema, id
-// allocators, and for every row the version visible at ts (with its
-// original creation timestamp; versions deleted after ts are recorded as
-// unbounded — the deleting commit is above ts, so replay re-bounds them).
-func (e *Engine) encodeSnapshot(ts interval.Timestamp) []byte {
+// writeSnapshot streams a consistent snapshot of the engine at ts to path:
+// schema, id allocators, and for every row the version visible at ts (with
+// its original creation timestamp; versions deleted after ts are recorded
+// as unbounded — the deleting commit is above ts, so replay re-bounds
+// them). Memory stays bounded by one staging batch (~ckptBatchBytes) no
+// matter how large the database is, and no table lock is held for longer
+// than one batch's encode.
+func (e *Engine) writeSnapshot(path string, ts interval.Timestamp) error {
 	e.catMu.RLock()
 	names := make([]string, 0, len(e.tables))
 	for name := range e.tables {
@@ -455,121 +529,226 @@ func (e *Engine) encodeSnapshot(ts interval.Timestamp) []byte {
 	}
 	e.catMu.RUnlock()
 
-	b := []byte{snapVersion}
+	fw, err := wal.CreateFileAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer fw.Abort() // no-op once Commit succeeds
+
+	b := e.dur.ckptBuf[:0]
+	b = append(b, snapVersion)
 	b = appendU64(b, uint64(ts))
 	b = appendU32(b, uint32(len(tabs)))
-	for _, t := range tabs {
-		t.mu.RLock()
-		b = appendStr(b, t.name)
-		b = appendU32(b, uint32(len(t.cols)))
-		for _, c := range t.cols {
-			b = appendStr(b, c.Name)
-			b = append(b, byte(c.Type))
-			var flags byte
-			if c.Primary {
-				flags |= 1
-			}
-			if c.NotNull {
-				flags |= 2
-			}
-			b = append(b, flags)
-		}
-		// Secondary indexes; the primary-key index is implied by the
-		// schema and re-attached by newTable on restore.
-		fixIdx := len(b)
-		b = appendU32(b, 0)
-		nIdx := 0
-		for _, idx := range t.idxList {
-			if t.primary != "" && idx.column == t.primary {
-				continue
-			}
-			b = appendStr(b, idx.name)
-			b = appendStr(b, idx.column)
-			if idx.unique {
-				b = append(b, 1)
-			} else {
-				b = append(b, 0)
-			}
-			nIdx++
-		}
-		binary.LittleEndian.PutUint32(b[fixIdx:fixIdx+4], uint32(nIdx))
-		b = appendU64(b, uint64(t.store.NextID()))
-		fixRows := len(b)
-		b = appendU32(b, 0)
-		nRows := 0
-		t.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
-			for i := len(chain) - 1; i >= 0; i-- {
-				if chain[i].VisibleAt(ts) {
-					b = appendU64(b, uint64(id))
-					b = appendU64(b, uint64(chain[i].Created))
-					b = appendRow(b, chain[i].Data.([]sql.Value))
-					nRows++
-					break
-				}
-			}
-			return true
-		})
-		binary.LittleEndian.PutUint32(b[fixRows:fixRows+4], uint32(nRows))
-		t.mu.RUnlock()
+	if _, err := fw.Write(b); err != nil {
+		return err
 	}
-	return b
+	secLens := make([]uint64, 0, len(tabs))
+	for _, t := range tabs {
+		n, err := e.writeTableSection(fw, t, ts)
+		if err != nil {
+			return err
+		}
+		secLens = append(secLens, uint64(n))
+	}
+	b = e.dur.ckptBuf[:0]
+	for _, n := range secLens {
+		b = appendU64(b, n)
+	}
+	e.dur.ckptBuf = b
+	if _, err := fw.Write(b); err != nil {
+		return err
+	}
+	return fw.Commit()
 }
 
-// restoreSnapshot rebuilds catalog and row stores from a snapshot payload.
-// Recovery-only: runs single-threaded before the engine serves traffic.
-func (e *Engine) restoreSnapshot(payload []byte) (interval.Timestamp, error) {
+// writeTableSection streams one table's snapshot section, returning its
+// byte length. The table lock is taken per batch: schema plus the first
+// ~ckptBatchBytes of rows under the first hold, then released and
+// re-acquired per batch while the staged bytes are flushed to the file.
+// The row set is fixed up front as an id snapshot (see mvcc.AppendIDs);
+// each id's visible-at-ts version is resolved under whichever hold reaches
+// it, which is sound because ts is pinned and ids are never reused.
+func (e *Engine) writeTableSection(fw *wal.FileWriter, t *Table, ts interval.Timestamp) (int64, error) {
+	start := fw.Count()
+	b := e.dur.ckptBuf[:0]
+	t.mu.RLock()
+	b = appendStr(b, t.name)
+	b = appendU32(b, uint32(len(t.cols)))
+	for _, c := range t.cols {
+		b = appendStr(b, c.Name)
+		b = append(b, byte(c.Type))
+		var flags byte
+		if c.Primary {
+			flags |= 1
+		}
+		if c.NotNull {
+			flags |= 2
+		}
+		b = append(b, flags)
+	}
+	// Secondary indexes; the primary-key index is implied by the
+	// schema and re-attached by newTable on restore.
+	fixIdx := len(b)
+	b = appendU32(b, 0)
+	nIdx := 0
+	for _, idx := range t.idxList {
+		if t.primary != "" && idx.column == t.primary {
+			continue
+		}
+		b = appendStr(b, idx.name)
+		b = appendStr(b, idx.column)
+		if idx.unique {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		nIdx++
+	}
+	binary.LittleEndian.PutUint32(b[fixIdx:fixIdx+4], uint32(nIdx))
+	b = appendU64(b, uint64(t.store.NextID()))
+	ids := t.store.AppendIDs(e.dur.ckptIDs[:0])
+	e.dur.ckptIDs = ids
+	i := 0
+	for {
+		for i < len(ids) && len(b) < ckptBatchBytes {
+			if v, ok := t.store.VisibleAt(ids[i], ts); ok {
+				b = appendU64(b, uint64(ids[i]))
+				b = appendU64(b, uint64(v.Created))
+				b = appendRow(b, v.Data.([]sql.Value))
+			}
+			i++
+		}
+		t.mu.RUnlock()
+		_, err := fw.Write(b)
+		b = b[:0]
+		if err != nil {
+			e.dur.ckptBuf = b
+			return 0, err
+		}
+		if i >= len(ids) {
+			break
+		}
+		t.mu.RLock()
+	}
+	e.dur.ckptBuf = b
+	return fw.Count() - start, nil
+}
+
+// restoreSnapshot rebuilds catalog and row stores from a snapshot payload,
+// decoding table sections across workers goroutines when workers > 1.
+// Recovery-only: runs before the engine serves traffic.
+func (e *Engine) restoreSnapshot(payload []byte, workers int) (interval.Timestamp, error) {
 	d := &payloadDec{b: payload}
 	if v := d.u8(); v != snapVersion {
 		return 0, fmt.Errorf("db: snapshot version %d unsupported", v)
 	}
 	ts := interval.Timestamp(d.u64())
 	nTables := int(d.u32())
-	for i := 0; i < nTables && d.err == nil; i++ {
-		ct := &sql.CreateTable{Name: d.str()}
-		nCols := int(d.u32())
-		for c := 0; c < nCols && d.err == nil; c++ {
-			col := sql.ColDef{Name: d.str(), Type: sql.ColType(d.u8())}
-			flags := d.u8()
-			col.Primary = flags&1 != 0
-			col.NotNull = flags&2 != 0
-			ct.Cols = append(ct.Cols, col)
-		}
-		if d.err != nil {
-			break
-		}
-		t, err := newTable(ct)
-		if err != nil {
-			return 0, fmt.Errorf("db: snapshot table %q: %w", ct.Name, err)
-		}
-		nIdx := int(d.u32())
-		for x := 0; x < nIdx && d.err == nil; x++ {
-			ci := &sql.CreateIndex{Name: d.str(), Table: ct.Name, Column: d.str(), Unique: d.u8() == 1}
-			if d.err != nil {
-				break
-			}
-			if err := t.addIndex(ci); err != nil {
-				return 0, fmt.Errorf("db: snapshot index %q: %w", ci.Name, err)
-			}
-		}
-		t.store.EnsureNextID(mvcc.RowID(d.u64()))
-		nRows := int(d.u32())
-		for r := 0; r < nRows && d.err == nil; r++ {
-			id := mvcc.RowID(d.u64())
-			created := interval.Timestamp(d.u64())
-			row := d.row()
-			if d.err != nil {
-				break
-			}
-			if !t.store.RestoreInsert(id, row, created) {
-				return 0, fmt.Errorf("db: snapshot row %d of %q duplicated", id, ct.Name)
-			}
-		}
-		e.tables[t.name] = t
-	}
 	if d.err != nil {
 		return 0, fmt.Errorf("db: snapshot decode: %w", d.err)
 	}
+	if nTables < 0 || len(payload)-d.off < nTables*8 {
+		return 0, fmt.Errorf("db: snapshot decode: %w", errShortPayload)
+	}
+	// Slice the payload into per-table sections via the length footer.
+	foot := len(payload) - nTables*8
+	fd := &payloadDec{b: payload[foot:]}
+	secs := make([][]byte, nTables)
+	off := d.off
+	for i := range secs {
+		n := fd.u64()
+		if n > uint64(foot-off) {
+			return 0, fmt.Errorf("db: snapshot decode: %w", errShortPayload)
+		}
+		secs[i] = payload[off : off+int(n)]
+		off += int(n)
+	}
+	if off != foot {
+		return 0, fmt.Errorf("db: snapshot decode: %d trailing bytes", foot-off)
+	}
+
+	tables := make([]*Table, nTables)
+	errs := make([]error, nTables)
+	if workers > nTables {
+		workers = nTables
+	}
+	if workers <= 1 {
+		for i, sec := range secs {
+			tables[i], errs[i] = decodeTableSection(sec)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nTables {
+						return
+					}
+					tables[i], errs[i] = decodeTableSection(secs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, t := range tables {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		e.tables[t.name] = t
+	}
 	return ts, nil
+}
+
+// decodeTableSection rebuilds one table from its snapshot section. Rows
+// run to the end of the section.
+func decodeTableSection(sec []byte) (*Table, error) {
+	d := &payloadDec{b: sec}
+	ct := &sql.CreateTable{Name: d.str()}
+	nCols := int(d.u32())
+	for c := 0; c < nCols && d.err == nil; c++ {
+		col := sql.ColDef{Name: d.str(), Type: sql.ColType(d.u8())}
+		flags := d.u8()
+		col.Primary = flags&1 != 0
+		col.NotNull = flags&2 != 0
+		ct.Cols = append(ct.Cols, col)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("db: snapshot decode: %w", d.err)
+	}
+	t, err := newTable(ct)
+	if err != nil {
+		return nil, fmt.Errorf("db: snapshot table %q: %w", ct.Name, err)
+	}
+	nIdx := int(d.u32())
+	for x := 0; x < nIdx && d.err == nil; x++ {
+		ci := &sql.CreateIndex{Name: d.str(), Table: ct.Name, Column: d.str(), Unique: d.u8() == 1}
+		if d.err != nil {
+			break
+		}
+		if err := t.addIndex(ci); err != nil {
+			return nil, fmt.Errorf("db: snapshot index %q: %w", ci.Name, err)
+		}
+	}
+	t.store.EnsureNextID(mvcc.RowID(d.u64()))
+	for !d.done() {
+		id := mvcc.RowID(d.u64())
+		created := interval.Timestamp(d.u64())
+		row := d.row()
+		if d.err != nil {
+			break
+		}
+		if !t.store.RestoreInsert(id, row, created) {
+			return nil, fmt.Errorf("db: snapshot row %d of %q duplicated", id, ct.Name)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("db: snapshot decode: %w", d.err)
+	}
+	return t, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -594,7 +773,14 @@ func Open(opts Options) (*Engine, RecoveryInfo, error) {
 	if err := os.MkdirAll(dopts.Dir, 0o755); err != nil {
 		return nil, RecoveryInfo{}, err
 	}
-	info, segMax, err := e.recover(dopts.Dir)
+	workers := dopts.RecoveryWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	info, segMax, err := e.recover(dopts.Dir, workers)
 	if err != nil {
 		return nil, info, err
 	}
@@ -614,9 +800,11 @@ func Open(opts Options) (*Engine, RecoveryInfo, error) {
 }
 
 // recover restores the engine's state from dir: newest valid checkpoint,
-// then log replay. Returns the per-segment max timestamps observed, for
-// the writer's truncation bookkeeping.
-func (e *Engine) recover(dir string) (RecoveryInfo, map[uint64]uint64, error) {
+// then log replay, both parallelized across workers goroutines (snapshot
+// sections decode concurrently; logged commits are partitioned by table).
+// Returns the per-segment max timestamps observed, for the writer's
+// truncation bookkeeping.
+func (e *Engine) recover(dir string, workers int) (RecoveryInfo, map[uint64]uint64, error) {
 	var info RecoveryInfo
 
 	// Clean-shutdown marker: consumed (best-effort removed) every boot; a
@@ -650,7 +838,7 @@ func (e *Engine) recover(dir string) (RecoveryInfo, map[uint64]uint64, error) {
 		if err != nil {
 			continue
 		}
-		restored, err := e.restoreSnapshot(payload)
+		restored, err := e.restoreSnapshot(payload, workers)
 		if err != nil {
 			// A decodable-but-inconsistent snapshot may have half-applied:
 			// rebuild from scratch before trying an older one.
@@ -662,26 +850,37 @@ func (e *Engine) recover(dir string) (RecoveryInfo, map[uint64]uint64, error) {
 	}
 
 	// Replay the log to the last whole record, skipping commits the
-	// checkpoint already covers.
+	// checkpoint already covers. The dispatcher decodes record framing and
+	// hands per-table op streams to the replayer's worker pool.
 	r, err := wal.OpenReader(dir)
 	if err != nil {
 		return info, nil, err
 	}
 	defer r.Close()
+	rp := newWALReplayer(e, info.CheckpointTS, workers)
 	recovered := info.CheckpointTS
-	for r.Next() {
-		rec := r.Record()
-		maxTS, commits, ddl, err := e.applyWalRecord(rec.Payload, info.CheckpointTS)
-		if err != nil {
-			return info, nil, fmt.Errorf("db: replay (segment %d): %w", rec.Seq, err)
+	replayErr := func() error {
+		for r.Next() {
+			rec := r.Record()
+			maxTS, commits, ddl, err := rp.replayRecord(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("db: replay (segment %d): %w", rec.Seq, err)
+			}
+			r.NoteTS(uint64(maxTS))
+			if maxTS > recovered {
+				recovered = maxTS
+			}
+			info.Records++
+			info.CommitsReplayed += commits
+			info.DDLReplayed += ddl
 		}
-		r.NoteTS(uint64(maxTS))
-		if maxTS > recovered {
-			recovered = maxTS
-		}
-		info.Records++
-		info.CommitsReplayed += commits
-		info.DDLReplayed += ddl
+		return nil
+	}()
+	if err := rp.close(); replayErr == nil && err != nil {
+		replayErr = fmt.Errorf("db: replay: %w", err)
+	}
+	if replayErr != nil {
+		return info, nil, replayErr
 	}
 	if err := r.Err(); err != nil {
 		return info, nil, fmt.Errorf("db: replay: %w", err)
@@ -702,39 +901,142 @@ func (e *Engine) recover(dir string) (RecoveryInfo, map[uint64]uint64, error) {
 	e.lastCommit.Store(uint64(recovered))
 	e.vacGate.Store(uint64(recovered))
 	e.vacHGate.Store(uint64(recovered))
-	for _, t := range e.tables {
-		t.rebuildIndexes()
-		n := 0
-		t.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
-			if chain[len(chain)-1].Deleted == interval.Infinity {
-				n++
-			}
-			return true
-		})
-		t.rowCount = n
-	}
+	e.rebuildDerivedAll(workers)
 	info.RecoveredTS = recovered
 	info.CleanBoot = markerSeen && markerTS == recovered && !info.TornTail
 	return info, r.SegmentMax(), nil
 }
 
-// applyWalRecord decodes and applies one log record during replay,
+// walReplayer applies log records during recovery. With workers > 1 it
+// partitions commit sections across a worker pool with table→worker
+// affinity: all ops for a given table land on the same worker in record
+// order, so each table sees its op stream in commit-timestamp order, and
+// cross-table interleaving — which the final state is insensitive to —
+// is the only thing that runs out of order. Different tables own disjoint
+// version stores, so workers never contend. With workers <= 1 everything
+// applies inline on the dispatcher, byte-for-byte the serial path (the
+// replay-equivalence test compares the two).
+type walReplayer struct {
+	e      *Engine
+	ckptTS interval.Timestamp
+
+	chans  []chan replayTask // nil: serial mode
+	wg     sync.WaitGroup
+	acks   chan struct{}
+	assign map[*Table]int // table → worker affinity
+	nextW  int
+
+	bad   atomic.Bool // fast-path "a worker failed" flag
+	errMu sync.Mutex
+	err   error // first worker failure
+}
+
+// replayTask is one per-table unit of replay work; a task with t == nil is
+// a barrier marker acknowledged on acks.
+type replayTask struct {
+	t    *Table
+	ts   interval.Timestamp
+	ops  []byte // aliases a dispatcher-owned copy of the record
+	nOps int
+}
+
+func newWALReplayer(e *Engine, ckptTS interval.Timestamp, workers int) *walReplayer {
+	rp := &walReplayer{e: e, ckptTS: ckptTS, assign: make(map[*Table]int)}
+	if workers > 1 {
+		rp.acks = make(chan struct{}, workers)
+		for i := 0; i < workers; i++ {
+			ch := make(chan replayTask, 128)
+			rp.chans = append(rp.chans, ch)
+			rp.wg.Add(1)
+			go rp.runWorker(ch)
+		}
+	}
+	return rp
+}
+
+func (rp *walReplayer) runWorker(ch chan replayTask) {
+	defer rp.wg.Done()
+	for task := range ch {
+		if task.t == nil {
+			rp.acks <- struct{}{}
+			continue
+		}
+		if rp.bad.Load() {
+			continue // drain without applying after the first failure
+		}
+		if err := applyTableOps(task.t, task.ops, task.nOps, task.ts); err != nil {
+			rp.fail(fmt.Errorf("commit %d: %w", task.ts, err))
+		}
+	}
+}
+
+func (rp *walReplayer) fail(err error) {
+	rp.errMu.Lock()
+	if rp.err == nil {
+		rp.err = err
+	}
+	rp.errMu.Unlock()
+	rp.bad.Store(true)
+}
+
+func (rp *walReplayer) takeErr() error {
+	if !rp.bad.Load() {
+		return nil
+	}
+	rp.errMu.Lock()
+	defer rp.errMu.Unlock()
+	return rp.err
+}
+
+// barrier blocks until every queued task has been applied. DDL records
+// drain the pool this way so a statement like CREATE INDEX (whose backfill
+// scans the store) observes every op logged before it.
+func (rp *walReplayer) barrier() error {
+	for _, ch := range rp.chans {
+		ch <- replayTask{}
+	}
+	for range rp.chans {
+		<-rp.acks
+	}
+	return rp.takeErr()
+}
+
+// close shuts the pool down and returns the first worker failure, if any.
+func (rp *walReplayer) close() error {
+	for _, ch := range rp.chans {
+		close(ch)
+	}
+	rp.wg.Wait()
+	return rp.takeErr()
+}
+
+// replayRecord decodes one log record and applies (or dispatches) it,
 // returning the largest commit timestamp it covers and how many commits /
-// DDL statements were applied. Commits at or below ckptTS are decoded but
-// skipped (the checkpoint already reflects them).
-func (e *Engine) applyWalRecord(payload []byte, ckptTS interval.Timestamp) (maxTS interval.Timestamp, commits, ddl int, err error) {
-	d := &payloadDec{b: payload}
-	switch kind := d.u8(); kind {
+// DDL statements were applied. Commits at or below the checkpoint are
+// decoded but skipped (the snapshot already reflects them).
+func (rp *walReplayer) replayRecord(payload []byte) (maxTS interval.Timestamp, commits, ddl int, err error) {
+	if len(payload) == 0 {
+		// A zero-length payload is framed like any record but has no type
+		// byte; refuse it like any other corruption instead of crashing.
+		return 0, 0, 0, errors.New("db: empty WAL record payload")
+	}
+	switch payload[0] {
 	case recDDL:
+		d := &payloadDec{b: payload, off: 1}
 		src := d.str()
 		if d.err != nil {
 			return 0, 0, 0, d.err
 		}
-		if err := e.replayDDL(src); err != nil {
+		if err := rp.barrier(); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := rp.e.replayDDL(src); err != nil {
 			return 0, 0, 0, err
 		}
 		return 0, 0, 1, nil
 	case recCommitGroup:
+		d := &payloadDec{b: payload, off: 1}
+		var stable []byte // one copy per record in parallel mode; tasks alias it
 		n := int(d.u32())
 		for i := 0; i < n && d.err == nil; i++ {
 			ts := interval.Timestamp(d.u64())
@@ -743,16 +1045,25 @@ func (e *Engine) applyWalRecord(payload []byte, ckptTS interval.Timestamp) (maxT
 				d.fail()
 				break
 			}
-			body := d.b[d.off : d.off+plen]
+			bodyStart := d.off
 			d.off += plen
 			if ts > maxTS {
 				maxTS = ts
 			}
-			if ts <= ckptTS {
+			if ts <= rp.ckptTS {
 				continue
 			}
-			if err := e.applyWalCommit(body, ts); err != nil {
-				return maxTS, commits, ddl, fmt.Errorf("commit %d: %w", ts, err)
+			body := payload[bodyStart : bodyStart+plen]
+			if rp.chans != nil {
+				// The reader's record buffer is reused by the next Next();
+				// queued tasks must outlive it.
+				if stable == nil {
+					stable = append([]byte(nil), payload...)
+				}
+				body = stable[bodyStart : bodyStart+plen]
+			}
+			if err := rp.dispatchCommit(body, ts); err != nil {
+				return maxTS, commits, ddl, err
 			}
 			commits++
 		}
@@ -762,71 +1073,136 @@ func (e *Engine) applyWalRecord(payload []byte, ckptTS interval.Timestamp) (maxT
 	}
 }
 
-// replayDDL re-executes a logged DDL statement. "Already exists" errors
-// are tolerated: a statement can legitimately appear both in the restored
+// dispatchCommit splits one commit body into per-table sections (O(1) per
+// section via the logged byte length) and applies each inline (serial) or
+// queues it on the table's worker (parallel).
+func (rp *walReplayer) dispatchCommit(body []byte, ts interval.Timestamp) error {
+	d := &payloadDec{b: body}
+	for !d.done() {
+		tname := d.str()
+		blen := int(d.u32())
+		nOps := int(d.u32())
+		if d.err != nil {
+			return d.err
+		}
+		if blen > len(d.b)-d.off {
+			return fmt.Errorf("commit %d: %w", ts, errShortPayload)
+		}
+		ops := d.b[d.off : d.off+blen]
+		d.off += blen
+		t, ok := rp.e.tables[tname]
+		if !ok {
+			return fmt.Errorf("commit %d: db: log references unknown table %q", ts, tname)
+		}
+		if rp.chans == nil {
+			if err := applyTableOps(t, ops, nOps, ts); err != nil {
+				return fmt.Errorf("commit %d: %w", ts, err)
+			}
+			continue
+		}
+		if rp.bad.Load() {
+			return rp.takeErr()
+		}
+		w, ok := rp.assign[t]
+		if !ok {
+			w = rp.nextW % len(rp.chans)
+			rp.nextW++
+			rp.assign[t] = w
+		}
+		rp.chans[w] <- replayTask{t: t, ts: ts, ops: ops, nOps: nOps}
+	}
+	return d.err
+}
+
+// replayDDL re-executes a logged DDL statement. ErrAlreadyExists is
+// tolerated: a statement can legitimately appear both in the restored
 // checkpoint's catalog and in a kept log segment (the checkpoint scan runs
 // after rotation, so a DDL landing between them is captured twice).
 func (e *Engine) replayDDL(src string) error {
 	err := e.DDL(src)
-	if err == nil || strings.Contains(err.Error(), "already") {
+	if err == nil || errors.Is(err, ErrAlreadyExists) {
 		return nil
 	}
 	return err
 }
 
-// applyWalCommit re-applies one logged commit's writes at its original
-// timestamp. Single-threaded (boot), so stores are mutated directly;
-// index trees are rebuilt afterwards in one bulk pass.
-func (e *Engine) applyWalCommit(body []byte, ts interval.Timestamp) error {
-	d := &payloadDec{b: body}
-	for !d.done() {
-		tname := d.str()
-		nOps := int(d.u32())
-		if d.err != nil {
-			return d.err
-		}
-		t, ok := e.tables[tname]
-		if !ok {
-			return fmt.Errorf("db: log references unknown table %q", tname)
-		}
-		for i := 0; i < nOps && d.err == nil; i++ {
-			switch op := d.u8(); op {
-			case walOpInsert:
-				id := mvcc.RowID(d.u64())
-				row := d.row()
-				if d.err != nil {
-					return d.err
-				}
-				if !t.store.RestoreInsert(id, row, ts) {
-					return fmt.Errorf("db: replayed insert of existing row %d in %q", id, tname)
-				}
-			case walOpUpdate:
-				id := mvcc.RowID(d.u64())
-				row := d.row()
-				if d.err != nil {
-					return d.err
-				}
-				latest, ok := t.store.Latest(id)
-				if !ok || latest.Deleted != interval.Infinity {
-					return fmt.Errorf("db: replayed update of missing row %d in %q", id, tname)
-				}
-				t.store.Update(id, row, ts)
-			case walOpDelete:
-				id := mvcc.RowID(d.u64())
-				if d.err != nil {
-					return d.err
-				}
-				latest, ok := t.store.Latest(id)
-				if !ok || latest.Deleted != interval.Infinity {
-					return fmt.Errorf("db: replayed delete of missing row %d in %q", id, tname)
-				}
-				t.store.Delete(id, ts)
-			default:
-				return fmt.Errorf("db: unknown WAL op %q", op)
+// applyTableOps re-applies one table section of a logged commit at its
+// original timestamp. Boot-time only; the store is mutated directly (its
+// own mutex covers the replay workers) and index trees are rebuilt
+// afterwards in one bulk pass.
+func applyTableOps(t *Table, ops []byte, nOps int, ts interval.Timestamp) error {
+	d := &payloadDec{b: ops}
+	for i := 0; i < nOps && d.err == nil; i++ {
+		switch op := d.u8(); op {
+		case walOpInsert:
+			id := mvcc.RowID(d.u64())
+			row := d.row()
+			if d.err != nil {
+				return d.err
 			}
+			if !t.store.RestoreInsert(id, row, ts) {
+				return fmt.Errorf("db: replayed insert of existing row %d in %q", id, t.name)
+			}
+		case walOpUpdate:
+			id := mvcc.RowID(d.u64())
+			row := d.row()
+			if d.err != nil {
+				return d.err
+			}
+			latest, ok := t.store.Latest(id)
+			if !ok || latest.Deleted != interval.Infinity {
+				return fmt.Errorf("db: replayed update of missing row %d in %q", id, t.name)
+			}
+			t.store.Update(id, row, ts)
+		case walOpDelete:
+			id := mvcc.RowID(d.u64())
+			if d.err != nil {
+				return d.err
+			}
+			latest, ok := t.store.Latest(id)
+			if !ok || latest.Deleted != interval.Infinity {
+				return fmt.Errorf("db: replayed delete of missing row %d in %q", id, t.name)
+			}
+			t.store.Delete(id, ts)
+		default:
+			return fmt.Errorf("db: unknown WAL op %q", op)
 		}
 	}
 	return d.err
+}
+
+// rebuildDerivedAll regenerates every table's derived state (index trees,
+// live-row counts), one table per worker.
+func (e *Engine) rebuildDerivedAll(workers int) {
+	tabs := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tabs = append(tabs, t)
+	}
+	if workers > len(tabs) {
+		workers = len(tabs)
+	}
+	if workers <= 1 {
+		for _, t := range tabs {
+			t.rebuildDerived()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tabs) {
+					return
+				}
+				tabs[i].rebuildDerived()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,397 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"txcache/internal/mvcc"
+	"txcache/internal/wal"
+)
+
+// Coverage for the parallel recovery path and the streaming checkpoint
+// encoder: replay equivalence (serial vs parallel recovery must reproduce
+// byte-identical state), commit latency under a concurrent checkpoint,
+// corrupt-record handling, checkpoint-error accounting, and the durable
+// commit allocation budget.
+
+// engineFingerprint renders the engine's full logical state — schemas,
+// version chains (intervals and data), index contents, row counts, id
+// allocators — deterministically, so two recovery paths can be compared
+// byte for byte.
+func engineFingerprint(e *Engine) string {
+	var sb strings.Builder
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tab := e.tables[n]
+		fmt.Fprintf(&sb, "table %s rows=%d nextID=%d primary=%s\n", n, tab.rowCount, tab.store.NextID(), tab.primary)
+		for _, c := range tab.cols {
+			fmt.Fprintf(&sb, " col %s %d primary=%v notnull=%v\n", c.Name, c.Type, c.Primary, c.NotNull)
+		}
+		type rowEnt struct {
+			id uint64
+			s  string
+		}
+		var rows []rowEnt
+		tab.store.Scan(func(id mvcc.RowID, chain []mvcc.Version) bool {
+			var cb strings.Builder
+			for _, v := range chain {
+				fmt.Fprintf(&cb, "[%d,%d)%v", v.Created, v.Deleted, v.Data)
+			}
+			rows = append(rows, rowEnt{uint64(id), cb.String()})
+			return true
+		})
+		sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+		for _, r := range rows {
+			fmt.Fprintf(&sb, " row %d %s\n", r.id, r.s)
+		}
+		for _, idx := range tab.idxList {
+			fmt.Fprintf(&sb, " index %s on %s unique=%v len=%d\n", idx.name, idx.column, idx.unique, idx.tree.Len())
+			idx.tree.Ascend(func(key []byte, posts []uint64) bool {
+				fmt.Fprintf(&sb, "  %x %v\n", key, posts)
+				return true
+			})
+		}
+	}
+	return sb.String()
+}
+
+// reopenWithWorkers recovers the engine from dir with the given replay
+// parallelism and tears the WAL writer down directly (Engine.Close would
+// run a final checkpoint and change what the next recovery reads).
+func reopenWithWorkers(t *testing.T, dir string, workers int) *Engine {
+	t.Helper()
+	e, _, err := Open(Options{VacuumEvery: -1, Durability: &DurabilityOptions{
+		Dir: dir, Sync: wal.SyncNone, CheckpointBytes: -1, RecoveryWorkers: workers,
+	}})
+	if err != nil {
+		t.Fatalf("Open(workers=%d): %v", workers, err)
+	}
+	if err := e.dur.w.Close(); err != nil {
+		t.Fatalf("close WAL writer: %v", err)
+	}
+	return e
+}
+
+// TestReplayEquivalence drives a randomized multi-table workload (inserts,
+// updates, deletes, mid-stream DDL, a mid-stream checkpoint), "crashes",
+// and verifies that serial recovery (workers=1) and parallel recovery
+// (workers=8) reproduce byte-identical engine state.
+func TestReplayEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openDurable(t, dir)
+	rng := rand.New(rand.NewSource(42))
+
+	tables := []string{"eq_a", "eq_b", "eq_c", "eq_d"}
+	for _, tn := range tables {
+		mustDDL(t, e, fmt.Sprintf(
+			"CREATE TABLE %s (id BIGINT PRIMARY KEY, v BIGINT, s TEXT)", tn))
+	}
+	live := map[string][]int64{} // committed, not-deleted primary keys
+	nextPK := map[string]int64{}
+
+	workload := func(txCount int) {
+		for i := 0; i < txCount; i++ {
+			tx, err := e.Begin(false, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Each transaction touches 1–3 tables so commit records carry
+			// multi-table sections (the unit the parallel replayer splits).
+			for _, tn := range tables[:1+rng.Intn(3)] {
+				for op := 0; op < 1+rng.Intn(4); op++ {
+					switch k := rng.Intn(10); {
+					case k < 5 || len(live[tn]) == 0: // insert
+						pk := nextPK[tn]
+						nextPK[tn]++
+						if _, err := tx.Exec(fmt.Sprintf(
+							"INSERT INTO %s (id, v, s) VALUES (?, ?, ?)", tn),
+							pk, rng.Int63n(1000), fmt.Sprintf("s-%d", pk)); err != nil {
+							t.Fatal(err)
+						}
+						live[tn] = append(live[tn], pk)
+					case k < 8: // update
+						pk := live[tn][rng.Intn(len(live[tn]))]
+						if _, err := tx.Exec(fmt.Sprintf(
+							"UPDATE %s SET v = ? WHERE id = ?", tn),
+							rng.Int63n(1000), pk); err != nil {
+							t.Fatal(err)
+						}
+					default: // delete
+						j := rng.Intn(len(live[tn]))
+						pk := live[tn][j]
+						if _, err := tx.Exec(fmt.Sprintf(
+							"DELETE FROM %s WHERE id = ?", tn), pk); err != nil {
+							t.Fatal(err)
+						}
+						live[tn] = append(live[tn][:j], live[tn][j+1:]...)
+					}
+				}
+			}
+			if _, err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	workload(60)
+	if err := e.Checkpoint(); err != nil { // recovery = snapshot + log tail
+		t.Fatal(err)
+	}
+	workload(60)
+	// Mid-log DDL: replay must barrier the worker pool around these.
+	mustDDL(t, e,
+		"CREATE INDEX eq_b_v ON eq_b (v)",
+		"CREATE TABLE eq_late (id BIGINT PRIMARY KEY, v BIGINT, s TEXT)")
+	tables = append(tables, "eq_late")
+	workload(60)
+	if err := e.dur.w.Close(); err != nil { // crash: no final checkpoint
+		t.Fatal(err)
+	}
+
+	serial := reopenWithWorkers(t, dir, 1)
+	serialFP := engineFingerprint(serial)
+	parallel := reopenWithWorkers(t, dir, 8)
+	parallelFP := engineFingerprint(parallel)
+	if serialFP != parallelFP {
+		t.Fatalf("serial and parallel recovery disagree:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialFP, parallelFP)
+	}
+	if got := len(queryInts(t, parallel, "SELECT id FROM eq_a")); got != len(live["eq_a"]) {
+		t.Fatalf("eq_a live rows after parallel recovery = %d, want %d", got, len(live["eq_a"]))
+	}
+}
+
+// TestRecoverRejectsEmptyWALRecord pins the empty-payload fix: a framed
+// record with a zero-length payload must fail replay with a decode error,
+// not crash indexing payload[0].
+func TestRecoverRejectsEmptyWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.OpenWriter(dir, wal.SyncNone, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(Options{VacuumEvery: -1, Durability: durOpts(dir)})
+	if err == nil || !strings.Contains(err.Error(), "empty WAL record") {
+		t.Fatalf("Open on empty-payload record = %v, want empty-record error", err)
+	}
+}
+
+// TestCheckpointErrorSurfacesInStats verifies a failing checkpoint pass is
+// visible in DurabilityStats rather than only on stderr.
+func TestCheckpointErrorSurfacesInStats(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openDurable(t, dir)
+	mustDDL(t, e, durSchema)
+	mustExec(t, e, "INSERT INTO items (id, name, qty) VALUES (?, ?, ?)", int64(1), "a", int64(1))
+	e.dur.dir = filepath.Join(dir, "missing") // snapshot create must fail
+	if err := e.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint into a missing directory succeeded")
+	}
+	ds := e.DurabilityStats()
+	if ds.CheckpointErrors != 1 || ds.LastCheckpointError == "" {
+		t.Fatalf("stats after failed checkpoint: errors=%d lastError=%q",
+			ds.CheckpointErrors, ds.LastCheckpointError)
+	}
+	e.dur.dir = dir
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCommitLatency forces checkpoints of a multi-megabyte table
+// while a writer commits continuously, and asserts no single commit stalls
+// for the duration of a full-table encode. Before the streaming encoder,
+// the checkpoint held the table lock across the entire serialization; now
+// the lock is released every ckptBatchBytes, so a concurrent commit waits
+// at most one batch.
+func TestCheckpointCommitLatency(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openDurable(t, dir)
+	defer e.Close()
+	mustDDL(t, e, durSchema)
+	pad := strings.Repeat("x", 100)
+	tx, err := e.Begin(false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 60000; i++ {
+		if _, err := tx.Exec("INSERT INTO items (id, name, qty) VALUES (?, ?, ?)", i, pad, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var worst time.Duration
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			start := time.Now()
+			mustExec(t, e, "UPDATE items SET qty = ? WHERE id = ?", i, i%60000)
+			if d := time.Since(start); d > worst {
+				worst = d
+			}
+			i++
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// ~6 MiB of row data is ~100 lock-release points; a commit should
+	// never see more than a few batches' worth of stall. The bound is
+	// generous for CI noise but far below the full-encode time the old
+	// single-slice path imposed.
+	if limit := 100 * time.Millisecond; worst > limit {
+		t.Fatalf("worst commit latency under checkpoint = %v, want < %v", worst, limit)
+	}
+	t.Logf("worst commit latency under 3 forced checkpoints: %v", worst)
+}
+
+// durableCommitAllocCeiling is the allocation budget for one warmed-up
+// single-row durable UPDATE commit (SyncNone): the replacement row, the
+// boxed statement arguments, and the commit-path escapes (currently 5
+// measured; one of headroom). The WAL payload encode, group-record
+// assembly, and the write-set containers are all pooled and contribute
+// zero — see EXPERIMENTS.md "Fast durability".
+const durableCommitAllocCeiling = 6
+
+func TestAllocBudgetDurableCommit(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openDurable(t, dir)
+	defer e.Close()
+	mustDDL(t, e, durSchema)
+	for i := int64(0); i < 64; i++ {
+		mustExec(t, e, "INSERT INTO items (id, name, qty) VALUES (?, ?, ?)", i, "n", i)
+	}
+	commit := func() {
+		mustExec(t, e, "UPDATE items SET qty = ? WHERE id = ?", int64(1), int64(7))
+	}
+	for i := 0; i < 8; i++ {
+		commit() // warm scratch pool, plan cache, WAL buffers
+	}
+	budget := float64(durableCommitAllocCeiling + raceAllocSlack)
+	if avg := testing.AllocsPerRun(200, commit); avg > budget {
+		t.Fatalf("durable commit allocates %.1f objects/op, budget is %.0f", avg, budget)
+	}
+}
+
+// BenchmarkRecovery measures cold-start recovery over a generated log,
+// serial (workers=1) against parallel. The log size defaults to 24 MiB;
+// set RECOVERY_LOG_MB to benchmark bigger logs (the Makefile's
+// bench-durability target uses 100).
+func BenchmarkRecovery(b *testing.B) {
+	logMB := 24
+	if s := os.Getenv("RECOVERY_LOG_MB"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			logMB = v
+		}
+	}
+	dir := b.TempDir()
+	logBytes := buildRecoveryLog(b, dir, int64(logMB)<<20)
+
+	workers := []int{1, runtime.GOMAXPROCS(0)}
+	if workers[1] == 1 {
+		// Single-CPU host: still exercise the pool (contention removal is
+		// what the speedup measures there; see EXPERIMENTS.md).
+		workers[1] = 4
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(logBytes)
+			for i := 0; i < b.N; i++ {
+				e, _, err := Open(Options{VacuumEvery: -1, Durability: &DurabilityOptions{
+					Dir: dir, Sync: wal.SyncNone, CheckpointBytes: -1, RecoveryWorkers: w,
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.dur.w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// buildRecoveryLog populates dir with a multi-table WAL of at least
+// targetBytes (no checkpoint, so recovery replays everything) and returns
+// the log's size.
+func buildRecoveryLog(b *testing.B, dir string, targetBytes int64) int64 {
+	b.Helper()
+	e, _, err := Open(Options{VacuumEvery: -1, Durability: &DurabilityOptions{
+		Dir: dir, Sync: wal.SyncNone, CheckpointBytes: -1,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables := []string{"r0", "r1", "r2", "r3", "r4", "r5"}
+	for _, tn := range tables {
+		if err := e.DDL(fmt.Sprintf(
+			"CREATE TABLE %s (id BIGINT PRIMARY KEY, v BIGINT, s TEXT)", tn)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pad := strings.Repeat("p", 64)
+	pk := int64(0)
+	for e.dur.w.Stats().Bytes < uint64(targetBytes) {
+		tx, err := e.Begin(false, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 16; j++ {
+			tn := tables[int(pk)%len(tables)]
+			if _, err := tx.Exec(fmt.Sprintf(
+				"INSERT INTO %s (id, v, s) VALUES (?, ?, ?)", tn), pk, pk*3, pad); err != nil {
+				b.Fatal(err)
+			}
+			if prev := pk - int64(len(tables)); prev >= 0 {
+				if _, err := tx.Exec(fmt.Sprintf(
+					"UPDATE %s SET v = ? WHERE id = ?", tn), pk, prev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pk++
+		}
+		if _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	size := int64(e.dur.w.Stats().Bytes)
+	if err := e.dur.w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return size
+}

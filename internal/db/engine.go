@@ -37,6 +37,12 @@ var (
 	// the durable engine down (reads keep working; durability is a
 	// write-path property).
 	ErrClosed = errors.New("db: engine closed")
+	// ErrAlreadyExists is returned by DDL when the table or index being
+	// created already exists. Typed so callers — recovery's DDL replay in
+	// particular, where a statement can legitimately appear both in the
+	// restored checkpoint's catalog and in a kept log segment — can test
+	// with errors.Is instead of matching message substrings.
+	ErrAlreadyExists = errors.New("db: already exists")
 )
 
 // Options configures an Engine.
@@ -202,7 +208,7 @@ func (e *Engine) DDL(src string) error {
 	switch s := st.(type) {
 	case *sql.CreateTable:
 		if _, dup := e.tables[s.Name]; dup {
-			return fmt.Errorf("db: table %q already exists", s.Name)
+			return fmt.Errorf("%w: table %q", ErrAlreadyExists, s.Name)
 		}
 		t, err := newTable(s)
 		if err != nil {

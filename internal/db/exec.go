@@ -315,7 +315,7 @@ func (x *execCtx) scanTableInto(dst []scanRow, t *Table, conds []localCond) []sc
 	}
 
 	// The transaction's own uncommitted inserts.
-	for _, ins := range x.tx.inserted[t.name] {
+	for _, ins := range x.tx.sc.inserted[t.name] {
 		if !ins.deleted && evalLocal(conds, ins.data) {
 			x.emitDst = append(x.emitDst, scanRow{ins.tempID, ins.data})
 		}
@@ -331,7 +331,7 @@ func (x *execCtx) scanTableInto(dst []scanRow, t *Table, conds []localCond) []sc
 func (x *execCtx) emit(id uint64, chain []mvcc.Version) {
 	t, conds := x.emitTable, x.emitConds
 	x.touchRow(t, id)
-	if w, ok := x.tx.writes[t.name][id]; ok {
+	if w, ok := x.tx.sc.writes[t.name][id]; ok {
 		// Overlay: this transaction already rewrote the row.
 		if w.op == opUpdate && evalLocal(conds, w.data) {
 			x.emitDst = append(x.emitDst, scanRow{id, w.data})

@@ -35,6 +35,14 @@ type txScratch struct {
 
 	walBuf []byte // commit WAL-payload encoding (durable engines)
 
+	// The transaction write set (see the Tx doc). Outer maps persist for
+	// the scratch's lifetime; inner containers are cleared and parked on
+	// the free lists between transactions (resetWriteSet).
+	writes   map[string]map[uint64]rowWrite
+	inserted map[string][]insertedRow
+	rwFree   []map[uint64]rowWrite
+	insFree  [][]insertedRow
+
 	bindBuf  []binding     // SELECT table bindings
 	condBuf  []localCond   // base binding's bound WHERE conjuncts
 	localFor [][]localCond // per-binding condition headers
@@ -43,6 +51,21 @@ type txScratch struct {
 	arena [][]sql.Value // jrow backing for single-binding selects
 
 	seen idSet
+}
+
+// resetWriteSet forgets the write set: inner containers are emptied and
+// parked for the next transaction. Row data referenced by a parked insert
+// slice's backing array is retained briefly (the usual scratch footnote).
+func (sc *txScratch) resetWriteSet() {
+	for tname, m := range sc.writes {
+		clear(m)
+		sc.rwFree = append(sc.rwFree, m)
+		delete(sc.writes, tname)
+	}
+	for tname, rows := range sc.inserted {
+		sc.insFree = append(sc.insFree, rows[:0])
+		delete(sc.inserted, tname)
+	}
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(txScratch) }}

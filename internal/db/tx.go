@@ -75,12 +75,13 @@ type Tx struct {
 	// and returned when the transaction finishes; every entry point checks
 	// done first, so no method can touch a released scratch.
 	sc *txScratch
-
-	// writes and inserted are allocated lazily on first write, so read-only
-	// transactions never pay for them.
-	writes   map[string]map[uint64]*rowWrite // table -> rowID -> write
-	inserted map[string][]*insertedRow
 }
+
+// writes and inserted (the buffered write set) live in the pooled scratch
+// rather than on Tx: the maps are allocated lazily on first write (read-only
+// transactions never pay for them) and their containers are cleared and
+// parked for reuse when the transaction ends, so a steady-state read/write
+// commit allocates no write-set machinery.
 
 // ctxErr reports the transaction's context cancellation, wrapped so
 // callers can errors.Is against context.Canceled / DeadlineExceeded.
@@ -94,10 +95,12 @@ func (tx *Tx) ctxErr() error {
 	return nil
 }
 
-// release returns the transaction's scratch to the engine pool.
+// release clears the transaction's write set and returns the scratch to
+// the engine pool.
 func (tx *Tx) release() {
 	if tx.sc != nil {
 		tx.sc.exec.tx = nil
+		tx.sc.resetWriteSet()
 		putScratch(tx.sc)
 		tx.sc = nil
 	}
@@ -220,7 +223,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	defer tx.release()
 	defer tx.e.Unpin(tx.snap)
 
-	if tx.ro || (len(tx.writes) == 0 && len(tx.inserted) == 0) {
+	if tx.ro || (len(tx.sc.writes) == 0 && len(tx.sc.inserted) == 0) {
 		return tx.snap, nil
 	}
 
@@ -236,10 +239,10 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 		}
 	}
 	names := tx.sc.names[:0]
-	for tname := range tx.writes {
+	for tname := range tx.sc.writes {
 		names = append(names, tname)
 	}
-	for tname := range tx.inserted {
+	for tname := range tx.sc.inserted {
 		names = append(names, tname)
 	}
 	tx.sc.names = names
@@ -254,7 +257,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	// version, the version visible to our snapshot (first-committer-wins).
 	// The exclusive table locks exclude every other commit that could
 	// touch these tables, so the check cannot race with a concurrent apply.
-	for tname, rows := range tx.writes {
+	for tname, rows := range tx.sc.writes {
 		t := ls.mustGet(tname)
 		for id := range rows {
 			latest, ok := t.store.Latest(mvcc.RowID(id))
@@ -298,7 +301,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 	// released, so the buffer's reuse is safe.
 	durable := e.dur != nil
 	walRec := tx.sc.walBuf[:0]
-	for tname, rows := range tx.writes {
+	for tname, rows := range tx.sc.writes {
 		t := ls.mustGet(tname)
 		var fix, nOps int
 		if durable {
@@ -332,7 +335,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 		}
 	}
 	// Apply inserts.
-	for tname, rows := range tx.inserted {
+	for tname, rows := range tx.sc.inserted {
 		t := ls.mustGet(tname)
 		var fix, nOps int
 		if durable {
@@ -378,7 +381,7 @@ func (tx *Tx) Commit() (interval.Timestamp, error) {
 // checkUnique enforces unique indexes against committed data and the write
 // set itself. Called with the write set's table locks held exclusively.
 func (tx *Tx) checkUnique(ls tableLockSet) error {
-	for tname, rows := range tx.inserted {
+	for tname, rows := range tx.sc.inserted {
 		t := ls.mustGet(tname)
 		for _, ins := range rows {
 			if ins.deleted {
@@ -389,7 +392,7 @@ func (tx *Tx) checkUnique(ls tableLockSet) error {
 			}
 		}
 	}
-	for tname, rows := range tx.writes {
+	for tname, rows := range tx.sc.writes {
 		t := ls.mustGet(tname)
 		for id, w := range rows {
 			if w.op != opUpdate {
@@ -445,7 +448,7 @@ func (tx *Tx) checkUniqueCand(t *Table, idx *Index, v sql.Value, cand, selfID ui
 		return nil
 	}
 	// Superseded by our own write set?
-	if w, wrote := tx.writes[t.name][cand]; wrote {
+	if w, wrote := tx.sc.writes[t.name][cand]; wrote {
 		if w.op == opDelete || !sql.Equal(w.data[idx.colPos], v) {
 			return nil
 		}

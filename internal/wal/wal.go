@@ -20,6 +20,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -555,34 +556,116 @@ func syncDir(dir string) error {
 // path via a temp file + fsync + rename + directory fsync, so a crash at
 // any point leaves either the old file or the new one, never a torn mix.
 func WriteFileAtomic(path string, payload []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	fw, err := CreateFileAtomic(path)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-	if _, err := tmp.Write(hdr[:]); err != nil {
-		tmp.Close()
+	if _, err := fw.Write(payload); err != nil {
+		fw.Abort()
 		return err
 	}
-	if _, err := tmp.Write(payload); err != nil {
-		tmp.Close()
+	return fw.Commit()
+}
+
+// FileWriter streams an atomically-installed, CRC-framed file: bytes are
+// written to a temp file behind a buffer while a running CRC accumulates,
+// and Commit patches the frame header (length + checksum), fsyncs, renames
+// into place, and fsyncs the directory. The caller never materializes the
+// whole payload: a multi-gigabyte checkpoint streams through a fixed-size
+// buffer. A crash at any point leaves either the old file or the new one.
+// The result is readable by ReadFileChecked.
+type FileWriter struct {
+	path string
+	tmp  *os.File
+	bw   *bufio.Writer
+	crc  uint32
+	n    int64
+	err  error
+}
+
+// CreateFileAtomic opens a streaming writer that will atomically replace
+// path on Commit.
+func CreateFileAtomic(path string) (*FileWriter, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	w := &FileWriter{path: path, tmp: tmp, bw: bufio.NewWriterSize(tmp, 1<<16)}
+	var hdr [headerSize]byte // placeholder, patched by Commit
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends p to the streamed payload.
+func (w *FileWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.bw.Write(p)
+	w.crc = crc32.Update(w.crc, castagnoli, p[:n])
+	w.n += int64(n)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
+}
+
+// Count returns the number of payload bytes written so far.
+func (w *FileWriter) Count() int64 { return w.n }
+
+// Commit seals the frame and atomically installs the file at its path.
+// The writer is unusable afterwards.
+func (w *FileWriter) Commit() error {
+	if w.err != nil {
+		w.Abort()
+		return w.err
+	}
+	if w.n > int64(^uint32(0)) {
+		w.Abort()
+		return fmt.Errorf("wal: %s: %d-byte payload exceeds frame limit", w.path, w.n)
+	}
+	name := w.tmp.Name()
+	err := w.bw.Flush()
+	if err == nil {
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(w.n))
+		binary.LittleEndian.PutUint32(hdr[4:8], w.crc)
+		_, err = w.tmp.WriteAt(hdr[:], 0)
+	}
+	if err == nil {
+		err = w.tmp.Sync()
+	}
+	if cerr := w.tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(name, w.path)
+	}
+	if err != nil {
+		os.Remove(name)
+		w.err = err
+		w.tmp = nil
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
+	w.tmp = nil
+	return syncDir(filepath.Dir(w.path))
+}
+
+// Abort discards the temp file. Safe to call after a failed Commit.
+func (w *FileWriter) Abort() {
+	if w.tmp != nil {
+		name := w.tmp.Name()
+		w.tmp.Close()
+		os.Remove(name)
+		w.tmp = nil
 	}
-	if err := tmp.Close(); err != nil {
-		return err
+	if w.err == nil {
+		w.err = errors.New("wal: file writer aborted")
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	return syncDir(dir)
 }
 
 // ReadFileChecked reads a file written by WriteFileAtomic, validating its

@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-node bench-write bench-durability alloc-regression profile fuzz-smoke examples serve-smoke crash-smoke
+.PHONY: ci fmt vet lint build test race bench bench-node bench-write bench-durability alloc-regression profile fuzz-smoke examples serve-smoke crash-smoke
 
-ci: fmt vet build race examples alloc-regression bench-write fuzz-smoke serve-smoke crash-smoke
+ci: fmt vet lint build race examples alloc-regression bench-write fuzz-smoke serve-smoke crash-smoke
+
+# Repo-invariant static analysis (cmd/txcache-lint): lock order, context
+# threading, deterministic time, bounded dials/writes, atomic-field
+# discipline, pool hygiene. Suppressions are //lint:allow <analyzer>
+# <reason>; an undocumented or unused suppression is itself a finding.
+lint:
+	timeout 120 $(GO) run ./cmd/txcache-lint ./...
 
 # Kill-9 crash-recovery property test: build the real txcache-dbd, drive
 # writers over the wire, SIGKILL it repeatedly, and check on every reboot
@@ -36,6 +43,10 @@ examples:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out="$$(grep -rnE '//[[:space:]]*nolint' --include='*.go' . || true)"; \
+		if [ -n "$$out" ]; then \
+		echo "nolint comments are not honored here; use //lint:allow <analyzer> <reason>:"; \
+		echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,80 @@
+// Command txcache-lint runs the repo's invariant analyzers (internal/analysis)
+// over the packages named by its arguments and fails if any diagnostic is not
+// excused by a reasoned //lint:allow directive. It is wired into `make ci` as
+// `make lint` and builds from source on every run — the toolchain is the repo
+// itself, so an analyzer change and the sweep it requires land in one commit.
+//
+// Usage:
+//
+//	go run ./cmd/txcache-lint ./...
+//	go run ./cmd/txcache-lint -show-suppressed ./internal/db/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"txcache/internal/analysis"
+	"txcache/internal/analysis/load"
+	"txcache/internal/analysis/passes/atomicfield"
+	"txcache/internal/analysis/passes/ctxflow"
+	"txcache/internal/analysis/passes/deadline"
+	"txcache/internal/analysis/passes/lockorder"
+	"txcache/internal/analysis/passes/scratchreturn"
+	"txcache/internal/analysis/passes/walltime"
+)
+
+// all is the full suite, in report order.
+var all = []*analysis.Analyzer{
+	lockorder.Analyzer,
+	ctxflow.Analyzer,
+	walltime.Analyzer,
+	deadline.Analyzer,
+	atomicfield.Analyzer,
+	scratchreturn.Analyzer,
+}
+
+func main() {
+	showSuppressed := flag.Bool("show-suppressed", false, "also list diagnostics excused by //lint:allow")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: txcache-lint [flags] [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txcache-lint:", err)
+		os.Exit(2)
+	}
+	res, err := analysis.Run(prog.Fset, prog.Units(), all, analysis.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txcache-lint:", err)
+		os.Exit(2)
+	}
+
+	if *showSuppressed {
+		for _, f := range res.Suppressed {
+			fmt.Printf("%s [allowed: %s]\n", f, f.Reason)
+		}
+	}
+	bad := len(res.Findings) + len(res.DirectiveErrors)
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	for _, f := range res.DirectiveErrors {
+		fmt.Println(f)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "txcache-lint: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+}

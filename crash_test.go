@@ -192,8 +192,8 @@ func startDaemon(t *testing.T, bin, dataDir, statusPath, schemaPath, cacheAddr s
 	}
 	d := &crashDaemon{cmd: cmd, logF: logF}
 	t.Cleanup(func() {
-		d.cmd.Process.Kill() //nolint:errcheck
-		d.cmd.Wait()         //nolint:errcheck
+		_ = d.cmd.Process.Kill()
+		_ = d.cmd.Wait()
 		d.logF.Close()
 	})
 	deadline := time.Now().Add(15 * time.Second)
@@ -224,8 +224,8 @@ func (d *crashDaemon) dumpLog(t *testing.T) {
 
 // kill SIGKILLs the daemon and reaps it.
 func (d *crashDaemon) kill() {
-	d.cmd.Process.Kill() //nolint:errcheck
-	d.cmd.Wait()         //nolint:errcheck
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
 	d.logF.Close()
 }
 

@@ -1,0 +1,166 @@
+// Package analysis is a small, dependency-free analysis framework modelled
+// on golang.org/x/tools/go/analysis: an Analyzer inspects one type-checked
+// package through a Pass and reports Diagnostics. It exists in-tree (rather
+// than importing x/tools) so `make lint` is reproducible on a fresh clone
+// with no network access and no fetched binaries — the container that runs
+// CI has only the Go toolchain. The API mirrors x/tools deliberately: if a
+// vendored x/tools ever becomes available, each analyzer ports by changing
+// one import line.
+//
+// The suite it hosts (internal/analysis/passes/...) mechanizes the repo's
+// hand-enforced invariants: lock ordering, context threading, wall-clock
+// discipline in seeded paths, bounded dials and writes, atomic-field
+// consistency, and pool borrow/return pairing. See DESIGN.md "Enforced
+// invariants" for the analyzer ↔ invariant ↔ historical-bug table.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path. Fixture packages under
+	// analysistest get their path from their directory under testdata/src,
+	// so path-scoped analyzers behave identically on fixtures and on the
+	// real tree.
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report submits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf submits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a compile-time-known func (indirect calls,
+// conversions, builtins).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// NamedOf unwraps pointers and aliases down to the *types.Named beneath t,
+// or nil if there is none.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// FieldRef describes a selector expression that resolves to a struct field:
+// the owning named type and the field object.
+type FieldRef struct {
+	OwnerPkg  string // import path of the owning type's package
+	OwnerName string // the named struct type
+	Field     *types.Var
+}
+
+// FieldOf resolves sel to the struct field it selects, if any. It sees
+// through pointers and embedded fields (the owner is the type that
+// declares the field).
+func FieldOf(info *types.Info, sel *ast.SelectorExpr) (FieldRef, bool) {
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return FieldRef{}, false
+	}
+	named := NamedOf(info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() == nil {
+		return FieldRef{}, false
+	}
+	// Walk to the declaring type for embedded fields: the selection's
+	// indirectly-selected owner is good enough for our class tables, which
+	// key on the type the source spells.
+	return FieldRef{
+		OwnerPkg:  named.Obj().Pkg().Path(),
+		OwnerName: named.Obj().Name(),
+		Field:     v,
+	}, true
+}
+
+// HasMethod reports whether type t (or *t) has a method named name,
+// either declared or promoted.
+func HasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	fn, ok := obj.(*types.Func)
+	return ok && fn != nil
+}
+
+// EnclosingFuncs is the stack of function declarations and literals
+// (outermost first) surrounding a node; analyzers that need lexical
+// context maintain it during traversal via WalkFuncs.
+type EnclosingFuncs []ast.Node
+
+// FuncType returns the *ast.FuncType of a FuncDecl or FuncLit node.
+func FuncType(n ast.Node) *ast.FuncType {
+	switch f := n.(type) {
+	case *ast.FuncDecl:
+		return f.Type
+	case *ast.FuncLit:
+		return f.Type
+	}
+	return nil
+}

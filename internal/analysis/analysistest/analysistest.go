@@ -1,0 +1,221 @@
+// Package analysistest runs one analyzer over fixture packages under a
+// test's testdata/src directory and checks its diagnostics against
+// `// want "regexp"` comments, modelled on
+// golang.org/x/tools/go/analysis/analysistest. Fixture packages live at
+// testdata/src/<import-path>, so a fixture can impersonate a real package
+// (testdata/src/txcache/internal/db) and exercise analyzers whose rules key
+// on import paths, type names, and field names — each analyzer's
+// regression fixtures reconstruct the historical bug shapes in miniature.
+//
+// Expectations: a comment `// want "re1" "re2"` on line N requires the
+// analyzer (or the driver's //lint:allow audit) to report, on line N,
+// one diagnostic matching each regexp. Every reported diagnostic must be
+// wanted and every want must be reported. Diagnostics excused by a
+// //lint:allow directive are checked only for the directive being used
+// (an unused directive is a driver-level error like everywhere else);
+// the driver's unused-suppression audit is limited to the analyzer under
+// test so fixtures never need directives for the other five.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"txcache/internal/analysis"
+	"txcache/internal/analysis/load"
+)
+
+// stdRoots are the standard-library packages fixtures may import; their
+// transitive dependency closure is type-checked once per test process.
+var stdRoots = []string{"context", "fmt", "net", "os", "sync", "time"}
+
+var (
+	stdOnce  sync.Once
+	stdTypes map[string]*types.Package
+	stdErr   error
+)
+
+// stdWorld type-checks the fixture-visible slice of the standard library,
+// once per process (about a second, dominated by package net).
+func stdWorld() (map[string]*types.Package, error) {
+	stdOnce.Do(func() {
+		prog, err := load.Load(".", stdRoots...)
+		if err != nil {
+			stdErr = err
+			return
+		}
+		stdTypes = map[string]*types.Package{"unsafe": types.Unsafe}
+		for _, p := range prog.Packages {
+			stdTypes[p.ImportPath] = p.Types
+		}
+	})
+	return stdTypes, stdErr
+}
+
+// Run type-checks the fixture packages at testdata/src/<path> for each
+// path, applies a to them through the shared driver, and reports any
+// mismatch between diagnostics and `// want` expectations as test errors.
+// Paths are processed in order, and later fixtures may import earlier ones.
+func Run(t *testing.T, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	std, err := stdWorld()
+	if err != nil {
+		t.Fatalf("analysistest: type-checking stdlib: %v", err)
+	}
+	fset := token.NewFileSet()
+	fixtures := map[string]*types.Package{}
+	var units []*analysis.Unit
+	var wants []*want
+	for _, path := range paths {
+		dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for _, f := range files {
+			wants = append(wants, collectWants(t, fset, f)...)
+		}
+		info := load.NewInfo()
+		conf := types.Config{
+			Importer: importerFunc(func(ipath string) (*types.Package, error) {
+				if p, ok := fixtures[ipath]; ok {
+					return p, nil
+				}
+				if p, ok := std[ipath]; ok {
+					return p, nil
+				}
+				if p, ok := std["vendor/"+ipath]; ok {
+					return p, nil
+				}
+				return nil, fmt.Errorf("fixture import %q: not a fixture package or loaded stdlib package", ipath)
+			}),
+			Sizes: types.SizesFor("gc", "amd64"),
+		}
+		pkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			t.Fatalf("analysistest: type-checking fixture %s: %v", path, err)
+		}
+		fixtures[path] = pkg
+		units = append(units, &analysis.Unit{PkgPath: path, Files: files, Pkg: pkg, Info: info})
+	}
+
+	res, err := analysis.Run(fset, units, []*analysis.Analyzer{a}, analysis.Options{
+		CheckUnused: map[string]bool{a.Name: true},
+	})
+	if err != nil {
+		t.Fatalf("analysistest: driver: %v", err)
+	}
+
+	diags := append(append([]analysis.Finding{}, res.Findings...), res.DirectiveErrors...)
+	for _, d := range diags {
+		if w := match(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s: %s", posOf(d), d.Analyzer, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+// want is one expectation: a diagnostic on file:line matching re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses `// want "re"...` comments, including ones embedded
+// after a //lint:allow directive on the same comment line.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*want {
+	t.Helper()
+	var ws []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(c.Text[idx+len("// want "):])
+			for rest != "" {
+				if rest[0] != '"' {
+					t.Fatalf("%s:%d: malformed want: expectations must be double-quoted regexps", pos.Filename, pos.Line)
+				}
+				end := 1
+				for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+					end++
+				}
+				if end == len(rest) {
+					t.Fatalf("%s:%d: malformed want: unterminated string", pos.Filename, pos.Line)
+				}
+				lit := rest[:end+1]
+				rest = strings.TrimSpace(rest[end+1:])
+				pat, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want %s: %v", pos.Filename, pos.Line, lit, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return ws
+}
+
+func match(wants []*want, d analysis.Finding) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+func posOf(d analysis.Finding) string {
+	return fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

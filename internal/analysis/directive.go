@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The one audited suppression directive:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// A directive suppresses that analyzer's diagnostics on its own line and on
+// the line immediately below (so it can ride as a trailing comment or sit
+// on its own line above the code it excuses). Every other spelling of
+// suppression is rejected: `make fmt` greps away "no"+"lint" comments
+// (spelled that way here to survive its own grep), and the driver
+// reports a malformed, unknown-analyzer, or unused directive as a lint
+// error in its own right — an undocumented suppression is itself a finding.
+const directivePrefix = "//lint:allow"
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	File     string
+	Line     int
+	// Problem is non-empty when the directive itself is ill-formed
+	// (missing analyzer name or reason).
+	Problem string
+
+	used bool
+}
+
+// collectDirectives parses every //lint:allow comment in files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []*Directive {
+	var ds []*Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				ds = append(ds, parseDirective(fset, c))
+			}
+		}
+	}
+	return ds
+}
+
+func parseDirective(fset *token.FileSet, c *ast.Comment) *Directive {
+	pos := fset.Position(c.Pos())
+	d := &Directive{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	// Fixture files append analysistest expectations ("// want ...") to the
+	// same comment; they are not part of the reason.
+	if i := strings.Index(rest, "// want"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //lint:allowxyz — not our directive at all; treat the exact
+		// prefix with no separator as malformed rather than silent.
+		d.Problem = "malformed //lint:allow directive: missing analyzer name"
+		return d
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.Problem = "malformed //lint:allow directive: missing analyzer name"
+		return d
+	}
+	d.Analyzer = fields[0]
+	d.Reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	if d.Reason == "" {
+		d.Problem = "undocumented suppression: //lint:allow " + d.Analyzer + " needs a reason"
+	}
+	return d
+}
+
+// matches reports whether the directive excuses a diagnostic from analyzer
+// name at file:line.
+func (d *Directive) matches(name, file string, line int) bool {
+	return d.Problem == "" && d.Analyzer == name && d.File == file &&
+		(d.Line == line || d.Line == line-1)
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Unit is one type-checked package ready for analysis. The loader
+// (internal/analysis/load) produces these for the real tree; analysistest
+// produces them for fixture packages.
+type Unit struct {
+	PkgPath string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Finding is one driver-level result: a diagnostic that survived (or was
+// caught by) suppression filtering, positioned and attributed.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+	// Reason is the allow-directive reason for suppressed findings.
+	Reason string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Result is everything one driver run produced.
+type Result struct {
+	// Findings are unsuppressed diagnostics: lint failures.
+	Findings []Finding
+	// Suppressed are diagnostics excused by a well-formed, reasoned
+	// //lint:allow directive.
+	Suppressed []Finding
+	// DirectiveErrors are failures of the suppression mechanism itself:
+	// malformed directives, directives naming unknown analyzers, and
+	// directives that suppress nothing. They fail lint like findings do.
+	DirectiveErrors []Finding
+}
+
+// DirectiveAnalyzer is the analyzer name under which directive audit
+// errors are reported.
+const DirectiveAnalyzer = "allowdirective"
+
+// Options tunes a driver run.
+type Options struct {
+	// CheckUnused limits the unused-directive audit to directives naming
+	// these analyzers. The multichecker runs every analyzer, so it audits
+	// every name; analysistest runs one analyzer at a time and must not
+	// call directives for the other five unused. Nil means: audit every
+	// analyzer in the run's set.
+	CheckUnused map[string]bool
+}
+
+// Run applies every analyzer to every unit, filters diagnostics through
+// //lint:allow directives, and audits the directives themselves.
+func Run(fset *token.FileSet, units []*Unit, analyzers []*Analyzer, opts Options) (*Result, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	res := &Result{}
+	for _, u := range units {
+		dirs := collectDirectives(fset, u.Files)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+				PkgPath:   u.PkgPath,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				f := Finding{Analyzer: a.Name, Position: pos, Message: d.Message}
+				if dir := suppressing(dirs, a.Name, pos); dir != nil {
+					dir.used = true
+					f.Reason = dir.Reason
+					res.Suppressed = append(res.Suppressed, f)
+				} else {
+					res.Findings = append(res.Findings, f)
+				}
+			}
+		}
+		for _, d := range dirs {
+			pos := fset.Position(d.Pos)
+			switch {
+			case d.Problem != "":
+				res.DirectiveErrors = append(res.DirectiveErrors, Finding{
+					Analyzer: DirectiveAnalyzer, Position: pos, Message: d.Problem,
+				})
+			case !known[d.Analyzer]:
+				res.DirectiveErrors = append(res.DirectiveErrors, Finding{
+					Analyzer: DirectiveAnalyzer, Position: pos,
+					Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", d.Analyzer),
+				})
+			case !d.used && (opts.CheckUnused == nil || opts.CheckUnused[d.Analyzer]):
+				res.DirectiveErrors = append(res.DirectiveErrors, Finding{
+					Analyzer: DirectiveAnalyzer, Position: pos,
+					Message: fmt.Sprintf("unused suppression: no %s diagnostic here to allow", d.Analyzer),
+				})
+			}
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	sortFindings(res.DirectiveErrors)
+	return res, nil
+}
+
+func suppressing(dirs []*Directive, analyzer string, pos token.Position) *Directive {
+	for _, d := range dirs {
+		if d.matches(analyzer, pos.Filename, pos.Line) {
+			return d
+		}
+	}
+	return nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Position, fs[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}

@@ -1,0 +1,137 @@
+// Package atomicfield enforces all-or-nothing atomicity per field: a
+// struct field (or package-level variable) that is accessed through
+// sync/atomic anywhere in a package must be accessed atomically everywhere
+// in that package. Mixed atomic/plain access is a data race the runtime
+// detector only reports if the two accesses happen to be scheduled
+// concurrently during a test run — the shape behind PR 6's move of every
+// cache-node counter to per-shard atomics. Modern code should prefer the
+// atomic.Int64-style typed atomics, which make this invariant structural;
+// this pass guards the old-style call sites that remain possible.
+//
+// A deliberate plain access (for example initialization before the value
+// is shared) carries //lint:allow atomicfield with the reason.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"txcache/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: every &x.f (or &v) handed to a sync/atomic function marks
+	// the variable object atomic; the identifier nodes consumed that way
+	// are excluded from pass 2.
+	atomicVars := map[*types.Var]ast.Node{} // var -> first atomic call site
+	atomicNodes := map[ast.Node]bool{}      // selector/ident nodes inside atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicOp(fn.Name()) {
+				return true
+			}
+			// Only the old-style package-level API (atomic.AddInt64(&x.f, 1))
+			// marks its operand as an atomic cell. Methods on the typed
+			// atomics (atomic.Int32, atomic.Pointer[T]) take ordinary values;
+			// a &local passed to Pointer.Store is being published, not raced.
+			if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				if v := varOf(pass.TypesInfo, target); v != nil {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = call
+					}
+					atomicNodes[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	// Pass 2: any other read or write of those variables is mixed access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicNodes[n] {
+					return false
+				}
+				v, ok := pass.TypesInfo.Uses[n.Sel].(*types.Var)
+				if ok && v.IsField() {
+					if site, atomic := atomicVars[v]; atomic {
+						report(pass, n.Sel.Pos(), v, site)
+					}
+				}
+			case *ast.Ident:
+				if atomicNodes[n] {
+					return false
+				}
+				v, ok := pass.TypesInfo.Uses[n].(*types.Var)
+				if ok && !v.IsField() {
+					if site, atomic := atomicVars[v]; atomic {
+						report(pass, n.Pos(), v, site)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, v *types.Var, site ast.Node) {
+	pass.Reportf(pos,
+		"plain access to %s, which is accessed via sync/atomic at %s; mixed access is a data race",
+		v.Name(), pass.Fset.Position(site.Pos()))
+}
+
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// varOf resolves an addressable expression to the variable it denotes:
+// x.f selectors resolve to the field, bare identifiers to the (non-field)
+// variable. Index expressions and other shapes return nil — per-element
+// atomicity over slices is out of scope.
+func varOf(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		if v != nil && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		if v != nil && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"txcache/internal/analysis/analysistest"
+	"txcache/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer,
+		"txcache/internal/ctxfix",
+		"txcache/cmdfix",
+	)
+}

@@ -1,0 +1,9 @@
+package cmdfix
+
+import "context"
+
+// Clean: ctxflow scopes to txcache/internal/...; command binaries own their
+// root contexts.
+func root() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,65 @@
+package ctxfix
+
+import (
+	"context"
+	"time"
+)
+
+func run(ctx context.Context, q string) error {
+	return ctx.Err()
+}
+
+// Regression fixture: the Stats/ResetStats shape — a ctx-free method
+// round-tripping on a bare Background, so a wedged peer hangs the caller
+// with no deadline.
+type client struct{}
+
+func (c *client) roundTrip(ctx context.Context, op byte) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func (c *client) stats() error {
+	return c.roundTrip(context.Background(), 1) // want "context.Background in internal library code"
+}
+
+func search(q string) error {
+	ctx := context.Background() // want "context.Background in internal library code"
+	return run(ctx, q)
+}
+
+func todoCase(q string) error {
+	return run(context.TODO(), q) // want "context.TODO in internal library code"
+}
+
+// A function handed a ctx must thread it — even a bounded detour drops the
+// caller's cancellation.
+func threaded(ctx context.Context, q string) error {
+	ctx2 := context.Background() // want "inside a function that receives"
+	return run(ctx2, q)
+}
+
+func boundedButHanded(ctx context.Context, q string) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want "inside a function that receives"
+	defer cancel()
+	return run(c, q)
+}
+
+// Clean: the dbnet/pincushion release-path idiom — bounded detachment in a
+// deliberately context-free function.
+func release(q string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return run(ctx, q)
+}
+
+// Clean: nil-defaulting at an API boundary.
+func nilDefault(ctx context.Context, q string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return run(ctx, q)
+}
+
+//lint:allow ctxflow fixture boundary root, detached on purpose
+func boundary(q string) error { return run(context.Background(), q) }

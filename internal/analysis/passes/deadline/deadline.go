@@ -1,0 +1,127 @@
+// Package deadline enforces the bounded-I/O rules hardened after PR 5's
+// second review pass, which found an unbounded net.Dial held under a
+// session mutex (a blackholed host could wedge the abort path for the
+// kernel's ~2-minute connect timeout) and an unclamped frame-write
+// deadline (a short-deadline request could hold a multiplexed connection's
+// write lock for the full transport timeout). Mechanized rules:
+//
+//  1. net.Dial is forbidden: connect through net.DialTimeout or
+//     (*net.Dialer).DialContext so a dead host fails fast.
+//  2. A write to a deadline-capable connection must be preceded, in the
+//     same function, by a SetDeadline/SetWriteDeadline call. Functions
+//     that write on connections whose deadline a caller already set carry
+//     a //lint:allow deadline directive naming that caller.
+//
+// Clamping the deadline to the caller's context remains a review concern
+// (it is not generally decidable syntactically); rule 2 guarantees the
+// deadline exists at all, which is the failure mode that wedges.
+package deadline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"txcache/internal/analysis"
+)
+
+// Analyzer is the deadline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadline",
+	Doc: "every dial is bounded (DialTimeout/DialContext) and every conn write " +
+		"is preceded by a write deadline in the same function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans one function body (and, recursively, each function
+// literal as its own deadline scope) in source order.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sawDeadline := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, n.Body) // separate scope: deadlines do not leak in
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, &sawDeadline)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, sawDeadline *bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	// Rule 1: unbounded dials.
+	if analysis.IsPkgFunc(fn, "net", "Dial") {
+		pass.Reportf(call.Pos(),
+			"unbounded net.Dial; use net.DialTimeout or (*net.Dialer).DialContext so a blackholed host cannot wedge the caller")
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		// wire.WriteFrame(conn, ...) style: a package function whose first
+		// argument is a deadline-capable conn is a conn write.
+		if fn.Name() == "WriteFrame" && len(call.Args) > 0 &&
+			isConnType(pass.TypesInfo.TypeOf(call.Args[0])) {
+			reportUnboundedWrite(pass, call, sawDeadline)
+		}
+		return
+	}
+	recv := ast.Unparen(call.Fun)
+	sel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvType := pass.TypesInfo.TypeOf(sel.X)
+	switch fn.Name() {
+	case "SetDeadline", "SetWriteDeadline":
+		if isConnType(recvType) {
+			*sawDeadline = true
+		}
+	case "Write":
+		if isConnType(recvType) {
+			reportUnboundedWrite(pass, call, sawDeadline)
+		}
+	}
+}
+
+func reportUnboundedWrite(pass *analysis.Pass, call *ast.CallExpr, sawDeadline *bool) {
+	if *sawDeadline {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"conn write with no preceding SetWriteDeadline/SetDeadline in this function; a peer that stops reading wedges this goroutine")
+}
+
+// isConnType reports whether t is a network connection for deadline
+// purposes: it has the SetWriteDeadline method and is not an *os.File
+// (files have deadline methods too, but file writes do not hang on a
+// peer's TCP window).
+func isConnType(t types.Type) bool {
+	if t == nil || !analysis.HasMethod(t, "SetWriteDeadline") {
+		return false
+	}
+	if named := analysis.NamedOf(t); named != nil && named.Obj().Pkg() != nil {
+		if named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package db
+
+import "sync"
+
+// Miniature of the real internal/db lock hierarchy: Engine.catMu guards the
+// catalog, Table.mu guards one table, and multi-table lock sets go through
+// tableLockSet, which sorts by name.
+type Engine struct {
+	catMu  sync.RWMutex
+	tables map[string]*Table
+}
+
+type Table struct {
+	name string
+	mu   sync.RWMutex
+}
+
+type tableLockSet struct{ tables []*Table }
+
+func (ls *tableLockSet) rlock() {
+	for _, t := range ls.tables {
+		t.mu.RLock()
+	}
+}
+
+func (ls *tableLockSet) lock() {
+	for _, t := range ls.tables {
+		t.mu.Lock()
+	}
+}
+
+func (ls *tableLockSet) runlock() {
+	for _, t := range ls.tables {
+		t.mu.RUnlock()
+	}
+}
+
+func (ls *tableLockSet) unlock() {
+	for _, t := range ls.tables {
+		t.mu.Unlock()
+	}
+}
+
+func (e *Engine) lockSetFor(names []string) *tableLockSet {
+	e.catMu.RLock()
+	ls := &tableLockSet{}
+	for _, n := range names {
+		ls.tables = append(ls.tables, e.tables[n])
+	}
+	e.catMu.RUnlock()
+	return ls
+}
+
+// Clean: the documented catalog → table order.
+func (e *Engine) ordered(t *Table) string {
+	e.catMu.RLock()
+	t.mu.RLock()
+	n := t.name
+	t.mu.RUnlock()
+	e.catMu.RUnlock()
+	return n
+}
+
+// The inversion: taking the catalog lock while a table is held deadlocks
+// against ordered() above.
+func (e *Engine) reversed(t *Table) {
+	t.mu.Lock()
+	e.catMu.RLock() // want "violates the documented lock order"
+	e.catMu.RUnlock()
+	t.mu.Unlock()
+}
+
+// Two direct Table.mu acquisitions bypass the sorted lock-set discipline,
+// even when the hand-written order happens to be sorted today.
+func twoTables(t1, t2 *Table) {
+	t1.mu.Lock()
+	t2.mu.Lock() // want "multi-table lock sets must go through tableLockSet"
+	t2.mu.Unlock()
+	t1.mu.Unlock()
+}
+
+// The helper table catches the same inversion when the table locks are
+// taken inside tableLockSet.rlock rather than inline.
+func (e *Engine) helperHeld(ls *tableLockSet) {
+	ls.rlock()
+	e.catMu.RLock() // want "violates the documented lock order"
+	e.catMu.RUnlock()
+	ls.runlock()
+}
+
+// lockSetFor takes catMu internally, so calling it with a table held is the
+// same inversion one call deeper.
+func (e *Engine) helperSelf(t *Table, names []string) {
+	t.mu.Lock()
+	_ = e.lockSetFor(names) // want "violates the documented lock order"
+	t.mu.Unlock()
+}
+
+func (e *Engine) allowedReversal(t *Table) {
+	t.mu.Lock()
+	//lint:allow lockorder fixture: single-goroutine recovery path, nothing else can hold catMu yet
+	e.catMu.RLock()
+	e.catMu.RUnlock()
+	t.mu.Unlock()
+}

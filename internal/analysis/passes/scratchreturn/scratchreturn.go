@@ -1,0 +1,209 @@
+// Package scratchreturn enforces the borrow/return discipline behind the
+// repo's pinned allocation budgets (PRs 3, 4, 9): a value taken from a
+// sync.Pool or one of the repo's free-list accessors must, on every exit
+// path of the borrowing function, either be returned to its pool or have
+// its ownership visibly transferred (returned to the caller, stored
+// elsewhere, captured by a closure, or passed to another function). An
+// early `return err` between Get and Put silently leaks the scratch value;
+// the pool refills from its New function and the alloc budget erodes one
+// exit path at a time — invisible until the alloc-regression gate trips
+// far from the cause.
+//
+// The analysis is a per-function source-order scan, deliberately simple: a
+// borrowed variable is "held" from its binding until any mention of it in
+// a return statement, call argument, deferred call, closure, or assignment
+// right-hand side — all of which count as release or transfer. A return
+// reached while a variable is still held is a leak. The cost of the
+// permissive transfer rule is missing leaks after a helper call touches
+// the value; the gain is zero false positives on the real tree, which is
+// what lets the check gate CI.
+package scratchreturn
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"txcache/internal/analysis"
+)
+
+// Analyzer is the scratchreturn pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchreturn",
+	Doc:  "values borrowed from a sync.Pool or free list must be returned on every exit path",
+	Run:  run,
+}
+
+// getLike names the repo's free-list borrow functions beyond
+// (sync.Pool).Get itself.
+var getLike = []struct{ Pkg, Name string }{
+	{Pkg: "txcache/internal/db", Name: "getScratch"},
+	{Pkg: "txcache/internal/cacheserver", Name: "getTimer"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc tracks borrowed values through one function body in source
+// order. Nested function literals are separate scopes (run gives each its
+// own checkFunc); here they only matter as capture sites.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := map[*types.Var]token.Pos{}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure capturing a held variable owns it now (the defer
+			// func(){ pool.Put(x) }() idiom lands here too).
+			releaseMentioned(pass.TypesInfo, n.Body, held)
+			return false
+		case *ast.DeferStmt:
+			releaseMentioned(pass.TypesInfo, n.Call, held)
+			return false
+		case *ast.AssignStmt:
+			if checkBorrow(pass, n, held) {
+				return false
+			}
+			for _, rhs := range n.Rhs {
+				// Aliasing or storing a held value transfers it. (The
+				// nested walk also records borrows appearing deeper in
+				// the expression, e.g. inside a composite literal.)
+				ast.Inspect(rhs, walk)
+				releaseMentioned(pass.TypesInfo, rhs, held)
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				releaseMentioned(pass.TypesInfo, e, held)
+			}
+			for v, pos := range held {
+				pass.Reportf(n.Pos(),
+					"return leaks %s, borrowed from a pool at %s; Put it back (or defer the Put) on every exit path",
+					v.Name(), pass.Fset.Position(pos))
+			}
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isGetLike(pass.TypesInfo, call) {
+				pass.Reportf(call.Pos(), "borrowed pool value is discarded; bind it and return it to the pool")
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			// Any held value passed as an argument is transferred — the
+			// callee may release or retain it. Method calls *on* the held
+			// value (sc.reset()) are just use, not transfer.
+			for _, arg := range n.Args {
+				releaseMentioned(pass.TypesInfo, arg, held)
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	// Falling off the end of the function is an exit path too; a body
+	// ending in a return already reported (and released) everything.
+	if n := len(body.List); n == 0 || !isReturn(body.List[n-1]) {
+		for v, pos := range held {
+			pass.Reportf(body.Rbrace,
+				"function exit leaks %s, borrowed from a pool at %s",
+				v.Name(), pass.Fset.Position(pos))
+		}
+	}
+}
+
+func isReturn(s ast.Stmt) bool {
+	_, ok := s.(*ast.ReturnStmt)
+	return ok
+}
+
+// checkBorrow records `x := pool.Get().(*T)`-shaped borrows, reporting
+// whether the assignment was one.
+func checkBorrow(pass *analysis.Pass, assign *ast.AssignStmt, held map[*types.Var]token.Pos) bool {
+	if len(assign.Rhs) != 1 {
+		return false
+	}
+	call := unwrapToCall(assign.Rhs[0])
+	if call == nil || !isGetLike(pass.TypesInfo, call) {
+		return false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		return true // discarded borrow is odd, but blank is explicit intent
+	}
+	var v *types.Var
+	if assign.Tok == token.DEFINE {
+		v, _ = pass.TypesInfo.Defs[lhs].(*types.Var)
+	} else {
+		v, _ = pass.TypesInfo.Uses[lhs].(*types.Var)
+	}
+	if v != nil {
+		held[v] = call.Pos()
+	}
+	return true
+}
+
+// releaseMentioned releases every held variable mentioned inside node.
+func releaseMentioned(info *types.Info, node ast.Node, held map[*types.Var]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				delete(held, v)
+			}
+		}
+		return true
+	})
+}
+
+// unwrapToCall strips type assertions and parens from expr down to the
+// call expression beneath, if there is one.
+func unwrapToCall(expr ast.Expr) *ast.CallExpr {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.CallExpr:
+			return e
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isGetLike(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() == "Get" {
+		if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+			named := analysis.NamedOf(sig.Recv().Type())
+			if named != nil && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool" {
+				return true
+			}
+		}
+	}
+	for _, g := range getLike {
+		if analysis.IsPkgFunc(fn, g.Pkg, g.Name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package scratchreturn_test
+
+import (
+	"testing"
+
+	"txcache/internal/analysis/analysistest"
+	"txcache/internal/analysis/passes/scratchreturn"
+)
+
+func TestScratchreturn(t *testing.T) {
+	analysistest.Run(t, scratchreturn.Analyzer,
+		"txcache/internal/db",
+		"txcache/internal/cacheserver",
+	)
+}

@@ -1,0 +1,39 @@
+package cacheserver
+
+import (
+	"sync"
+	"time"
+)
+
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// The call-timer shape: the timeout arm must not leak the pooled timer.
+func wait(d time.Duration, ch chan int) int {
+	t := getTimer(d)
+	select {
+	case <-t.C:
+		return -1 // want "return leaks t"
+	case v := <-ch:
+		putTimer(t)
+		return v
+	}
+}

@@ -1,0 +1,91 @@
+package db
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type scratch struct{ buf []byte }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// Regression fixture: the alloc-budget erosion shape — an early error
+// return between Get and Put silently leaks the scratch value and the pool
+// refills from New, one exit path at a time.
+func execLeaky(fail bool) ([]byte, error) {
+	sc := getScratch()
+	if fail {
+		return nil, errFail // want "return leaks sc"
+	}
+	out := append([]byte(nil), sc.buf...)
+	putScratch(sc)
+	return out, nil
+}
+
+// Clean: the deferred Put covers every exit path.
+func execClean(fail bool) ([]byte, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	if fail {
+		return nil, errFail
+	}
+	return append([]byte(nil), sc.buf...), nil
+}
+
+// Clean: returning the borrowed value transfers ownership to the caller.
+func borrowOut() *scratch {
+	sc := getScratch()
+	return sc
+}
+
+func discard() {
+	getScratch() // want "borrowed pool value is discarded"
+}
+
+func endLeak() {
+	sc := getScratch()
+	sc.buf = nil
+} // want "function exit leaks sc"
+
+func allowedLeak(fail bool) error {
+	sc := getScratch()
+	if fail {
+		//lint:allow scratchreturn the pool refill is the documented fallback on this path
+		return errFail
+	}
+	putScratch(sc)
+	return nil
+}
+
+type encoder struct{ b []byte }
+
+var encPool = sync.Pool{New: func() any { return new(encoder) }}
+
+// The commit encode-path shape: direct sync.Pool use is covered too.
+func encodeLeaky(fail bool) ([]byte, error) {
+	e := encPool.Get().(*encoder)
+	if fail {
+		return nil, errFail // want "return leaks e"
+	}
+	out := append([]byte(nil), e.b...)
+	encPool.Put(e)
+	return out, nil
+}
+
+// Clean: the defer-closure Put idiom.
+func encodeClean(fail bool) ([]byte, error) {
+	e := encPool.Get().(*encoder)
+	defer func() {
+		e.b = e.b[:0]
+		encPool.Put(e)
+	}()
+	if fail {
+		return nil, errFail
+	}
+	return append([]byte(nil), e.b...), nil
+}

@@ -1,0 +1,9 @@
+package loadgen
+
+import "time"
+
+// Clean: the driver half of loadgen measures real latencies and is out of
+// walltime's file-scoped reach on purpose.
+func measure(start time.Time) time.Duration {
+	return time.Since(start)
+}

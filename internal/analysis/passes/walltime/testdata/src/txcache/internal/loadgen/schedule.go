@@ -1,0 +1,8 @@
+package loadgen
+
+import "time"
+
+// schedule.go is the file-scoped deterministic surface of loadgen.
+func jitter() int64 {
+	return time.Now().UnixNano() // want "raw time.Now in a seeded/deterministic path"
+}

@@ -1,0 +1,8 @@
+package other
+
+import "time"
+
+// Clean: this package is not one of walltime's deterministic surfaces.
+func now() time.Time {
+	return time.Now()
+}

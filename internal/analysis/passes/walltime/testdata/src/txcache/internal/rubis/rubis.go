@@ -1,0 +1,40 @@
+package rubis
+
+import "time"
+
+// Regression fixture: the PR 2 flake shape — a per-call wall-clock read in
+// the seeded loader, so two same-seed loads straddling a second boundary
+// generate different datasets.
+func loadRow(seed int64) int64 {
+	return seed + time.Now().Unix() // want "raw time.Now in a seeded/deterministic path"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "raw time.Since in a seeded/deterministic path"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "raw time.Until in a seeded/deterministic path"
+}
+
+type clock interface{ Now() time.Time }
+
+// Clean: time threaded through a clock interface.
+func loadRowClock(c clock, seed int64) int64 {
+	return seed + c.Now().Unix()
+}
+
+//lint:allow walltime anchored once per process; wall time is the point here
+var epoch = time.Now().Unix()
+
+//lint:allow walltime stale excuse with nothing beneath it to excuse // want "unused suppression"
+var two = 2
+
+//lint:allow walltime // want "undocumented suppression"
+var three = 3
+
+//lint:allow nosuchanalyzer it does not exist // want "unknown analyzer"
+var four = 4
+
+//lint:allowxyz glued to the prefix // want "malformed"
+var five = 5

@@ -1,0 +1,102 @@
+// Package walltime forbids raw wall-clock reads in the repo's seeded,
+// deterministic paths. The RUBiS loader, the wire codecs, and the load
+// schedules must produce identical output for identical seeds — PR 2's
+// rubis.Load flake was exactly a per-call time.Now() in a seeded path that
+// broke same-seed determinism whenever two loads straddled a second
+// boundary. Code in scope reads time through an internal/clock.Clock (or a
+// value threaded from one); genuine wall-clock measurement sites carry a
+// //lint:allow walltime directive saying why wall time is the point.
+package walltime
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"txcache/internal/analysis"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid raw time.Now/time.Since/time.Until in seeded/deterministic paths; " +
+		"thread an internal/clock.Clock instead",
+	Run: run,
+}
+
+// scope lists the deterministic surfaces. An empty File means the whole
+// package. The data-structure packages (btree, mvcc, interval,
+// invalidation, consistent, sql, wire) are ordered by logical timestamps
+// and must stay wall-clock-free; rubis generates seeded datasets and
+// seeded workloads; loadgen's schedules must replay identically for a
+// given seed (its driver, by contrast, measures real latencies and is out
+// of scope on purpose).
+var scope = []struct {
+	Pkg  string // import path
+	File string // optional basename restriction
+}{
+	{Pkg: "txcache/internal/rubis"},
+	{Pkg: "txcache/internal/wire"},
+	{Pkg: "txcache/internal/btree"},
+	{Pkg: "txcache/internal/mvcc"},
+	{Pkg: "txcache/internal/interval"},
+	{Pkg: "txcache/internal/invalidation"},
+	{Pkg: "txcache/internal/consistent"},
+	{Pkg: "txcache/internal/sql"},
+	{Pkg: "txcache/internal/loadgen", File: "schedule.go"},
+}
+
+// banned are the raw wall-clock entry points in package time.
+var banned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	var files []string // basename restrictions, nil = whole package
+	inScope := false
+	for _, s := range scope {
+		if s.Pkg == pass.PkgPath {
+			inScope = true
+			if s.File != "" {
+				files = append(files, s.File)
+			} else {
+				files = nil
+				break
+			}
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if len(files) > 0 {
+			base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+			ok := false
+			for _, want := range files {
+				if base == want {
+					ok = true
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw time.%s in a seeded/deterministic path %s; read time through an internal/clock.Clock",
+				fn.Name(), shortPath(pass.PkgPath))
+			return true
+		})
+	}
+	return nil
+}
+
+func shortPath(p string) string {
+	return "(" + strings.TrimPrefix(p, "txcache/") + ")"
+}

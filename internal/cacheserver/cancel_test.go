@@ -176,7 +176,7 @@ func TestFlushContextHonorsDeadline(t *testing.T) {
 	defer c.Close()
 	// Drain the held channel so puts don't block the stub reader.
 	go func() {
-		for range held { //nolint:revive
+		for range held {
 		}
 	}()
 

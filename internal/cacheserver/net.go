@@ -100,6 +100,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		resp := s.handle(req)
 		if resp != nil {
+			_ = conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
 			if err := wire.WriteFrame(conn, resp); err != nil {
 				return
 			}
@@ -144,6 +145,7 @@ func (s *Server) handle(req []byte) []byte {
 		if d.Err() != nil {
 			return fail(d.Err())
 		}
+		//lint:allow ctxflow the wire protocol carries no context; lookups are in-memory and non-blocking
 		r := s.Lookup(context.Background(), key, lo, hi, origLo, origHi)
 		e := wire.NewBuffer(opLookupResp)
 		e.U32(id)
@@ -168,6 +170,7 @@ func (s *Server) handle(req []byte) []byte {
 		if d.Err() != nil {
 			return fail(d.Err())
 		}
+		//lint:allow ctxflow the wire protocol carries no context; lookups are in-memory and non-blocking
 		rs := s.LookupBatch(context.Background(), reqs)
 		e := wire.NewBuffer(opLookupBatchResp)
 		e.U32(id).U32(uint32(len(rs)))
@@ -327,6 +330,14 @@ const (
 	// queue to drain before tearing connections down; CloseContext lets the
 	// caller pick a different bound.
 	DefaultDrainTimeout = time.Second
+	// DefaultDialTimeout bounds connection establishment (initial pool fill
+	// and reconnects). A blackholed node must fail fast, not hold the dialer
+	// for the kernel's multi-minute connect timeout.
+	DefaultDialTimeout = 5 * time.Second
+	// serverWriteTimeout bounds one response-frame write in the serve loop. A
+	// client that stops reading wedges only its own connection goroutine, and
+	// only this long.
+	serverWriteTimeout = 10 * time.Second
 )
 
 // ClientStats are client-side transport counters: how the multiplexed
@@ -406,7 +417,7 @@ func Dial(addr string, poolSize int) (*Client, error) {
 	c.wg.Add(1)
 	go c.putSender()
 	for i := 0; i < poolSize; i++ {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := net.DialTimeout("tcp", addr, DefaultDialTimeout)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -510,7 +521,7 @@ func (m *mconn) run() {
 				return
 			case <-time.After(backoff):
 			}
-			nc, err := net.Dial("tcp", m.cl.addr)
+			nc, err := net.DialTimeout("tcp", m.cl.addr, DefaultDialTimeout)
 			if err != nil {
 				if backoff *= 2; backoff > time.Second {
 					backoff = time.Second
@@ -644,7 +655,7 @@ func (m *mconn) call(ctx context.Context, frame []byte) ([]byte, error) {
 	// timeout — clamped by the caller's deadline — so a short-deadline
 	// request cannot block the connection (and the writers queued behind
 	// it) for the full transport timeout.
-	conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	_ = conn.SetWriteDeadline(time.Now().Add(timeout))
 	err := wire.WriteFrame(conn, frame)
 	if err != nil {
 		delete(m.pending, id)
@@ -830,6 +841,8 @@ func (c *Client) Put(key string, data []byte, iv interval.Interval, still bool, 
 
 // Flush blocks until every put queued before the call has been written (or
 // failed and been counted). It returns early if the client is closed.
+//
+//lint:allow ctxflow compatibility wrapper; the drain is bounded by client Close, and FlushContext is the ctx-threading API
 func (c *Client) Flush() { _ = c.FlushContext(context.Background()) }
 
 // FlushContext is Flush with a drain deadline: it waits for the queue to
@@ -887,7 +900,7 @@ func (c *Client) sendAsync(frame []byte) error {
 			m.mu.Unlock()
 			continue
 		}
-		conn.SetWriteDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+		_ = conn.SetWriteDeadline(time.Now().Add(c.timeout))
 		err := wire.WriteFrame(conn, frame)
 		m.mu.Unlock()
 		if err != nil {
@@ -902,7 +915,11 @@ func (c *Client) sendAsync(frame []byte) error {
 // Stats implements Node over TCP. Transport errors return zero stats and
 // are counted in ClientStats.CallErrors.
 func (c *Client) Stats() Stats {
-	resp, err := c.roundTrip(context.Background(), newReq(opStats).Bool(false).Bytes())
+	// Node's Stats signature has no ctx to thread, so bound the round trip
+	// here: a wedged node must not hang a monitoring poll forever.
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultCallTimeout)
+	defer cancel()
+	resp, err := c.roundTrip(ctx, newReq(opStats).Bool(false).Bytes())
 	if err != nil {
 		c.counters.callErrors.Add(1)
 		return Stats{}
@@ -953,7 +970,9 @@ func (c *Client) WarmBoot(ctx context.Context, ts interval.Timestamp, wall time.
 // ResetStats implements Node over TCP. Failures are counted in
 // ClientStats.CallErrors rather than silently discarded.
 func (c *Client) ResetStats() {
-	if _, err := c.roundTrip(context.Background(), newReq(opStats).Bool(true).Bytes()); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultCallTimeout)
+	defer cancel()
+	if _, err := c.roundTrip(ctx, newReq(opStats).Bool(true).Bytes()); err != nil {
 		c.counters.callErrors.Add(1)
 	}
 }

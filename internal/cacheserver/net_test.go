@@ -42,8 +42,8 @@ func newFlakyProxy(t *testing.T, backend string) *flakyProxy {
 			p.mu.Lock()
 			p.conns = append(p.conns, c, b)
 			p.mu.Unlock()
-			go func() { io.Copy(b, c); b.Close() }() //nolint:errcheck
-			go func() { io.Copy(c, b); c.Close() }() //nolint:errcheck
+			go func() { _, _ = io.Copy(b, c); _ = b.Close() }()
+			go func() { _, _ = io.Copy(c, b); _ = c.Close() }()
 		}
 	}()
 	t.Cleanup(func() { l.Close(); p.sever() })

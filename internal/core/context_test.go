@@ -312,7 +312,7 @@ func TestReadOnlyRunnerReleasesOnPanic(t *testing.T) {
 				t.Fatal("panic did not propagate")
 			}
 		}()
-		r.client.ReadOnly(context.Background(), func(tx *Tx) error { //nolint:errcheck
+		_, _ = r.client.ReadOnly(context.Background(), func(tx *Tx) error {
 			if _, err := tx.Query("SELECT balance FROM accounts WHERE id = 0"); err != nil {
 				t.Fatal(err)
 			}

@@ -153,6 +153,7 @@ func (c *Client) Begin(ctx context.Context, opts ...TxOption) (*Tx, error) {
 //
 // Deprecated: use Begin(ctx, WithStaleness(staleness)).
 func (c *Client) BeginRO(staleness time.Duration) *Tx {
+	//lint:allow ctxflow deprecated pre-context wrapper kept for compatibility; Begin(ctx, ...) is the real API
 	tx, _ := c.Begin(context.Background(), WithStaleness(staleness)) // cannot fail: Background is never cancelled
 	return tx
 }
@@ -162,6 +163,7 @@ func (c *Client) BeginRO(staleness time.Duration) *Tx {
 //
 // Deprecated: use Begin(ctx, WithStaleness(staleness), WithMinTimestamp(minTS)).
 func (c *Client) BeginROSince(minTS interval.Timestamp, staleness time.Duration) *Tx {
+	//lint:allow ctxflow deprecated pre-context wrapper kept for compatibility; Begin(ctx, ...) is the real API
 	tx, _ := c.Begin(context.Background(), WithStaleness(staleness), WithMinTimestamp(minTS))
 	return tx
 }
@@ -170,6 +172,7 @@ func (c *Client) BeginROSince(minTS interval.Timestamp, staleness time.Duration)
 //
 // Deprecated: use Begin(ctx, WithReadWrite()).
 func (c *Client) BeginRW() (*Tx, error) {
+	//lint:allow ctxflow deprecated pre-context wrapper kept for compatibility; Begin(ctx, ...) is the real API
 	return c.Begin(context.Background(), WithReadWrite())
 }
 

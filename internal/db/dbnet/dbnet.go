@@ -68,6 +68,10 @@ type Server struct {
 // transaction with the dropped connection.
 const opTimeout = 5 * time.Second
 
+// serverWriteTimeout bounds one response write in the serve loop: a client
+// that stops reading wedges only its own connection goroutine, briefly.
+const serverWriteTimeout = 10 * time.Second
+
 // Serve accepts connections until l closes.
 func (s *Server) Serve(l net.Listener) error {
 	for {
@@ -94,6 +98,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		resp := s.handle(req, txs, &nextID)
+		_ = conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
 		if err := wire.WriteFrame(conn, resp); err != nil {
 			return
 		}
@@ -260,7 +265,7 @@ func Dial(addr string, poolSize int) (*Client, error) {
 	}
 	cl := &Client{addr: addr, pool: make(chan *conn, poolSize)}
 	for i := 0; i < poolSize; i++ {
-		c, err := net.Dial("tcp", addr)
+		c, err := net.DialTimeout("tcp", addr, opTimeout)
 		if err != nil {
 			cl.Close()
 			return nil, err
@@ -293,9 +298,9 @@ func (c *conn) roundTripCtx(ctx context.Context, req []byte) ([]byte, error) {
 		return nil, err
 	}
 	if dl, ok := ctx.Deadline(); ok {
-		c.c.SetDeadline(dl) //nolint:errcheck
+		_ = c.c.SetDeadline(dl)
 	} else {
-		c.c.SetDeadline(time.Time{}) //nolint:errcheck
+		_ = c.c.SetDeadline(time.Time{})
 	}
 	resp, err := c.exchange(req)
 	if err != nil {
@@ -323,6 +328,7 @@ func (c *conn) roundTripCtx(ctx context.Context, req []byte) ([]byte, error) {
 
 // exchange writes one frame and reads one frame; c.mu must be held.
 func (c *conn) exchange(req []byte) ([]byte, error) {
+	//lint:allow deadline roundTripCtx, the only caller, sets the conn deadline before exchange runs under c.mu
 	if err := wire.WriteFrame(c.c, req); err != nil {
 		return nil, err
 	}
@@ -407,7 +413,7 @@ func (cl *Client) Unpin(ts interval.Timestamp) {
 	defer func() { cl.pool <- c }()
 	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 	defer cancel()
-	c.roundTripCtx(ctx, wire.NewBuffer(opUnpin).U64(uint64(ts)).Bytes()) //nolint:errcheck
+	_, _ = c.roundTripCtx(ctx, wire.NewBuffer(opUnpin).U64(uint64(ts)).Bytes())
 }
 
 // clientTx is a remote transaction bound to one pooled session.
@@ -482,7 +488,7 @@ func (t *clientTx) Abort() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 	defer cancel()
-	t.c.roundTripCtx(ctx, wire.NewBuffer(opAbort).U64(t.id).Bytes()) //nolint:errcheck
+	_, _ = t.c.roundTripCtx(ctx, wire.NewBuffer(opAbort).U64(t.id).Bytes())
 	t.cl.pool <- t.c
 }
 

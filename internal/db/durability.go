@@ -1223,7 +1223,7 @@ func (e *Engine) Close() error {
 	// later observe closed and fail with ErrClosed instead of racing the
 	// writer teardown below.
 	e.dur.gate.Lock()
-	e.dur.gate.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	e.dur.gate.Unlock() // empty critical section is the barrier
 	e.dur.ckptMu.Lock()
 	ckptErr := e.checkpointLocked()
 	e.dur.ckptMu.Unlock()

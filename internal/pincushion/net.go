@@ -57,7 +57,9 @@ func (p *Pincushion) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := wire.WriteFrame(conn, p.handle(req)); err != nil {
+		resp := p.handle(req)
+		_ = conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+		if err := wire.WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
@@ -71,6 +73,7 @@ func (p *Pincushion) handle(req []byte) []byte {
 		if d.Err() != nil {
 			return errFrame(d.Err())
 		}
+		//lint:allow ctxflow the wire protocol carries no context; server-side GetPins is in-memory and non-blocking
 		pins := p.GetPins(context.Background(), staleness)
 		e := wire.NewBuffer(opPins)
 		e.U32(uint32(len(pins)))
@@ -119,7 +122,7 @@ func Dial(addr string, poolSize int) (*Client, error) {
 	}
 	c := &Client{addr: addr, pool: make(chan net.Conn, poolSize)}
 	for i := 0; i < poolSize; i++ {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := net.DialTimeout("tcp", addr, opTimeout)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -149,9 +152,9 @@ func (c *Client) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
 		return nil, ctx.Err()
 	}
 	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl) //nolint:errcheck
+		_ = conn.SetDeadline(dl)
 	} else {
-		conn.SetDeadline(time.Time{}) //nolint:errcheck
+		_ = conn.SetDeadline(time.Time{})
 	}
 	if err := wire.WriteFrame(conn, req); err != nil {
 		conn.Close()
@@ -175,7 +178,7 @@ func (c *Client) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
 
 func (c *Client) redial() {
 	go func() {
-		if conn, err := net.Dial("tcp", c.addr); err == nil {
+		if conn, err := net.DialTimeout("tcp", c.addr, opTimeout); err == nil {
 			c.pool <- conn
 		}
 	}()
@@ -214,13 +217,17 @@ func (c *Client) GetPins(ctx context.Context, staleness time.Duration) []Pin {
 // Sweep reclaims leaked use-counts after the leak cutoff.
 const opTimeout = 5 * time.Second
 
+// serverWriteTimeout bounds one response write in the serve loop: a client
+// that stops reading wedges only its own connection goroutine, briefly.
+const serverWriteTimeout = 10 * time.Second
+
 // Register implements Service over TCP; it runs on its own bounded
 // context so pin bookkeeping survives the registering transaction's
 // cancellation.
 func (c *Client) Register(ts interval.Timestamp, wall time.Time) {
 	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 	defer cancel()
-	c.roundTrip(ctx, wire.NewBuffer(opRegister).U64(uint64(ts)).I64(wall.UnixNano()).Bytes()) //nolint:errcheck
+	_, _ = c.roundTrip(ctx, wire.NewBuffer(opRegister).U64(uint64(ts)).I64(wall.UnixNano()).Bytes())
 }
 
 // Release implements Service over TCP; like Register it ignores the (by
@@ -235,5 +242,5 @@ func (c *Client) Release(tss []interval.Timestamp) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 	defer cancel()
-	c.roundTrip(ctx, e.Bytes()) //nolint:errcheck
+	_, _ = c.roundTrip(ctx, e.Bytes())
 }

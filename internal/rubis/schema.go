@@ -131,6 +131,8 @@ func (d *Dataset) NewBuyNowID() int64 { return d.nextBuyID.Add(1) }
 // loadEpoch anchors every Load in one process to a single wall-clock
 // instant: equal seeds must produce identical datasets, and a per-call
 // time.Now() breaks that whenever two loads straddle a second boundary.
+//
+//lint:allow walltime read exactly once per process so equal seeds still produce identical datasets
 var loadEpoch = time.Now().Unix()
 
 // Load creates the schema and populates engine deterministically from seed.

@@ -147,6 +147,7 @@ func New(cfg Config) *Server {
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 		drainCh: make(chan struct{}),
 	}
+	//lint:allow ctxflow process-lifetime root: hardCtx must outlive any one request and is cancelled only by Drain's force-close
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	s.routes()
@@ -186,6 +187,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		// to each request), give handlers a moment to unwind through the
 		// library's abort paths, then force-close what remains.
 		s.hardCancel()
+		//lint:allow ctxflow the caller's ctx already expired; the force-close grace period is deliberately detached and bounded
 		cctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
 		if s.hs.Shutdown(cctx) != nil {

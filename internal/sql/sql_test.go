@@ -301,6 +301,6 @@ func TestParseNeverPanics(t *testing.T) {
 				}
 			}
 		}
-		Parse(string(b)) //nolint:errcheck // only checking for panics
+		_, _ = Parse(string(b)) // only checking for panics
 	}
 }
